@@ -1,0 +1,64 @@
+//! `edm-baselines` — every comparator system the paper evaluates EDM
+//! against.
+//!
+//! Two families:
+//!
+//! * **Latency-model stacks** ([`stacks`]): the TCP/IP, RoCEv2, and raw
+//!   Ethernet columns of Table 1 and the CXL constants of Figure 7,
+//!   expressed in the same [`edm_core::latency::FabricLatency`]
+//!   decomposition as EDM.
+//! * **Flow/congestion-control simulators** (for Figure 8), all
+//!   implementing [`edm_core::sim::FabricProtocol`]:
+//!   * [`queueing`] — the reactive family: DCTCP (sender-driven ECN),
+//!     pFabric (in-network SRPT on top of small buffers), and PFC+DCQCN
+//!     (lossless PAUSE with head-of-line blocking);
+//!   * [`cxl`] — credit-based link-level flow control with HOL blocking;
+//!   * [`ird`] — an idealized receiver-driven proactive transport
+//!     (Homa/pHost/NDP/ExpressPass composite, per the paper);
+//!   * [`fastpass`] — a centralized server-based scheduler whose control
+//!     NIC is the bottleneck.
+//!
+//! ```
+//! use edm_baselines::prelude::*;
+//! use edm_core::sim::{ClusterConfig, FabricProtocol};
+//!
+//! let protocols: Vec<Box<dyn FabricProtocol>> = all_protocols();
+//! assert_eq!(protocols.len(), 7); // EDM + 6 baselines
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cxl;
+pub mod fastpass;
+pub mod ird;
+pub mod queueing;
+pub mod stacks;
+
+pub use cxl::CxlProtocol;
+pub use fastpass::FastpassProtocol;
+pub use ird::IrdProtocol;
+pub use queueing::{QueueConfig, QueueFabric};
+
+/// Convenience re-exports for experiment harnesses.
+pub mod prelude {
+    pub use crate::cxl::CxlProtocol;
+    pub use crate::fastpass::FastpassProtocol;
+    pub use crate::ird::IrdProtocol;
+    pub use crate::queueing::{QueueConfig, QueueFabric};
+    use edm_core::sim::FabricProtocol;
+
+    /// The full Figure 8 lineup: EDM plus the six baselines, in the
+    /// paper's legend order.
+    pub fn all_protocols() -> Vec<Box<dyn FabricProtocol>> {
+        vec![
+            Box::new(edm_core::sim::EdmProtocol::default()),
+            Box::new(IrdProtocol::default()),
+            Box::new(QueueFabric::new(QueueConfig::pfabric())),
+            Box::new(QueueFabric::new(QueueConfig::pfc_dcqcn())),
+            Box::new(QueueFabric::new(QueueConfig::dctcp())),
+            Box::new(CxlProtocol::default()),
+            Box::new(FastpassProtocol::default()),
+        ]
+    }
+}

@@ -1,0 +1,162 @@
+//! Latency models of the comparator network stacks (the non-EDM columns of
+//! Table 1, and the CXL numbers used by Figure 7).
+//!
+//! These are the same [`FabricLatency`] compositions as EDM's, with the
+//! per-layer constants the paper measured on the testbed:
+//!
+//! * protocol stack datapath: 666.2 ns (hardware TCP/IP), 230.2 ns
+//!   (RoCEv2), 0 (raw Ethernet);
+//! * Ethernet MAC pass: 7.68 ns; standard PCS pass: 7.68 ns;
+//! * layer-2 forwarding on the Tofino: 400 ns per traversal
+//!   (parse 87 + match-action 202 + packet manager 93 + crossbar 18);
+//! * reads traverse everything twice (request + response).
+
+use edm_core::latency::FabricLatency;
+use edm_sim::Duration;
+
+/// One Ethernet MAC traversal on the testbed: 7.68 ns.
+pub const MAC_PASS: Duration = Duration::from_ps(7_680);
+/// One standard (non-EDM) PCS traversal: 7.68 ns.
+pub const PCS_PASS: Duration = Duration::from_ps(7_680);
+/// One layer-2 forwarding pipeline traversal: 400 ns.
+pub const L2_FORWARDING: Duration = Duration::from_ns(400);
+/// Hardware-offloaded TCP/IP datapath per message pass: 666.2 ns.
+pub const TCP_STACK_PASS: Duration = Duration::from_ps(666_200);
+/// RoCEv2 datapath per message pass: 230.2 ns.
+pub const ROCE_STACK_PASS: Duration = Duration::from_ps(230_200);
+
+fn mac_stack(
+    name: &'static str,
+    op: &'static str,
+    protocol_pass: Duration,
+    passes: u64, // 2 for read (request+response), 1 for write
+) -> FabricLatency {
+    FabricLatency {
+        stack: name,
+        op,
+        compute_protocol: passes * protocol_pass,
+        compute_mac: passes * MAC_PASS,
+        compute_pcs: passes * PCS_PASS,
+        switch_l2: passes * L2_FORWARDING,
+        switch_mac: 2 * passes * MAC_PASS,
+        switch_pcs: 2 * passes * PCS_PASS,
+        memory_protocol: passes * protocol_pass,
+        memory_mac: passes * MAC_PASS,
+        memory_pcs: passes * PCS_PASS,
+        pma_pmd_passes: 4 * passes,
+        propagation_hops: 2 * passes,
+    }
+}
+
+/// Hardware TCP/IP stack, remote read.
+pub fn tcp_read() -> FabricLatency {
+    mac_stack("TCP/IP (hw)", "read", TCP_STACK_PASS, 2)
+}
+
+/// Hardware TCP/IP stack, remote write.
+pub fn tcp_write() -> FabricLatency {
+    mac_stack("TCP/IP (hw)", "write", TCP_STACK_PASS, 1)
+}
+
+/// RoCEv2 (RDMA over Converged Ethernet), remote read.
+pub fn rocev2_read() -> FabricLatency {
+    mac_stack("RoCEv2", "read", ROCE_STACK_PASS, 2)
+}
+
+/// RoCEv2, remote write.
+pub fn rocev2_write() -> FabricLatency {
+    mac_stack("RoCEv2", "write", ROCE_STACK_PASS, 1)
+}
+
+/// Raw Ethernet (MAC + PHY only, no transport), remote read.
+pub fn raw_ethernet_read() -> FabricLatency {
+    mac_stack("Raw Ethernet", "read", Duration::ZERO, 2)
+}
+
+/// Raw Ethernet, remote write.
+pub fn raw_ethernet_write() -> FabricLatency {
+    mac_stack("Raw Ethernet", "write", Duration::ZERO, 1)
+}
+
+/// CXL single-switch fabric latency (from Pond \[41\] as cited in §4.2.2):
+/// EDM's Figure 7 comparison point. Reads traverse the fabric twice.
+pub mod cxl {
+    use edm_sim::Duration;
+
+    /// Unloaded CXL remote read latency through one switch.
+    pub const READ: Duration = Duration::from_ns(330);
+    /// Unloaded CXL remote write latency through one switch.
+    pub const WRITE: Duration = Duration::from_ns(220);
+    /// Additional latency per extra CXL switch hop (§2.2: ~100 ns).
+    pub const PER_EXTRA_HOP: Duration = Duration::from_ns(100);
+}
+
+/// Local DDR4 access latency including the on-chip path (~82 ns, the
+/// baseline of Figure 7).
+pub const LOCAL_DRAM: Duration = Duration::from_ns(82);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_core::latency::{edm_read, edm_write};
+
+    #[test]
+    fn tcp_totals_match_table1() {
+        assert_eq!(tcp_read().total().as_ps(), 3_779_680); // 3.79 us
+        assert_eq!(tcp_write().total().as_ps(), 1_889_840); // 1.89 us
+    }
+
+    #[test]
+    fn rocev2_totals_match_table1() {
+        // Table 1: 2.03 us read, 1.02 us write.
+        assert_eq!(rocev2_read().total().as_ps(), 2_035_680);
+        assert_eq!(rocev2_write().total().as_ps(), 1_017_840);
+    }
+
+    #[test]
+    fn raw_ethernet_totals_match_table1() {
+        // Table 1: 1.11 us read, 557.44 ns write.
+        assert_eq!(raw_ethernet_read().total().as_ps(), 1_114_880);
+        assert_eq!(raw_ethernet_write().total().as_ps(), 557_440);
+    }
+
+    #[test]
+    fn speedup_factors_match_paper() {
+        // §4.2.1: read (write) latency of EDM is 3.7x (1.9x), 6.8x (3.4x),
+        // 12.7x (6.4x) lower than raw Ethernet, RoCEv2, TCP/IP.
+        let er = edm_read().total().as_ps() as f64;
+        let ew = edm_write().total().as_ps() as f64;
+        let factors = [
+            (raw_ethernet_read().total().as_ps() as f64 / er, 3.7),
+            (raw_ethernet_write().total().as_ps() as f64 / ew, 1.9),
+            (rocev2_read().total().as_ps() as f64 / er, 6.8),
+            (rocev2_write().total().as_ps() as f64 / ew, 3.4),
+            (tcp_read().total().as_ps() as f64 / er, 12.7),
+            (tcp_write().total().as_ps() as f64 / ew, 6.4),
+        ];
+        for (got, want) in factors {
+            assert!(
+                (got - want).abs() / want < 0.1,
+                "speedup {got:.2} vs paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_cost_twice_writes_for_mac_stacks() {
+        assert_eq!(
+            tcp_read().network_stack_latency().as_ps(),
+            2 * tcp_write().network_stack_latency().as_ps()
+        );
+    }
+
+    #[test]
+    fn cxl_is_comparable_to_edm_unloaded() {
+        // §4.2.2: EDM "within 1.3x the latency of CXL" in the unloaded
+        // testbed.
+        let cxl_avg = (cxl::READ.as_ps() + cxl::WRITE.as_ps()) as f64 / 2.0;
+        let edm_avg = (edm_read().total().as_ps() + edm_write().total().as_ps()) as f64 / 2.0;
+        let ratio = edm_avg / cxl_avg;
+        assert!((0.9..1.3).contains(&ratio), "EDM/CXL unloaded ratio {ratio}");
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion bench for the Figure 8 simulation engine: events/second for
+//! each protocol on a 144-node microbenchmark slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_baselines::prelude::*;
+use edm_core::sim::{ClusterConfig, EdmProtocol, FabricProtocol};
+use edm_workloads::SyntheticWorkload;
+use std::hint::black_box;
+
+fn flows() -> Vec<edm_core::sim::Flow> {
+    SyntheticWorkload::paper_default(0.8, 0.5, 500).generate(42)
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let cluster = ClusterConfig::default();
+    let workload = flows();
+    let mut g = c.benchmark_group("fig8/simulate_500_flows");
+    g.bench_function("EDM", |b| {
+        b.iter(|| {
+            black_box(
+                EdmProtocol::default()
+                    .simulate(&cluster, &workload)
+                    .outcomes
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("IRD", |b| {
+        b.iter(|| {
+            black_box(
+                IrdProtocol::default()
+                    .simulate(&cluster, &workload)
+                    .outcomes
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("DCTCP", |b| {
+        b.iter(|| {
+            black_box(
+                QueueFabric::new(QueueConfig::dctcp())
+                    .simulate(&cluster, &workload)
+                    .outcomes
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("CXL", |b| {
+        b.iter(|| {
+            black_box(
+                CxlProtocol::default()
+                    .simulate(&cluster, &workload)
+                    .outcomes
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_protocols
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion bench for the PHY substrate (Figures 5–6 foundations):
+//! 64b/66b encode/decode, scrambling, and the preemption multiplexer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use edm_phy::frame::{decode_frame, encode_frame};
+use edm_phy::mem_codec::{decode_message, encode_message, MemMessage};
+use edm_phy::preempt::{PreemptMux, RxReorderBuffer, TxPolicy};
+use edm_phy::scramble::{Descrambler, Scrambler};
+use std::hint::black_box;
+
+fn bench_frame_codec(c: &mut Criterion) {
+    let frame = vec![0xA5u8; 1500];
+    let blocks = encode_frame(&frame).expect("valid");
+    let mut g = c.benchmark_group("phy/frame_codec");
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("encode_1500B", |b| {
+        b.iter(|| black_box(encode_frame(black_box(&frame)).expect("valid")))
+    });
+    g.bench_function("decode_1500B", |b| {
+        b.iter(|| black_box(decode_frame(black_box(&blocks)).expect("valid")))
+    });
+    g.finish();
+}
+
+fn bench_mem_codec(c: &mut Criterion) {
+    let msg = MemMessage::new(1, 0, vec![0x5Au8; 64]);
+    let blocks = encode_message(&msg);
+    let mut g = c.benchmark_group("phy/mem_codec");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("encode_64B", |b| {
+        b.iter(|| black_box(encode_message(black_box(&msg))))
+    });
+    g.bench_function("decode_64B", |b| {
+        b.iter(|| black_box(decode_message(black_box(&blocks)).expect("valid")))
+    });
+    g.finish();
+}
+
+fn bench_scrambler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("phy/scrambler");
+    g.throughput(Throughput::Bytes(8 * 1024));
+    g.bench_function("scramble_1k_blocks", |b| {
+        b.iter(|| {
+            let mut tx = Scrambler::default();
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc ^= tx.scramble(i);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("roundtrip_1k_blocks", |b| {
+        b.iter(|| {
+            let mut tx = Scrambler::default();
+            let mut rx = Descrambler::default();
+            let mut acc = 0u64;
+            for i in 0..1024u64 {
+                acc ^= rx.descramble(tx.scramble(i));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_preemption(c: &mut Criterion) {
+    c.bench_function("phy/preempt_1500B_frame_plus_8_messages", |b| {
+        b.iter(|| {
+            let mut mux = PreemptMux::new(TxPolicy::Fair);
+            mux.enqueue_frame(encode_frame(&[0u8; 1500]).expect("valid"));
+            for _ in 0..8 {
+                mux.enqueue_memory(encode_message(&MemMessage::new(1, 0, vec![1; 8])));
+            }
+            let mut rx = RxReorderBuffer::new();
+            let mut frames = 0;
+            for blk in mux.drain() {
+                if rx.push(blk).expect("legal").frame.is_some() {
+                    frames += 1;
+                }
+            }
+            black_box(frames)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_frame_codec, bench_mem_codec, bench_scrambler, bench_preemption
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench for the in-network scheduler (§3.1, Figure 8's
+//! engine): PIM matching at various port counts and full grant rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edm_sched::pim::{PimConfig, PimRunner};
+use edm_sched::scheduler::{Notification, Scheduler, SchedulerConfig};
+use edm_sim::{Rng, Time};
+use std::hint::black_box;
+
+fn full_demand(ports: usize, rng: &mut Rng) -> Vec<Vec<(u64, usize)>> {
+    (0..ports)
+        .map(|_| {
+            let mut row: Vec<(u64, usize)> =
+                (0..ports).map(|s| (rng.below(1_000_000), s)).collect();
+            row.sort_unstable();
+            row
+        })
+        .collect()
+}
+
+fn bench_pim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched/pim_maximal_matching");
+    let mut rng = Rng::seed_from(5);
+    for ports in [16usize, 64, 144, 512] {
+        let demand = full_demand(ports, &mut rng);
+        let free = vec![true; ports];
+        g.bench_with_input(BenchmarkId::from_parameter(ports), &ports, |b, _| {
+            let mut pim = PimRunner::new(PimConfig::for_ports(ports));
+            b.iter(|| black_box(pim.run(&demand, &free, &free).pairs.len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_grant_rounds(c: &mut Criterion) {
+    c.bench_function("sched/grant_round_144_ports", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Scheduler::new(SchedulerConfig::default_for_ports(144));
+                let mut rng = Rng::seed_from(9);
+                for i in 0..200u32 {
+                    let src = rng.below(72) as u16;
+                    let dst = 72 + rng.below(72) as u16;
+                    let _ = s.notify(
+                        Time::ZERO,
+                        Notification::new(src, dst, i as u8, 64 + rng.below(4096) as u32),
+                    );
+                }
+                s
+            },
+            |mut s| black_box(s.poll(Time::ZERO).grants.len()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_pim, bench_grant_rounds
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench backing **Table 1**: evaluating the latency
+//! composition model (all four stacks) and the end-to-end functional
+//! testbed transaction that realizes the EDM column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_baselines::stacks;
+use edm_core::latency::{edm_read, edm_write};
+use edm_core::testbed::{Fabric, TestbedConfig};
+use edm_sim::Time;
+use std::hint::black_box;
+
+fn bench_latency_model(c: &mut Criterion) {
+    c.bench_function("table1/compose_all_stacks", |b| {
+        b.iter(|| {
+            let total = edm_read().total()
+                + edm_write().total()
+                + stacks::tcp_read().total()
+                + stacks::tcp_write().total()
+                + stacks::rocev2_read().total()
+                + stacks::rocev2_write().total()
+                + stacks::raw_ethernet_read().total()
+                + stacks::raw_ethernet_write().total();
+            black_box(total)
+        })
+    });
+}
+
+fn bench_testbed_transaction(c: &mut Criterion) {
+    c.bench_function("table1/edm_64B_read_transaction", |b| {
+        b.iter(|| {
+            let mut f = Fabric::new(TestbedConfig::default());
+            f.seed_memory(1, 0, &[7u8; 64]);
+            let id = f.read(Time::ZERO, 0, 1, 0, 64);
+            f.run();
+            black_box(f.completion(id).expect("done").latency())
+        })
+    });
+    c.bench_function("table1/edm_64B_write_transaction", |b| {
+        b.iter(|| {
+            let mut f = Fabric::new(TestbedConfig::default());
+            let id = f.write(Time::ZERO, 0, 1, 0, vec![7u8; 64]);
+            f.run();
+            black_box(f.completion(id).expect("done").latency())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_latency_model, bench_testbed_transaction
+}
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! `edm-bench` — experiment harnesses that regenerate every table and
+//! figure of the paper's evaluation (§4), plus Criterion micro-benchmarks.
+//!
+//! | Binary | Artefact |
+//! |--------|----------|
+//! | `table1` | Table 1 — unloaded fabric latency, four stacks |
+//! | `fig5` | Figure 5 — EDM cycle-level latency breakdown |
+//! | `fig6` | Figure 6 — YCSB throughput, EDM vs RDMA |
+//! | `fig7` | Figure 7 — end-to-end latency vs local:remote split |
+//! | `fig8a` | Figure 8a — normalized latency vs load (+ `--mix` panel) |
+//! | `fig8b` | Figure 8b — normalized MCT on application traces |
+//! | `preemption` | §4.2.1 ablation — interference from IP traffic |
+//! | `sched_scaling` | §3.1.3 ablation — scheduling latency vs port count |
+//!
+//! Each binary prints a self-describing table; `EXPERIMENTS.md` records
+//! paper-vs-measured values.
+
+#![forbid(unsafe_code)]
+
+use edm_core::sim::{solo_mct, ClusterConfig, FabricProtocol, Flow, FlowKind};
+use edm_sim::{Duration, Time};
+
+/// Prints a row of right-aligned cells under a fixed layout.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:<22}");
+    for c in cells {
+        print!(" {c:>10}");
+    }
+    println!();
+}
+
+/// Formats a nanosecond quantity compactly.
+pub fn ns(d: Duration) -> String {
+    let v = d.as_ns_f64();
+    if v >= 1000.0 {
+        format!("{:.2} us", v / 1000.0)
+    } else {
+        format!("{v:.1} ns")
+    }
+}
+
+/// A per-protocol unloaded-latency curve over message sizes, used to
+/// normalize heavy-tailed trace MCTs the way the paper does ("the time it
+/// would take for that message to complete if it were the only message in
+/// the network").
+///
+/// Solo latencies are measured at log-spaced probe sizes and interpolated
+/// linearly in between (completion time is piecewise linear in size for
+/// every protocol here: fixed overhead + serialization).
+pub struct SoloCurve {
+    /// (size, solo MCT in ns), ascending by size.
+    points: Vec<(u32, f64)>,
+}
+
+impl SoloCurve {
+    /// Measures the curve for `protocol` over sizes 8 B – `max_size`.
+    pub fn measure<P: FabricProtocol + ?Sized>(
+        protocol: &mut P,
+        cluster: &ClusterConfig,
+        kind: FlowKind,
+        max_size: u32,
+    ) -> Self {
+        let mut sizes = vec![8u32, 64, 256, 1024];
+        let mut s = 4096u32;
+        while s < max_size {
+            sizes.push(s);
+            s = s.saturating_mul(4);
+        }
+        sizes.push(max_size);
+        sizes.dedup();
+        let points = sizes
+            .into_iter()
+            .map(|size| {
+                let flow = Flow {
+                    id: 0,
+                    src: 0,
+                    dst: cluster.nodes - 1,
+                    size,
+                    arrival: Time::ZERO,
+                    kind,
+                };
+                let mct = solo_mct(protocol, cluster, &flow);
+                (size, mct.as_ns_f64())
+            })
+            .collect();
+        SoloCurve { points }
+    }
+
+    /// The interpolated solo MCT for a message of `size` bytes.
+    pub fn solo_ns(&self, size: u32) -> f64 {
+        let pts = &self.points;
+        if size <= pts[0].0 {
+            return pts[0].1;
+        }
+        for w in pts.windows(2) {
+            let (s0, v0) = w[0];
+            let (s1, v1) = w[1];
+            if size <= s1 {
+                let f = (size - s0) as f64 / (s1 - s0) as f64;
+                return v0 + f * (v1 - v0);
+            }
+        }
+        pts.last().expect("non-empty").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_core::sim::EdmProtocol;
+
+    #[test]
+    fn solo_curve_monotone_in_size() {
+        let cluster = ClusterConfig {
+            nodes: 16,
+            ..ClusterConfig::default()
+        };
+        let mut p = EdmProtocol::default();
+        let curve = SoloCurve::measure(&mut p, &cluster, FlowKind::Write, 65536);
+        let a = curve.solo_ns(64);
+        let b = curve.solo_ns(4096);
+        let c = curve.solo_ns(65536);
+        assert!(a < b && b < c, "{a} {b} {c}");
+    }
+
+    #[test]
+    fn solo_curve_interpolates_between_probes() {
+        let cluster = ClusterConfig {
+            nodes: 16,
+            ..ClusterConfig::default()
+        };
+        let mut p = EdmProtocol::default();
+        let curve = SoloCurve::measure(&mut p, &cluster, FlowKind::Write, 65536);
+        let mid = curve.solo_ns(640);
+        assert!(mid >= curve.solo_ns(256) && mid <= curve.solo_ns(1024));
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(ns(Duration::from_ns(300)), "300.0 ns");
+        assert_eq!(ns(Duration::from_us(2)), "2.00 us");
+    }
+}

@@ -1,0 +1,300 @@
+//! Fault tolerance (§3.3): replicated switch scheduling state, link
+//! corruption monitoring, and read-timeout deadlock avoidance.
+//!
+//! * **Switch replication.** EDM's switch holds scheduling state, so a
+//!   failover must not lose it. The paper's scheme: senders mirror every
+//!   outgoing message on both interfaces, both switches compute on the
+//!   same stream ("state machine replication" without consensus — the
+//!   single hop guarantees no reordering), receivers accept the first copy.
+//!   [`ReplicatedScheduler`] applies every input to primary and backup and
+//!   verifies deterministic agreement; [`ReplicatedScheduler::fail_over`]
+//!   promotes the backup with its state intact.
+//! * **Link corruption.** Errors are persistent physical faults; the
+//!   scrambler detects them and EDM disables the link ([`LinkMonitor`]).
+//! * **Read-timeout.** A memory-node failure would block the application
+//!   forever; EDM arms a timer per read and returns a NULL (zero-size)
+//!   response on expiry ([`ReadGuard`]).
+
+use edm_sched::scheduler::{NotifyError, PollResult};
+use edm_sched::{Notification, Scheduler, SchedulerConfig};
+use edm_sim::{Duration, Time};
+
+/// A primary/backup scheduler pair driven by mirrored inputs.
+///
+/// Both replicas receive every notification and poll; because the
+/// scheduler is deterministic, their grant streams are identical, so the
+/// backup can take over at any instant with no state transfer.
+#[derive(Debug)]
+pub struct ReplicatedScheduler {
+    primary: Scheduler,
+    backup: Scheduler,
+    primary_alive: bool,
+    divergence_checks: u64,
+}
+
+impl ReplicatedScheduler {
+    /// Creates the pair from one configuration.
+    pub fn new(config: SchedulerConfig) -> Self {
+        ReplicatedScheduler {
+            primary: Scheduler::new(config),
+            backup: Scheduler::new(config),
+            primary_alive: true,
+            divergence_checks: 0,
+        }
+    }
+
+    /// Whether the primary is still serving.
+    pub fn primary_alive(&self) -> bool {
+        self.primary_alive
+    }
+
+    /// Number of completed agreement checks.
+    pub fn divergence_checks(&self) -> u64 {
+        self.divergence_checks
+    }
+
+    /// Mirrors a notification to both replicas (the sender transmits on
+    /// both interfaces).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the active replica's admission decision; the replicas
+    /// always agree, which is itself asserted.
+    pub fn notify(&mut self, now: Time, n: Notification) -> Result<(), NotifyError> {
+        if self.primary_alive {
+            let a = self.primary.notify(now, n);
+            let b = self.backup.notify(now, n);
+            assert_eq!(a, b, "replicas diverged on admission");
+            a
+        } else {
+            self.backup.notify(now, n)
+        }
+    }
+
+    /// Polls the active replica (and, while the primary lives, verifies
+    /// the backup computes the identical grant set — the receive-side
+    /// "accept the first copy, ignore the duplicate" guarantee).
+    pub fn poll(&mut self, now: Time) -> PollResult {
+        if self.primary_alive {
+            let a = self.primary.poll(now);
+            let b = self.backup.poll(now);
+            assert_eq!(a.grants, b.grants, "replicas diverged on grants");
+            self.divergence_checks += 1;
+            a
+        } else {
+            self.backup.poll(now)
+        }
+    }
+
+    /// Fails the primary; the backup continues with identical state.
+    pub fn fail_over(&mut self) {
+        self.primary_alive = false;
+    }
+}
+
+/// Scrambler-based link corruption monitoring (§3.3): corruption in
+/// datacenters is persistent (damaged fiber, dirty transceivers), so after
+/// a burst of errors the only sustainable remedy is disabling the link.
+#[derive(Debug, Clone)]
+pub struct LinkMonitor {
+    /// Corrupted blocks observed in the current window.
+    errors_in_window: u32,
+    window_started: Time,
+    window: Duration,
+    threshold: u32,
+    disabled: bool,
+}
+
+impl LinkMonitor {
+    /// Creates a monitor that disables the link after `threshold`
+    /// corrupted blocks within any `window`.
+    pub fn new(threshold: u32, window: Duration) -> Self {
+        LinkMonitor {
+            errors_in_window: 0,
+            window_started: Time::ZERO,
+            window,
+            threshold,
+            disabled: false,
+        }
+    }
+
+    /// Whether the link has been disabled.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled
+    }
+
+    /// Records a corrupted block at `now`. Returns `true` if this tripped
+    /// the disable threshold.
+    pub fn record_corruption(&mut self, now: Time) -> bool {
+        if self.disabled {
+            return false;
+        }
+        if now.saturating_since(self.window_started) > self.window {
+            self.window_started = now;
+            self.errors_in_window = 0;
+        }
+        self.errors_in_window += 1;
+        if self.errors_in_window >= self.threshold {
+            self.disabled = true;
+            return true;
+        }
+        false
+    }
+}
+
+impl Default for LinkMonitor {
+    fn default() -> Self {
+        // A handful of corrupted blocks within a millisecond is far beyond
+        // any acceptable BER at 25G; treat as physical damage.
+        LinkMonitor::new(8, Duration::from_us(1000))
+    }
+}
+
+/// Per-read deadlock guard (§3.3): if the response does not arrive before
+/// the deadline, the application receives a NULL (zero-size) read response
+/// instead of blocking forever on a failed memory node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadGuard {
+    /// When the read was issued.
+    pub issued: Time,
+    /// Response deadline.
+    pub deadline: Time,
+}
+
+/// Outcome of a guarded read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardedRead {
+    /// The response arrived in time.
+    Data(Vec<u8>),
+    /// The timer expired: NULL response (zero size).
+    Null,
+}
+
+impl ReadGuard {
+    /// Arms a guard at `now` with the given timeout.
+    pub fn arm(now: Time, timeout: Duration) -> Self {
+        ReadGuard {
+            issued: now,
+            deadline: now + timeout,
+        }
+    }
+
+    /// Resolves the guard: data if it arrived by the deadline, NULL
+    /// otherwise.
+    pub fn resolve(&self, response: Option<(Time, Vec<u8>)>) -> GuardedRead {
+        match response {
+            Some((at, data)) if at <= self.deadline => GuardedRead::Data(data),
+            _ => GuardedRead::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_sim::Bandwidth;
+
+    fn config() -> SchedulerConfig {
+        SchedulerConfig {
+            ports: 8,
+            chunk_bytes: 256,
+            link: Bandwidth::from_gbps(100),
+            policy: edm_sched::Policy::Srpt,
+            max_active_per_pair: 3,
+            clock: edm_sched::ASIC_CLOCK,
+        }
+    }
+
+    #[test]
+    fn replicas_agree_through_a_workload() {
+        let mut r = ReplicatedScheduler::new(config());
+        let mut now = Time::ZERO;
+        // 3 messages per pair: stays within the X=3 admission bound.
+        for i in 0..12u8 {
+            r.notify(
+                now,
+                Notification::new(i as u16 % 4, 4 + (i as u16 % 4), i, 100 + i as u32 * 7),
+            )
+            .unwrap();
+        }
+        loop {
+            let pr = r.poll(now);
+            match pr.next_wakeup {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        assert!(r.divergence_checks() > 0);
+    }
+
+    #[test]
+    fn failover_preserves_state() {
+        let mut r = ReplicatedScheduler::new(config());
+        r.notify(Time::ZERO, Notification::new(0, 1, 0, 1024)).unwrap();
+        // First chunk granted by the primary.
+        let g1 = r.poll(Time::ZERO).grants[0];
+        assert_eq!(g1.chunk_bytes, 256);
+        // Primary dies mid-message.
+        r.fail_over();
+        assert!(!r.primary_alive());
+        // The backup continues the same message seamlessly.
+        let mut now = Time::ZERO + Duration::from_ns(21);
+        let mut granted = g1.chunk_bytes as u64;
+        loop {
+            let pr = r.poll(now);
+            granted += pr.grants.iter().map(|g| g.chunk_bytes as u64).sum::<u64>();
+            match pr.next_wakeup {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        assert_eq!(granted, 1024, "no bytes lost across failover");
+    }
+
+    #[test]
+    fn post_failover_admissions_still_work() {
+        let mut r = ReplicatedScheduler::new(config());
+        r.fail_over();
+        r.notify(Time::ZERO, Notification::new(2, 3, 0, 64)).unwrap();
+        let pr = r.poll(Time::ZERO);
+        assert_eq!(pr.grants.len(), 1);
+    }
+
+    #[test]
+    fn link_monitor_trips_on_burst() {
+        let mut m = LinkMonitor::new(3, Duration::from_us(1));
+        assert!(!m.record_corruption(Time::from_ns(0)));
+        assert!(!m.record_corruption(Time::from_ns(10)));
+        assert!(m.record_corruption(Time::from_ns(20)), "third error trips");
+        assert!(m.is_disabled());
+        assert!(!m.record_corruption(Time::from_ns(30)), "already disabled");
+    }
+
+    #[test]
+    fn link_monitor_window_resets() {
+        let mut m = LinkMonitor::new(3, Duration::from_us(1));
+        m.record_corruption(Time::from_ns(0));
+        m.record_corruption(Time::from_ns(10));
+        // Next error far outside the window: count restarts.
+        assert!(!m.record_corruption(Time::from_us(10)));
+        assert!(!m.is_disabled());
+    }
+
+    #[test]
+    fn read_guard_returns_data_in_time() {
+        let g = ReadGuard::arm(Time::ZERO, Duration::from_us(10));
+        let got = g.resolve(Some((Time::from_us(5), vec![1, 2, 3])));
+        assert_eq!(got, GuardedRead::Data(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn read_guard_nulls_on_timeout() {
+        let g = ReadGuard::arm(Time::ZERO, Duration::from_us(10));
+        assert_eq!(g.resolve(None), GuardedRead::Null);
+        assert_eq!(
+            g.resolve(Some((Time::from_us(11), vec![1]))),
+            GuardedRead::Null,
+            "late data is discarded"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Fabric latency composition — the structure of Table 1.
+//!
+//! A remote access's fabric latency decomposes into per-node protocol,
+//! MAC, and PCS costs, switch forwarding, PMA/PMD + transceiver passes,
+//! and propagation. [`FabricLatency`] is that decomposition; the EDM rows
+//! are derived from [`crate::stack`]'s cycle model, and `edm-baselines`
+//! fills in the TCP/IP, RoCEv2, and raw-Ethernet columns with the same
+//! structure.
+
+use crate::stack;
+use edm_sim::Duration;
+
+/// One direction's per-hop physical-layer constants (Table 1 footer).
+pub mod physical {
+    use edm_sim::Duration;
+
+    /// PMA + PMD + transceiver latency per TX-or-RX pass: 19 ns.
+    pub const PMA_PMD_PASS: Duration = Duration::from_ns(19);
+    /// One-hop propagation delay in the testbed: 10 ns.
+    pub const PROPAGATION: Duration = Duration::from_ns(10);
+}
+
+/// A Table-1-shaped latency breakdown for one operation (read or write).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FabricLatency {
+    /// Stack name, e.g. `"EDM"`.
+    pub stack: &'static str,
+    /// `"read"` or `"write"`.
+    pub op: &'static str,
+    /// Protocol-stack latency at the compute node (e.g. RDMA engine).
+    pub compute_protocol: Duration,
+    /// MAC-layer latency at the compute node.
+    pub compute_mac: Duration,
+    /// PCS latency at the compute node (incl. EDM logic for EDM).
+    pub compute_pcs: Duration,
+    /// Layer-2 forwarding latency at the switch (zero for EDM circuits).
+    pub switch_l2: Duration,
+    /// MAC-layer latency at the switch.
+    pub switch_mac: Duration,
+    /// PCS latency at the switch (incl. EDM logic for EDM).
+    pub switch_pcs: Duration,
+    /// Protocol-stack latency at the memory node.
+    pub memory_protocol: Duration,
+    /// MAC-layer latency at the memory node.
+    pub memory_mac: Duration,
+    /// PCS latency at the memory node.
+    pub memory_pcs: Duration,
+    /// Number of PMA/PMD+transceiver passes (8 for request+response
+    /// through one switch, 4 for one-way).
+    pub pma_pmd_passes: u64,
+    /// Number of one-hop propagation delays.
+    pub propagation_hops: u64,
+}
+
+impl FabricLatency {
+    /// The "Network Stack Latency" subtotal (everything above PMA/PMD).
+    pub fn network_stack_latency(&self) -> Duration {
+        self.compute_protocol
+            + self.compute_mac
+            + self.compute_pcs
+            + self.switch_l2
+            + self.switch_mac
+            + self.switch_pcs
+            + self.memory_protocol
+            + self.memory_mac
+            + self.memory_pcs
+    }
+
+    /// The "Total Fabric Latency" row.
+    pub fn total(&self) -> Duration {
+        self.network_stack_latency()
+            + self.pma_pmd_passes * physical::PMA_PMD_PASS
+            + self.propagation_hops * physical::PROPAGATION
+    }
+}
+
+/// EDM's read-latency breakdown, derived from the cycle model.
+pub fn edm_read() -> FabricLatency {
+    FabricLatency {
+        stack: "EDM",
+        op: "read",
+        compute_protocol: Duration::ZERO,
+        compute_mac: Duration::ZERO,
+        compute_pcs: stack::cycles(
+            stack::pcs_passes::COMPUTE_READ * stack::PCS_PASS + stack::compute_node_read_cycles(),
+        ),
+        switch_l2: Duration::ZERO,
+        switch_mac: Duration::ZERO,
+        switch_pcs: stack::cycles(
+            stack::pcs_passes::SWITCH_READ * stack::PCS_PASS + stack::switch_read_cycles(),
+        ),
+        memory_protocol: Duration::ZERO,
+        memory_mac: Duration::ZERO,
+        memory_pcs: stack::cycles(
+            stack::pcs_passes::MEMORY_READ * stack::PCS_PASS + stack::memory_node_read_cycles(),
+        ),
+        pma_pmd_passes: 8,
+        propagation_hops: 4,
+    }
+}
+
+/// EDM's write-latency breakdown, derived from the cycle model.
+///
+/// A write crosses the fabric three times before the data lands (`/N/` up,
+/// `/G/` down, WREQ up — §3.1.4's RTT/2 overhead is folded into these
+/// passes), so it also pays 8 PMA/PMD passes and 4 propagation hops.
+pub fn edm_write() -> FabricLatency {
+    FabricLatency {
+        stack: "EDM",
+        op: "write",
+        compute_protocol: Duration::ZERO,
+        compute_mac: Duration::ZERO,
+        compute_pcs: stack::cycles(
+            stack::pcs_passes::COMPUTE_WRITE * stack::PCS_PASS
+                + stack::compute_node_write_cycles(),
+        ),
+        switch_l2: Duration::ZERO,
+        switch_mac: Duration::ZERO,
+        switch_pcs: stack::cycles(
+            stack::pcs_passes::SWITCH_WRITE * stack::PCS_PASS + stack::switch_write_cycles(),
+        ),
+        memory_protocol: Duration::ZERO,
+        memory_mac: Duration::ZERO,
+        memory_pcs: stack::cycles(
+            stack::pcs_passes::MEMORY_WRITE * stack::PCS_PASS + stack::memory_node_write_cycles(),
+        ),
+        pma_pmd_passes: 8,
+        propagation_hops: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edm_read_total_matches_table1() {
+        let l = edm_read();
+        assert_eq!(l.network_stack_latency().as_ps(), 107_520);
+        assert_eq!(l.total().as_ps(), 299_520); // 299.52 ns
+    }
+
+    #[test]
+    fn edm_write_total_matches_table1() {
+        let l = edm_write();
+        assert_eq!(l.network_stack_latency().as_ps(), 104_960);
+        assert_eq!(l.total().as_ps(), 296_960); // 296.96 ns
+    }
+
+    #[test]
+    fn edm_pays_no_mac_or_l2_cost() {
+        for l in [edm_read(), edm_write()] {
+            assert_eq!(l.compute_mac, Duration::ZERO);
+            assert_eq!(l.switch_l2, Duration::ZERO);
+            assert_eq!(l.memory_mac, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn unloaded_latency_about_300ns() {
+        // The headline claim: ~300 ns for both reads and writes.
+        for l in [edm_read(), edm_write()] {
+            let ns = l.total().as_ns_f64();
+            assert!((290.0..305.0).contains(&ns), "{} {} = {ns} ns", l.stack, l.op);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Application integration: the load/store shim layer (§3.3).
+//!
+//! The paper: applications "use the traditional load/store API and rely on
+//! a shim layer to convert the load/store instructions into the
+//! corresponding EDM messages … the application will use virtual memory
+//! addresses, and a shim layer will intercept all memory requests and
+//! perform the virtual to physical memory address translation before
+//! directing a request to either the local memory controller or to EDM's
+//! stack", citing Infiniswap \[27\] and AIFM \[53\] as adaptable designs.
+//!
+//! [`AddressSpace`] is that shim: a page-granular translation table maps
+//! virtual pages to *local* frames or *remote* `(node, physical address)`
+//! frames. [`AddressSpace::load`]/[`AddressSpace::store`] split accesses
+//! at page boundaries and dispatch each piece to the local controller or
+//! to the EDM fabric.
+
+use crate::testbed::{Fabric, NodeId};
+use edm_memory::MemoryController;
+use edm_sim::Time;
+use std::collections::HashMap;
+
+/// Shim page size: 4 KiB, the x86 base page.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Where a virtual page's backing frame lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Local DRAM at the given physical address.
+    Local {
+        /// Physical frame address in local memory.
+        phys: u64,
+    },
+    /// Remote memory on `node` at the given physical address.
+    Remote {
+        /// The memory node holding the frame.
+        node: NodeId,
+        /// Physical frame address at that node.
+        phys: u64,
+    },
+}
+
+/// Errors from shim accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShimError {
+    /// No mapping for a virtual page.
+    PageFault {
+        /// The faulting virtual page number.
+        vpn: u64,
+    },
+}
+
+impl std::fmt::Display for ShimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShimError::PageFault { vpn } => write!(f, "page fault on virtual page {vpn:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for ShimError {}
+
+/// The result of a shim access: the data (for loads) and how many remote
+/// operations it generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShimAccess {
+    /// Loaded bytes (empty for stores).
+    pub data: Vec<u8>,
+    /// Remote fabric operation ids issued on behalf of this access.
+    pub remote_ops: Vec<u64>,
+    /// Number of page-pieces served from local DRAM.
+    pub local_pieces: usize,
+}
+
+/// A virtual address space whose pages may live locally or on remote
+/// memory nodes, accessed through plain loads and stores.
+#[derive(Debug)]
+pub struct AddressSpace {
+    /// This compute node's id on the fabric.
+    node: NodeId,
+    table: HashMap<u64, Placement>,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space for the compute node `node`.
+    pub fn new(node: NodeId) -> Self {
+        AddressSpace {
+            node,
+            table: HashMap::new(),
+        }
+    }
+
+    /// Maps the virtual page containing `vaddr` to `placement`.
+    pub fn map(&mut self, vaddr: u64, placement: Placement) {
+        self.table.insert(vaddr / PAGE_BYTES, placement);
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Fraction of mapped pages that are remote.
+    pub fn remote_fraction(&self) -> f64 {
+        if self.table.is_empty() {
+            return 0.0;
+        }
+        let remote = self
+            .table
+            .values()
+            .filter(|p| matches!(p, Placement::Remote { .. }))
+            .count();
+        remote as f64 / self.table.len() as f64
+    }
+
+    /// Translates one virtual address to its placement and in-page offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShimError::PageFault`] for unmapped pages.
+    pub fn translate(&self, vaddr: u64) -> Result<(Placement, u64), ShimError> {
+        let vpn = vaddr / PAGE_BYTES;
+        let offset = vaddr % PAGE_BYTES;
+        self.table
+            .get(&vpn)
+            .map(|&p| (p, offset))
+            .ok_or(ShimError::PageFault { vpn })
+    }
+
+    /// Splits `[vaddr, vaddr+len)` at page boundaries into
+    /// `(placement, physical address, piece length)` runs.
+    fn pieces(&self, vaddr: u64, len: usize) -> Result<Vec<(Placement, u64, usize)>, ShimError> {
+        let mut out = Vec::new();
+        let mut at = vaddr;
+        let end = vaddr + len as u64;
+        while at < end {
+            let (placement, offset) = self.translate(at)?;
+            let in_page = (PAGE_BYTES - offset).min(end - at) as usize;
+            let phys = match placement {
+                Placement::Local { phys } | Placement::Remote { phys, .. } => phys + offset,
+            };
+            out.push((placement, phys, in_page));
+            at += in_page as u64;
+        }
+        Ok(out)
+    }
+
+    /// Performs a load: local pieces read synchronously from `local`,
+    /// remote pieces become EDM reads on `fabric` (asynchronous; the
+    /// caller collects the data from the fabric's completions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShimError::PageFault`] if any touched page is unmapped
+    /// (no partial remote operations are issued in that case).
+    pub fn load(
+        &self,
+        now: Time,
+        vaddr: u64,
+        len: usize,
+        local: &mut MemoryController,
+        fabric: &mut Fabric,
+    ) -> Result<ShimAccess, ShimError> {
+        let pieces = self.pieces(vaddr, len)?;
+        let mut access = ShimAccess {
+            data: Vec::with_capacity(len),
+            remote_ops: Vec::new(),
+            local_pieces: 0,
+        };
+        for (placement, phys, n) in pieces {
+            match placement {
+                Placement::Local { .. } => {
+                    let (bytes, _) = local.read(now, phys, n);
+                    access.data.extend_from_slice(&bytes);
+                    access.local_pieces += 1;
+                }
+                Placement::Remote { node, .. } => {
+                    let op = fabric.read(now, self.node, node, phys, n as u32);
+                    access.remote_ops.push(op);
+                }
+            }
+        }
+        Ok(access)
+    }
+
+    /// Performs a store, mirroring [`AddressSpace::load`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShimError::PageFault`] if any touched page is unmapped.
+    pub fn store(
+        &self,
+        now: Time,
+        vaddr: u64,
+        data: &[u8],
+        local: &mut MemoryController,
+        fabric: &mut Fabric,
+    ) -> Result<ShimAccess, ShimError> {
+        let pieces = self.pieces(vaddr, data.len())?;
+        let mut access = ShimAccess {
+            data: Vec::new(),
+            remote_ops: Vec::new(),
+            local_pieces: 0,
+        };
+        let mut off = 0usize;
+        for (placement, phys, n) in pieces {
+            let slice = &data[off..off + n];
+            off += n;
+            match placement {
+                Placement::Local { .. } => {
+                    local.write(now, phys, slice);
+                    access.local_pieces += 1;
+                }
+                Placement::Remote { node, .. } => {
+                    let op = fabric.write(now, self.node, node, phys, slice.to_vec());
+                    access.remote_ops.push(op);
+                }
+            }
+        }
+        Ok(access)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::TestbedConfig;
+
+    fn setup() -> (AddressSpace, MemoryController, Fabric) {
+        let mut space = AddressSpace::new(0);
+        // Page 0 local at phys 0x10000; page 1 remote on node 1.
+        space.map(0, Placement::Local { phys: 0x10000 });
+        space.map(
+            PAGE_BYTES,
+            Placement::Remote {
+                node: 1,
+                phys: 0x20000,
+            },
+        );
+        (
+            space,
+            MemoryController::ddr4(),
+            Fabric::new(TestbedConfig::default()),
+        )
+    }
+
+    #[test]
+    fn local_load_store_roundtrip() {
+        let (space, mut local, mut fabric) = setup();
+        space
+            .store(Time::ZERO, 100, b"hello", &mut local, &mut fabric)
+            .unwrap();
+        let got = space
+            .load(Time::ZERO, 100, 5, &mut local, &mut fabric)
+            .unwrap();
+        assert_eq!(got.data, b"hello");
+        assert_eq!(got.remote_ops.len(), 0);
+        assert_eq!(got.local_pieces, 1);
+    }
+
+    #[test]
+    fn remote_store_then_load_through_fabric() {
+        let (space, mut local, mut fabric) = setup();
+        let vaddr = PAGE_BYTES + 64; // remote page
+        let w = space
+            .store(Time::ZERO, vaddr, &[7u8; 32], &mut local, &mut fabric)
+            .unwrap();
+        assert_eq!(w.remote_ops.len(), 1);
+        fabric.run();
+        let r = space
+            .load(Time::from_us(10), vaddr, 32, &mut local, &mut fabric)
+            .unwrap();
+        fabric.run();
+        let op = r.remote_ops[0];
+        assert_eq!(fabric.completion(op).unwrap().data, vec![7u8; 32]);
+    }
+
+    #[test]
+    fn access_straddling_local_and_remote_pages() {
+        let (space, mut local, mut fabric) = setup();
+        let vaddr = PAGE_BYTES - 8; // last 8 B of local page + first 8 B remote
+        let w = space
+            .store(Time::ZERO, vaddr, &[9u8; 16], &mut local, &mut fabric)
+            .unwrap();
+        assert_eq!(w.local_pieces, 1);
+        assert_eq!(w.remote_ops.len(), 1);
+        fabric.run();
+        // The local half is visible immediately.
+        let got = local.store().read(0x10000 + PAGE_BYTES - 8, 8);
+        assert_eq!(got, vec![9u8; 8]);
+    }
+
+    #[test]
+    fn page_fault_on_unmapped() {
+        let (space, mut local, mut fabric) = setup();
+        let err = space
+            .load(Time::ZERO, 10 * PAGE_BYTES, 4, &mut local, &mut fabric)
+            .unwrap_err();
+        assert_eq!(err, ShimError::PageFault { vpn: 10 });
+    }
+
+    #[test]
+    fn translation_and_stats() {
+        let (space, ..) = setup();
+        assert_eq!(space.mapped_pages(), 2);
+        assert!((space.remote_fraction() - 0.5).abs() < 1e-9);
+        let (p, off) = space.translate(PAGE_BYTES + 123).unwrap();
+        assert_eq!(off, 123);
+        assert!(matches!(p, Placement::Remote { node: 1, .. }));
+    }
+}

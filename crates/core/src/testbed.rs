@@ -1,0 +1,884 @@
+//! A functional end-to-end EDM fabric: compute nodes, an EDM switch running
+//! the real PIM scheduler, and memory nodes backed by the DDR4 controller —
+//! the software twin of the paper's three-FPGA testbed (Figure 4).
+//!
+//! Data really moves: a remote read returns the bytes previously written,
+//! RMWs are atomic, writes land in the memory node's DRAM. Timing composes
+//! the per-stage cycle model of [`crate::stack`] with transmission,
+//! propagation, and PMA/PMD constants, so the measured unloaded latency
+//! reproduces Table 1 (~300 ns for 64 B accesses) while the payloads stay
+//! real.
+//!
+//! Transport follows §3.1.1 exactly:
+//!
+//! * a WREQ sends an explicit `/N/` and waits for `/G/` grants, one chunk
+//!   per grant;
+//! * an RREQ travels immediately — the switch buffers it as the implicit
+//!   demand notification, and *forwarding the RREQ to the memory node is
+//!   itself the first grant* for the RRES; later RRES chunks get `/G/`s;
+//! * the switch forwards data chunks through pre-established virtual
+//!   circuits (no L2 processing), cut-through at block granularity.
+
+use crate::message::MemOp;
+use crate::latency::physical::{PMA_PMD_PASS, PROPAGATION};
+use crate::stack;
+use edm_memory::rmw::RmwOp;
+use edm_memory::MemoryController;
+use edm_phy::mem_codec;
+use edm_sched::{Notification, Policy, Scheduler, SchedulerConfig};
+use edm_sim::{Bandwidth, Duration, Engine, EventQueue, Time, World};
+use std::collections::HashMap;
+
+/// Identifies a node (== its switch port).
+pub type NodeId = u16;
+
+/// Configuration of the testbed fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct TestbedConfig {
+    /// Number of nodes attached to the switch.
+    pub nodes: usize,
+    /// Link bandwidth (the prototype uses 25 GbE).
+    pub link: Bandwidth,
+    /// Scheduler chunk size in bytes.
+    pub chunk_bytes: u32,
+    /// Scheduling policy.
+    pub policy: Policy,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            nodes: 2,
+            link: Bandwidth::from_gbps(25),
+            chunk_bytes: 256,
+            policy: Policy::Srpt,
+        }
+    }
+}
+
+/// A completed remote operation, with timestamps for latency accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The node that issued the operation.
+    pub issuer: NodeId,
+    /// Kind tag: `"read"`, `"write"`, or `"rmw"`.
+    pub kind: &'static str,
+    /// Application-assigned operation id.
+    pub op_id: u64,
+    /// When the application issued it.
+    pub issued: Time,
+    /// When it completed (data delivered / write landed).
+    pub completed: Time,
+    /// Returned data (read data or RMW original value; empty for writes).
+    pub data: Vec<u8>,
+}
+
+impl Completion {
+    /// End-to-end latency.
+    pub fn latency(&self) -> Duration {
+        self.completed.saturating_since(self.issued)
+    }
+}
+
+/// Packets exchanged on the wire (transaction-level view of block runs).
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub enum Pkt {
+    /// `/N/` — explicit write-demand notification.
+    Notify { size: u32 },
+    /// `/G/` — grant for the next chunk of a message.
+    Grant { chunk: u32 },
+    /// An RREQ/RMWREQ `/M*/` run (also the implicit notification/grant).
+    Request { op: MemOp },
+    /// One granted chunk of a WREQ.
+    WriteChunk {
+        addr: u64,
+        offset: u32,
+        data: Vec<u8>,
+        last: bool,
+    },
+    /// One granted chunk of an RRES.
+    ReadChunk {
+        offset: u32,
+        data: Vec<u8>,
+        last: bool,
+    },
+}
+
+impl Pkt {
+    /// Wire size in PHY blocks.
+    fn blocks(&self) -> u64 {
+        match self {
+            Pkt::Notify { .. } | Pkt::Grant { .. } => 1,
+            Pkt::Request { op } => mem_codec::blocks_for_message(op.nominal_bytes() as usize) as u64,
+            Pkt::WriteChunk { data, .. } | Pkt::ReadChunk { data, .. } => {
+                mem_codec::blocks_for_message(data.len()) as u64
+            }
+        }
+    }
+}
+
+/// DES events (public only because `Testbed: World` exposes the type).
+#[doc(hidden)]
+#[derive(Debug, Clone)]
+pub enum Ev {
+    /// Application issues an operation at a node.
+    App {
+        node: NodeId,
+        peer: NodeId,
+        op: MemOp,
+        op_id: u64,
+    },
+    /// A packet arrives at the switch from `src`.
+    SwitchRx { src: NodeId, dst: NodeId, msg_id: u8, pkt: Pkt },
+    /// A packet arrives at node `node`.
+    NodeRx { node: NodeId, src: NodeId, msg_id: u8, pkt: Pkt },
+    /// Scheduler poll.
+    SchedPoll,
+}
+
+/// Per-message sender-side state.
+#[derive(Debug)]
+enum TxState {
+    /// Outgoing write: data waiting for grants.
+    Write {
+        peer: NodeId,
+        addr: u64,
+        data: Vec<u8>,
+        sent: u32,
+        op_id: u64,
+        issued: Time,
+    },
+    /// Outgoing read/RMW: awaiting RRES.
+    Read {
+        expected: u32,
+        received: Vec<u8>,
+        op_id: u64,
+        issued: Time,
+        kind: &'static str,
+    },
+}
+
+/// Memory-node-side staged RRES data awaiting grants.
+#[derive(Debug)]
+struct RresState {
+    data: Vec<u8>,
+    sent: u32,
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    /// Sender-side message state, keyed by msg_id.
+    tx: HashMap<u8, TxState>,
+    /// Memory-side staged read responses, keyed by (peer, request msg_id).
+    rres: HashMap<(NodeId, u8), RresState>,
+    next_msg_id: u8,
+    /// Uplink busy-until (serialization at the source).
+    tx_free_at: Time,
+}
+
+/// The testbed world.
+pub struct Testbed {
+    config: TestbedConfig,
+    nodes: Vec<Node>,
+    memories: Vec<MemoryController>,
+    scheduler: Scheduler,
+    /// RREQs buffered at the switch: (src=memory, dst=compute, msg_id) ->
+    /// original request, released by the first grant.
+    buffered_rreqs: HashMap<(NodeId, NodeId, u8), (NodeId, Pkt)>,
+    /// Per-switch-egress busy-until (downlink serialization).
+    egress_free_at: Vec<Time>,
+    poll_scheduled: Option<Time>,
+    completions: Vec<Completion>,
+    next_op_id: u64,
+}
+
+impl std::fmt::Debug for Testbed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Testbed")
+            .field("nodes", &self.nodes.len())
+            .field("completions", &self.completions.len())
+            .finish()
+    }
+}
+
+impl Testbed {
+    /// Creates a testbed with `config.nodes` nodes, each with local DDR4.
+    pub fn new(config: TestbedConfig) -> Self {
+        let sched_cfg = SchedulerConfig {
+            ports: config.nodes,
+            chunk_bytes: config.chunk_bytes,
+            link: config.link,
+            policy: config.policy,
+            max_active_per_pair: 3,
+            clock: edm_sched::ASIC_CLOCK,
+        };
+        Testbed {
+            nodes: (0..config.nodes).map(|_| Node::default()).collect(),
+            memories: (0..config.nodes).map(|_| MemoryController::ddr4()).collect(),
+            scheduler: Scheduler::new(sched_cfg),
+            buffered_rreqs: HashMap::new(),
+            egress_free_at: vec![Time::ZERO; config.nodes],
+            poll_scheduled: None,
+            completions: Vec::new(),
+            next_op_id: 0,
+            config,
+        }
+    }
+
+    /// Completed operations so far.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Direct access to a node's memory controller (test setup).
+    pub fn memory_mut(&mut self, node: NodeId) -> &mut MemoryController {
+        &mut self.memories[node as usize]
+    }
+
+    fn wire_time(&self, blocks: u64) -> Duration {
+        // Serialization at 66 bits per block on the line.
+        self.config.link.tx_time_bits(blocks * 66)
+    }
+
+    /// One-hop delivery latency after serialization: TX PMA/PMD +
+    /// propagation + RX PMA/PMD.
+    fn hop() -> Duration {
+        PMA_PMD_PASS + PROPAGATION + PMA_PMD_PASS
+    }
+
+    fn send_to_switch(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<Ev>,
+        src: NodeId,
+        dst: NodeId,
+        msg_id: u8,
+        pkt: Pkt,
+        extra_tx_cycles: u64,
+    ) {
+        let node = &mut self.nodes[src as usize];
+        let depart = now.max(node.tx_free_at) + stack::cycles(extra_tx_cycles + stack::PCS_PASS);
+        let ser = self.config.link.tx_time_bits(pkt.blocks() * 66);
+        node.tx_free_at = depart + ser;
+        let arrive = depart + ser + Self::hop();
+        q.schedule(arrive, Ev::SwitchRx { src, dst, msg_id, pkt });
+    }
+
+    fn send_to_node(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<Ev>,
+        src: NodeId,
+        node: NodeId,
+        msg_id: u8,
+        pkt: Pkt,
+        extra_tx_cycles: u64,
+    ) {
+        let depart =
+            now.max(self.egress_free_at[node as usize]) + stack::cycles(extra_tx_cycles + stack::PCS_PASS);
+        let ser = self.wire_time(pkt.blocks());
+        self.egress_free_at[node as usize] = depart + ser;
+        let arrive = depart + ser + Self::hop();
+        q.schedule(arrive, Ev::NodeRx { node, src, msg_id, pkt });
+    }
+
+    fn schedule_poll(&mut self, q: &mut EventQueue<Ev>, at: Time) {
+        if self.poll_scheduled.is_none_or(|t| at < t) {
+            self.poll_scheduled = Some(at);
+            q.schedule(at, Ev::SchedPoll);
+        }
+    }
+
+    fn alloc_msg_id(&mut self, node: NodeId) -> u8 {
+        let n = &mut self.nodes[node as usize];
+        let id = n.next_msg_id;
+        n.next_msg_id = n.next_msg_id.wrapping_add(1);
+        id
+    }
+
+    fn handle_app(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<Ev>,
+        node: NodeId,
+        peer: NodeId,
+        op: MemOp,
+        op_id: u64,
+    ) {
+        let msg_id = self.alloc_msg_id(node);
+        // Requests (reads, RMWs) travel immediately; writes notify first.
+        let two_sided = match &op {
+            MemOp::Read { len, .. } => Some((*len, "read")),
+            MemOp::Rmw { op: rmw_op, .. } => Some((rmw_op.response_bytes(), "rmw")),
+            MemOp::Write { .. } => None,
+            MemOp::ReadResponse { .. } => panic!("applications issue requests, not responses"),
+        };
+        match two_sided {
+            Some((expected, kind)) => {
+                self.nodes[node as usize].tx.insert(
+                    msg_id,
+                    TxState::Read {
+                        expected,
+                        received: Vec::new(),
+                        op_id,
+                        issued: now,
+                        kind,
+                    },
+                );
+                self.send_to_switch(
+                    now,
+                    q,
+                    node,
+                    peer,
+                    msg_id,
+                    Pkt::Request { op },
+                    stack::host::GEN_NOTIFY_OR_RREQ,
+                );
+            }
+            None => {
+                let MemOp::Write { addr, data } = op else {
+                    unreachable!()
+                };
+                let size = data.len() as u32;
+                self.nodes[node as usize].tx.insert(
+                    msg_id,
+                    TxState::Write {
+                        peer,
+                        addr,
+                        data,
+                        sent: 0,
+                        op_id,
+                        issued: now,
+                    },
+                );
+                self.send_to_switch(
+                    now,
+                    q,
+                    node,
+                    peer,
+                    msg_id,
+                    Pkt::Notify { size },
+                    stack::host::GEN_NOTIFY_OR_RREQ,
+                );
+            }
+        }
+    }
+
+    fn handle_switch_rx(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<Ev>,
+        src: NodeId,
+        dst: NodeId,
+        msg_id: u8,
+        pkt: Pkt,
+    ) {
+        let rx_cost = stack::cycles(stack::PCS_PASS + stack::switch::IDENTIFY);
+        match pkt {
+            Pkt::Notify { size } => {
+                let t = now + rx_cost + stack::cycles(stack::switch::ENQUEUE_NOTIFICATION);
+                self.scheduler
+                    .notify(t, Notification::new(src, dst, msg_id, size))
+                    .expect("testbed stays under the pair limit");
+                self.schedule_poll(q, t);
+            }
+            Pkt::Request { ref op } => {
+                // Implicit notification: demand for the RRES (dst -> src).
+                let rres_size = op
+                    .response_bytes()
+                    .expect("requests carried to the switch elicit responses");
+                let t = now + rx_cost + stack::cycles(stack::switch::ENQUEUE_NOTIFICATION);
+                self.scheduler
+                    .notify(t, Notification::new(dst, src, msg_id, rres_size))
+                    .expect("testbed stays under the pair limit");
+                // Buffer the request; the first grant releases it.
+                self.buffered_rreqs.insert((dst, src, msg_id), (src, pkt));
+                self.schedule_poll(q, t);
+            }
+            Pkt::Grant { .. } => unreachable!("grants originate at the switch"),
+            Pkt::WriteChunk { .. } | Pkt::ReadChunk { .. } => {
+                // Data path: forward through the virtual circuit.
+                let t = now + stack::cycles(stack::PCS_PASS + stack::switch::FORWARD);
+                self.send_to_node(t, q, src, dst, msg_id, pkt, 0);
+            }
+        }
+    }
+
+    fn deliver_grant(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<Ev>,
+        grant: edm_sched::Grant,
+    ) {
+        let key = (grant.src, grant.dest, grant.msg_id);
+        if let Some((orig_src, pkt)) = self.buffered_rreqs.remove(&key) {
+            // First grant for an RRES: forward the buffered RREQ itself.
+            let t = now + stack::cycles(stack::switch::GEN_GRANT);
+            self.send_to_node(t, q, orig_src, grant.src, grant.msg_id, pkt, 0);
+        } else {
+            let t = now + stack::cycles(stack::switch::GEN_GRANT);
+            self.send_to_node(
+                t,
+                q,
+                grant.dest,
+                grant.src,
+                grant.msg_id,
+                Pkt::Grant {
+                    chunk: grant.chunk_bytes,
+                },
+                0,
+            );
+        }
+    }
+
+    fn handle_node_rx(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<Ev>,
+        node: NodeId,
+        src: NodeId,
+        msg_id: u8,
+        pkt: Pkt,
+    ) {
+        let rx_base = stack::cycles(stack::PCS_PASS);
+        match pkt {
+            Pkt::Request { op } => {
+                // Memory node: serve the request. The RREQ's arrival is the
+                // implicit grant for the first RRES chunk.
+                let t_proc = now + rx_base + stack::cycles(stack::host::RX_RREQ);
+                match op {
+                    MemOp::Read { addr, len } => {
+                        let (data, timing) =
+                            self.memories[node as usize].read(t_proc, addr, len as usize);
+                        let ready = timing.complete;
+                        self.stage_and_send_rres(ready, q, node, src, msg_id, data);
+                    }
+                    MemOp::Rmw { addr, op } => {
+                        let (orig, timing) = self.memories[node as usize]
+                            .rmw(t_proc, edm_memory::RmwRequest { addr, op });
+                        let data = orig.to_le_bytes().to_vec();
+                        self.stage_and_send_rres(timing.complete, q, node, src, msg_id, data);
+                    }
+                    _ => panic!("only reads/RMWs travel as requests"),
+                }
+            }
+            Pkt::Grant { chunk } => {
+                let grant_cost = rx_base
+                    + stack::cycles(stack::host::RX_GRANT + stack::host::READ_GRANT_QUEUE);
+                // A grant either continues an RRES (we are the memory node;
+                // keyed by the requesting peer) or a WREQ (we are the
+                // writer).
+                if self.nodes[node as usize].rres.contains_key(&(src, msg_id)) {
+                    self.send_next_rres_chunk(now + grant_cost, q, node, src, msg_id, chunk);
+                } else {
+                    self.send_next_write_chunk(now + grant_cost, q, node, msg_id, chunk);
+                }
+            }
+            Pkt::WriteChunk {
+                addr,
+                offset,
+                data,
+                last,
+            } => {
+                let t = now + rx_base + stack::cycles(stack::host::RX_DATA);
+                let timing = self.memories[node as usize].write(t, addr + offset as u64, &data);
+                if last {
+                    // Completion is recorded against the writer.
+                    // Find the writer's op bookkeeping via the sender state.
+                    if let Some(TxState::Write { op_id, issued, .. }) =
+                        self.nodes[src as usize].tx.remove(&msg_id)
+                    {
+                        self.completions.push(Completion {
+                            issuer: src,
+                            kind: "write",
+                            op_id,
+                            issued,
+                            completed: timing.complete,
+                            data: Vec::new(),
+                        });
+                    }
+                }
+            }
+            Pkt::ReadChunk { offset, data, last } => {
+                let t = now + rx_base + stack::cycles(stack::host::RX_DATA);
+                let done = match self.nodes[node as usize].tx.get_mut(&msg_id) {
+                    Some(TxState::Read {
+                        received, expected, ..
+                    }) => {
+                        debug_assert_eq!(received.len(), offset as usize, "in-order chunks");
+                        received.extend_from_slice(&data);
+                        debug_assert!(received.len() <= *expected as usize);
+                        last
+                    }
+                    _ => panic!("RRES chunk for unknown read"),
+                };
+                if done {
+                    if let Some(TxState::Read {
+                        received,
+                        op_id,
+                        issued,
+                        kind,
+                        ..
+                    }) = self.nodes[node as usize].tx.remove(&msg_id)
+                    {
+                        self.completions.push(Completion {
+                            issuer: node,
+                            kind,
+                            op_id,
+                            issued,
+                            completed: t,
+                            data: received,
+                        });
+                    }
+                }
+            }
+            Pkt::Notify { .. } => unreachable!("notifications terminate at the switch"),
+        }
+    }
+
+    fn stage_and_send_rres(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<Ev>,
+        node: NodeId,
+        peer: NodeId,
+        msg_id: u8,
+        data: Vec<u8>,
+    ) {
+        let chunk = self.config.chunk_bytes;
+        self.nodes[node as usize]
+            .rres
+            .insert((peer, msg_id), RresState { data, sent: 0 });
+        // The request's arrival was the grant for chunk 1.
+        self.send_next_rres_chunk(now, q, node, peer, msg_id, chunk);
+    }
+
+    fn send_next_rres_chunk(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<Ev>,
+        node: NodeId,
+        peer: NodeId,
+        msg_id: u8,
+        chunk: u32,
+    ) {
+        let pkt = {
+            let st = self.nodes[node as usize]
+                .rres
+                .get_mut(&(peer, msg_id))
+                .expect("grant for unknown RRES");
+            let total = st.data.len() as u32;
+            let offset = st.sent;
+            let n = chunk.min(total - offset);
+            let slice = st.data[offset as usize..(offset + n) as usize].to_vec();
+            st.sent += n;
+            Pkt::ReadChunk {
+                offset,
+                data: slice,
+                last: st.sent >= total,
+            }
+        };
+        if matches!(pkt, Pkt::ReadChunk { last: true, .. }) {
+            self.nodes[node as usize].rres.remove(&(peer, msg_id));
+        }
+        self.send_to_switch(now, q, node, peer, msg_id, pkt, stack::host::GEN_DATA_BLOCK);
+    }
+
+    fn send_next_write_chunk(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<Ev>,
+        node: NodeId,
+        msg_id: u8,
+        chunk: u32,
+    ) {
+        let (pkt, peer) = {
+            let st = self.nodes[node as usize]
+                .tx
+                .get_mut(&msg_id)
+                .expect("grant for unknown write");
+            match st {
+                TxState::Write {
+                    peer,
+                    addr,
+                    data,
+                    sent,
+                    ..
+                } => {
+                    let total = data.len() as u32;
+                    let offset = *sent;
+                    let n = chunk.min(total - offset);
+                    let slice = data[offset as usize..(offset + n) as usize].to_vec();
+                    *sent += n;
+                    let last = *sent >= total;
+                    (
+                        Pkt::WriteChunk {
+                            addr: *addr,
+                            offset,
+                            data: slice,
+                            last,
+                        },
+                        *peer,
+                    )
+                }
+                TxState::Read { .. } => panic!("write grant routed to a read"),
+            }
+        };
+        self.send_to_switch(now, q, node, peer, msg_id, pkt, stack::host::GEN_DATA_BLOCK);
+    }
+
+    fn handle_poll(&mut self, now: Time, q: &mut EventQueue<Ev>) {
+        // Drop superseded poll events; only the recorded wake-up runs.
+        if self.poll_scheduled != Some(now) {
+            return;
+        }
+        self.poll_scheduled = None;
+        let result = self.scheduler.poll(now);
+        let grant_time = now + result.sched_latency;
+        for g in result.grants {
+            self.deliver_grant(grant_time, q, g);
+        }
+        if let Some(t) = result.next_wakeup {
+            self.schedule_poll(q, t);
+        }
+    }
+}
+
+impl World for Testbed {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Time, ev: Ev, q: &mut EventQueue<Ev>) {
+        match ev {
+            Ev::App {
+                node,
+                peer,
+                op,
+                op_id,
+            } => self.handle_app(now, q, node, peer, op, op_id),
+            Ev::SwitchRx { src, dst, msg_id, pkt } => {
+                self.handle_switch_rx(now, q, src, dst, msg_id, pkt)
+            }
+            Ev::NodeRx {
+                node,
+                src,
+                msg_id,
+                pkt,
+            } => self.handle_node_rx(now, q, node, src, msg_id, pkt),
+            Ev::SchedPoll => self.handle_poll(now, q),
+        }
+    }
+}
+
+/// A convenient driver around [`Testbed`] + [`Engine`].
+pub struct Fabric {
+    engine: Engine<Testbed>,
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric").finish_non_exhaustive()
+    }
+}
+
+impl Fabric {
+    /// Builds a fabric from the testbed configuration.
+    pub fn new(config: TestbedConfig) -> Self {
+        Fabric {
+            engine: Engine::new(Testbed::new(config)),
+        }
+    }
+
+    /// Pre-populates `node`'s local memory (before running traffic).
+    pub fn seed_memory(&mut self, node: NodeId, addr: u64, data: &[u8]) {
+        self.engine
+            .world_mut()
+            .memory_mut(node)
+            .store_mut()
+            .write(addr, data);
+    }
+
+    /// Issues a remote read from `node` to `peer` at time `at`.
+    /// Returns the operation id.
+    pub fn read(&mut self, at: Time, node: NodeId, peer: NodeId, addr: u64, len: u32) -> u64 {
+        self.issue(at, node, peer, MemOp::Read { addr, len })
+    }
+
+    /// Issues a remote write.
+    pub fn write(&mut self, at: Time, node: NodeId, peer: NodeId, addr: u64, data: Vec<u8>) -> u64 {
+        self.issue(at, node, peer, MemOp::Write { addr, data })
+    }
+
+    /// Issues a remote atomic RMW.
+    pub fn rmw(&mut self, at: Time, node: NodeId, peer: NodeId, addr: u64, op: RmwOp) -> u64 {
+        self.issue(at, node, peer, MemOp::Rmw { addr, op })
+    }
+
+    fn issue(&mut self, at: Time, node: NodeId, peer: NodeId, op: MemOp) -> u64 {
+        let world = self.engine.world_mut();
+        let op_id = world.next_op_id;
+        world.next_op_id += 1;
+        self.engine.queue_mut().schedule(
+            at,
+            Ev::App {
+                node,
+                peer,
+                op,
+                op_id,
+            },
+        );
+        op_id
+    }
+
+    /// Runs the fabric until all events drain.
+    pub fn run(&mut self) {
+        self.engine.run();
+    }
+
+    /// Completions recorded so far.
+    pub fn completions(&self) -> &[Completion] {
+        self.engine.world().completions()
+    }
+
+    /// The completion with the given op id, if finished.
+    pub fn completion(&self, op_id: u64) -> Option<&Completion> {
+        self.completions().iter().find(|c| c.op_id == op_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_returns_seeded_data() {
+        let mut f = Fabric::new(TestbedConfig::default());
+        f.seed_memory(1, 0x1000, &[7u8; 64]);
+        let id = f.read(Time::ZERO, 0, 1, 0x1000, 64);
+        f.run();
+        let c = f.completion(id).expect("read completed");
+        assert_eq!(c.data, vec![7u8; 64]);
+        assert_eq!(c.kind, "read");
+    }
+
+    #[test]
+    fn write_lands_then_read_sees_it() {
+        let mut f = Fabric::new(TestbedConfig::default());
+        let w = f.write(Time::ZERO, 0, 1, 0x2000, vec![9u8; 64]);
+        let r = f.read(Time::from_us(5), 0, 1, 0x2000, 64);
+        f.run();
+        assert!(f.completion(w).is_some());
+        assert_eq!(f.completion(r).unwrap().data, vec![9u8; 64]);
+    }
+
+    #[test]
+    fn unloaded_read_latency_near_table1() {
+        let mut f = Fabric::new(TestbedConfig::default());
+        f.seed_memory(1, 0, &[1u8; 64]);
+        let id = f.read(Time::ZERO, 0, 1, 0, 64);
+        f.run();
+        let ns = f.completion(id).unwrap().latency().as_ns_f64();
+        // Table 1 pipeline latency is 299.52 ns; a full 64 B transaction
+        // additionally pays message serialization and the DRAM access,
+        // so the end-to-end figure lands a bit above — still ~300 ns,
+        // an order of magnitude below RoCEv2's ~2 us.
+        assert!(
+            (290.0..420.0).contains(&ns),
+            "unloaded 64 B read latency {ns} ns"
+        );
+    }
+
+    #[test]
+    fn unloaded_write_latency_near_table1() {
+        let mut f = Fabric::new(TestbedConfig::default());
+        let id = f.write(Time::ZERO, 0, 1, 0, vec![2u8; 64]);
+        f.run();
+        let ns = f.completion(id).unwrap().latency().as_ns_f64();
+        assert!(
+            (290.0..420.0).contains(&ns),
+            "unloaded 64 B write latency {ns} ns"
+        );
+    }
+
+    #[test]
+    fn rmw_cas_is_atomic_over_fabric() {
+        let mut f = Fabric::new(TestbedConfig::default());
+        // Lock word at 0x100 starts 0. Two CAS race from node 0.
+        let a = f.rmw(
+            Time::ZERO,
+            0,
+            1,
+            0x100,
+            RmwOp::CompareAndSwap {
+                expected: 0,
+                desired: 1,
+            },
+        );
+        let b = f.rmw(
+            Time::from_ns(1),
+            0,
+            1,
+            0x100,
+            RmwOp::CompareAndSwap {
+                expected: 0,
+                desired: 2,
+            },
+        );
+        f.run();
+        let ra = u64::from_le_bytes(f.completion(a).unwrap().data.clone().try_into().unwrap());
+        let rb = u64::from_le_bytes(f.completion(b).unwrap().data.clone().try_into().unwrap());
+        // Exactly one saw 0 (success).
+        assert!((ra == 0) ^ (rb == 0), "ra={ra} rb={rb}");
+    }
+
+    #[test]
+    fn large_read_is_chunked_and_complete() {
+        let mut f = Fabric::new(TestbedConfig::default());
+        let data: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+        f.seed_memory(1, 0x8000, &data);
+        let id = f.read(Time::ZERO, 0, 1, 0x8000, 4096);
+        f.run();
+        assert_eq!(f.completion(id).unwrap().data, data);
+    }
+
+    #[test]
+    fn large_write_chunks_land_in_order() {
+        let mut f = Fabric::new(TestbedConfig::default());
+        let data: Vec<u8> = (0..2048).map(|i| (i % 199) as u8).collect();
+        let w = f.write(Time::ZERO, 0, 1, 0x4000, data.clone());
+        let r = f.read(Time::from_us(20), 0, 1, 0x4000, 2048);
+        f.run();
+        assert!(f.completion(w).is_some());
+        assert_eq!(f.completion(r).unwrap().data, data);
+    }
+
+    #[test]
+    fn concurrent_reads_from_two_nodes() {
+        let mut f = Fabric::new(TestbedConfig {
+            nodes: 3,
+            ..TestbedConfig::default()
+        });
+        f.seed_memory(2, 0, &[5u8; 64]);
+        let a = f.read(Time::ZERO, 0, 2, 0, 64);
+        let b = f.read(Time::ZERO, 1, 2, 0, 64);
+        f.run();
+        assert_eq!(f.completion(a).unwrap().data, vec![5u8; 64]);
+        assert_eq!(f.completion(b).unwrap().data, vec![5u8; 64]);
+    }
+
+    #[test]
+    fn reads_and_writes_have_similar_unloaded_latency() {
+        // Table 1: 299.52 vs 296.96 ns — within a few percent.
+        let mut f = Fabric::new(TestbedConfig::default());
+        f.seed_memory(1, 0, &[0u8; 64]);
+        let r = f.read(Time::ZERO, 0, 1, 0, 64);
+        let w = f.write(Time::from_us(10), 0, 1, 0x900, vec![0u8; 64]);
+        f.run();
+        let lr = f.completion(r).unwrap().latency().as_ns_f64();
+        let lw = f.completion(w).unwrap().latency().as_ns_f64();
+        assert!(
+            (lr - lw).abs() / lr < 0.25,
+            "read {lr} ns vs write {lw} ns diverge"
+        );
+    }
+}

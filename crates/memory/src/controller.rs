@@ -1,0 +1,193 @@
+//! The memory controller: the DDR4-style interface EDM's demand estimation
+//! relies on.
+//!
+//! Every request carries an explicit byte count — §3.1.1: "a memory access
+//! request message must include the number of bytes to be read or written,
+//! since it is required by the memory controller interface, such as DDR4."
+//! That is what makes the switch's implicit read-demand estimation
+//! perfectly accurate.
+
+use crate::dram::{AccessKind, AccessTiming, DramConfig, DramTiming};
+use crate::rmw::RmwRequest;
+use crate::store::Store;
+use edm_sim::{Duration, Time};
+
+/// A memory controller: functional store + DDR4 timing.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    store: Store,
+    timing: DramTiming,
+    reads: u64,
+    writes: u64,
+    rmws: u64,
+}
+
+impl MemoryController {
+    /// Creates a controller with the given DRAM timing configuration.
+    pub fn new(config: DramConfig) -> Self {
+        MemoryController {
+            store: Store::new(),
+            timing: DramTiming::new(config),
+            reads: 0,
+            writes: 0,
+            rmws: 0,
+        }
+    }
+
+    /// Creates a controller with DDR4-2400 timings.
+    pub fn ddr4() -> Self {
+        MemoryController::new(DramConfig::ddr4_2400())
+    }
+
+    /// Read counter.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Write counter.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// RMW counter.
+    pub fn rmws(&self) -> u64 {
+        self.rmws
+    }
+
+    /// Direct access to the backing store (for test setup / inspection).
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// Direct read-only access to the backing store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Reads `len` bytes at `addr`, issued at `now`.
+    ///
+    /// Returns the data and the completion timing.
+    pub fn read(&mut self, now: Time, addr: u64, len: usize) -> (Vec<u8>, AccessTiming) {
+        self.reads += 1;
+        let timing = self.timing.access(now, addr, len, AccessKind::Read);
+        (self.store.read(addr, len), timing)
+    }
+
+    /// Writes `data` at `addr`, issued at `now`. Returns completion timing.
+    pub fn write(&mut self, now: Time, addr: u64, data: &[u8]) -> AccessTiming {
+        self.writes += 1;
+        let timing = self.timing.access(now, addr, data.len(), AccessKind::Write);
+        self.store.write(addr, data);
+        timing
+    }
+
+    /// Executes an atomic RMW at `now`: read + modify + write, serialized
+    /// on the target bank with no intervening access (the NIC performs the
+    /// three steps without preemption, §3.2.1).
+    ///
+    /// Returns the original value and the completion timing of the
+    /// write-back.
+    pub fn rmw(&mut self, now: Time, req: RmwRequest) -> (u64, AccessTiming) {
+        self.rmws += 1;
+        let read_t = self.timing.access(now, req.addr, 8, AccessKind::Read);
+        let original = self.store.read_u64(req.addr);
+        let new = req.op.apply(original);
+        // The modify step is combinational on the NIC; the write-back
+        // starts as soon as the read data is available.
+        let write_t = self
+            .timing
+            .access(read_t.complete, req.addr, 8, AccessKind::Write);
+        self.store.write_u64(req.addr, new);
+        (original, write_t)
+    }
+
+    /// Typical single-access latency for this configuration, used by the
+    /// latency-composition experiments (Figure 7's ~82 ns local access is
+    /// DRAM + on-chip interconnect; this returns the DRAM part).
+    pub fn typical_read_latency(&self) -> Duration {
+        let c = self.timing.config();
+        c.t_rcd + c.t_cl + c.t_burst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rmw::RmwOp;
+
+    #[test]
+    fn read_returns_written_data() {
+        let mut mc = MemoryController::ddr4();
+        mc.write(Time::ZERO, 64, &[1, 2, 3, 4]);
+        let (data, t) = mc.read(Time::from_us(1), 64, 4);
+        assert_eq!(data, vec![1, 2, 3, 4]);
+        assert!(t.complete > Time::from_us(1));
+    }
+
+    #[test]
+    fn rmw_is_serialized_read_then_write() {
+        let mut mc = MemoryController::ddr4();
+        mc.store_mut().write_u64(0, 10);
+        let (orig, t) = mc.rmw(
+            Time::ZERO,
+            RmwRequest {
+                addr: 0,
+                op: RmwOp::FetchAdd(5),
+            },
+        );
+        assert_eq!(orig, 10);
+        assert_eq!(mc.store().read_u64(0), 15);
+        // Write-back completes after a read + a (row-hit) write.
+        let read_only = {
+            let mut mc2 = MemoryController::ddr4();
+            let (_, t) = mc2.read(Time::ZERO, 0, 8);
+            t.complete
+        };
+        assert!(t.complete > read_only);
+    }
+
+    #[test]
+    fn rmw_atomic_against_interleaving() {
+        // Two CAS on the same lock issued at the same instant: exactly one
+        // must win because execution is serialized.
+        let mut mc = MemoryController::ddr4();
+        let cas = |mc: &mut MemoryController, now| {
+            mc.rmw(
+                now,
+                RmwRequest {
+                    addr: 0,
+                    op: RmwOp::CompareAndSwap {
+                        expected: 0,
+                        desired: 1,
+                    },
+                },
+            )
+            .0 == 0
+        };
+        let a = cas(&mut mc, Time::ZERO);
+        let b = cas(&mut mc, Time::ZERO);
+        assert!(a ^ b, "exactly one CAS must succeed");
+    }
+
+    #[test]
+    fn counters() {
+        let mut mc = MemoryController::ddr4();
+        mc.read(Time::ZERO, 0, 8);
+        mc.write(Time::ZERO, 0, &[0]);
+        mc.rmw(
+            Time::ZERO,
+            RmwRequest {
+                addr: 0,
+                op: RmwOp::Swap(1),
+            },
+        );
+        assert_eq!((mc.reads(), mc.writes(), mc.rmws()), (1, 1, 1));
+    }
+
+    #[test]
+    fn typical_latency_tens_of_ns() {
+        let mc = MemoryController::ddr4();
+        let ns = mc.typical_read_latency().as_ns_f64();
+        assert!((20.0..60.0).contains(&ns), "typical latency {ns} ns");
+    }
+}

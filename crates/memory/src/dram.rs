@@ -1,0 +1,266 @@
+//! DDR4-like DRAM timing: open-page policy, per-bank row buffers, bank
+//! conflicts, and burst transfer time.
+//!
+//! The model captures what matters to EDM's latency story (§2.3, Figure 7):
+//! an intra-server memory access costs "a few 10s to a few 100s of
+//! nanoseconds depending on the access pattern" — row-buffer hits are fast,
+//! row conflicts pay precharge + activate, and concurrent accesses to one
+//! bank serialize.
+
+use edm_sim::{Duration, Time};
+
+/// DRAM device/timing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// CAS latency (column access of an open row).
+    pub t_cl: Duration,
+    /// RAS-to-CAS delay (activate a row).
+    pub t_rcd: Duration,
+    /// Row precharge time (close a row).
+    pub t_rp: Duration,
+    /// Data-burst transfer time per 64 B burst.
+    pub t_burst: Duration,
+    /// Number of banks.
+    pub banks: usize,
+    /// Row size in bytes (granularity of row-buffer locality).
+    pub row_bytes: u64,
+}
+
+impl DramConfig {
+    /// DDR4-2400-ish timings: tCL = tRCD = tRP = 13.75 ns (rounded to ps),
+    /// 3.33 ns per 64 B burst (derived from the testbed's 77 GB/s across
+    /// DIMMs — a single 64 B burst at 19.2 GB/s per channel), 16 banks,
+    /// 8 KB rows.
+    pub fn ddr4_2400() -> Self {
+        DramConfig {
+            t_cl: Duration::from_ps(13_750),
+            t_rcd: Duration::from_ps(13_750),
+            t_rp: Duration::from_ps(13_750),
+            t_burst: Duration::from_ps(3_330),
+            banks: 16,
+            row_bytes: 8192,
+        }
+    }
+}
+
+/// Kind of DRAM access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A read burst.
+    Read,
+    /// A write burst.
+    Write,
+}
+
+/// Per-bank open-row state plus busy tracking.
+#[derive(Debug, Clone)]
+pub struct DramTiming {
+    config: DramConfig,
+    /// Open row per bank (`None` = precharged).
+    open_row: Vec<Option<u64>>,
+    /// Bank busy-until time.
+    busy_until: Vec<Time>,
+    hits: u64,
+    misses: u64,
+    conflicts: u64,
+}
+
+/// The outcome of timing one access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTiming {
+    /// When the access starts service (after any bank queuing).
+    pub start: Time,
+    /// When the data transfer completes.
+    pub complete: Time,
+    /// Whether the access hit the open row.
+    pub row_hit: bool,
+}
+
+impl AccessTiming {
+    /// Total latency from request to completion.
+    pub fn latency(&self, issued: Time) -> Duration {
+        self.complete.saturating_since(issued)
+    }
+}
+
+impl DramTiming {
+    /// Creates the timing model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero banks or a zero-sized row.
+    pub fn new(config: DramConfig) -> Self {
+        assert!(config.banks > 0, "need at least one bank");
+        assert!(config.row_bytes > 0, "row size must be positive");
+        DramTiming {
+            open_row: vec![None; config.banks],
+            busy_until: vec![Time::ZERO; config.banks],
+            config,
+            hits: 0,
+            misses: 0,
+            conflicts: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// Row-buffer hits so far.
+    pub fn row_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Row-buffer misses (row closed) so far.
+    pub fn row_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Row conflicts (different row open) so far.
+    pub fn row_conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    fn bank_and_row(&self, addr: u64) -> (usize, u64) {
+        let row = addr / self.config.row_bytes;
+        // Interleave rows across banks (standard XOR-free mapping).
+        let bank = (row % self.config.banks as u64) as usize;
+        (bank, row)
+    }
+
+    /// Times an access of `len` bytes at `addr` issued at time `now`.
+    ///
+    /// Multi-burst accesses (len > 64) pay one burst time per 64 B after
+    /// the initial column access, like a real burst-chop-free controller.
+    pub fn access(&mut self, now: Time, addr: u64, len: usize, _kind: AccessKind) -> AccessTiming {
+        let (bank, row) = self.bank_and_row(addr);
+        let start = now.max(self.busy_until[bank]);
+        let (array_latency, row_hit) = match self.open_row[bank] {
+            Some(open) if open == row => {
+                self.hits += 1;
+                (self.config.t_cl, true)
+            }
+            Some(_) => {
+                self.conflicts += 1;
+                (
+                    self.config.t_rp + self.config.t_rcd + self.config.t_cl,
+                    false,
+                )
+            }
+            None => {
+                self.misses += 1;
+                (self.config.t_rcd + self.config.t_cl, false)
+            }
+        };
+        self.open_row[bank] = Some(row);
+        let bursts = (len.max(1) as u64).div_ceil(64);
+        let complete = start + array_latency + bursts * self.config.t_burst;
+        self.busy_until[bank] = complete;
+        AccessTiming {
+            start,
+            complete,
+            row_hit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> DramTiming {
+        DramTiming::new(DramConfig::ddr4_2400())
+    }
+
+    #[test]
+    fn first_access_is_row_miss() {
+        let mut d = dram();
+        let t = d.access(Time::ZERO, 0, 64, AccessKind::Read);
+        assert!(!t.row_hit);
+        // tRCD + tCL + 1 burst.
+        assert_eq!(
+            t.complete,
+            Time::ZERO
+                + Duration::from_ps(13_750)
+                + Duration::from_ps(13_750)
+                + Duration::from_ps(3_330)
+        );
+    }
+
+    #[test]
+    fn second_access_same_row_hits() {
+        let mut d = dram();
+        let t1 = d.access(Time::ZERO, 0, 64, AccessKind::Read);
+        let t2 = d.access(t1.complete, 64, 64, AccessKind::Read);
+        assert!(t2.row_hit);
+        assert_eq!(
+            t2.complete.saturating_since(t1.complete),
+            Duration::from_ps(13_750 + 3_330)
+        );
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let mut d = dram();
+        let cfg = *d.config();
+        let row_stride = cfg.row_bytes * cfg.banks as u64; // same bank, new row
+        let t1 = d.access(Time::ZERO, 0, 64, AccessKind::Read);
+        let t2 = d.access(t1.complete, row_stride, 64, AccessKind::Read);
+        assert!(!t2.row_hit);
+        assert_eq!(
+            t2.complete.saturating_since(t1.complete),
+            cfg.t_rp + cfg.t_rcd + cfg.t_cl + cfg.t_burst
+        );
+        assert_eq!(d.row_conflicts(), 1);
+    }
+
+    #[test]
+    fn bank_busy_serializes() {
+        let mut d = dram();
+        let t1 = d.access(Time::ZERO, 0, 64, AccessKind::Read);
+        // Second access to the same bank issued immediately must queue.
+        let t2 = d.access(Time::ZERO, 64, 64, AccessKind::Read);
+        assert_eq!(t2.start, t1.complete);
+    }
+
+    #[test]
+    fn different_banks_parallel() {
+        let mut d = dram();
+        let cfg = *d.config();
+        let t1 = d.access(Time::ZERO, 0, 64, AccessKind::Read);
+        let t2 = d.access(Time::ZERO, cfg.row_bytes, 64, AccessKind::Read); // next bank
+        assert_eq!(t2.start, Time::ZERO);
+        assert_eq!(t1.start, Time::ZERO);
+    }
+
+    #[test]
+    fn large_access_pays_per_burst() {
+        let mut d = dram();
+        let small = d.access(Time::ZERO, 0, 64, AccessKind::Read);
+        let mut d2 = dram();
+        let big = d2.access(Time::ZERO, 0, 1024, AccessKind::Read);
+        let delta = big.complete.saturating_since(small.complete);
+        // 1024 B = 16 bursts vs 1: 15 extra bursts.
+        assert_eq!(delta, 15 * Duration::from_ps(3_330));
+    }
+
+    #[test]
+    fn typical_latency_in_paper_range() {
+        // §1: intra-server memory access "varies from a few 10s to a few
+        // 100s of nanoseconds".
+        let mut d = dram();
+        let t = d.access(Time::ZERO, 4096, 64, AccessKind::Read);
+        let ns = t.latency(Time::ZERO).as_ns_f64();
+        assert!((10.0..300.0).contains(&ns), "latency {ns} ns out of range");
+    }
+
+    #[test]
+    fn stats_track_access_mix() {
+        let mut d = dram();
+        d.access(Time::ZERO, 0, 64, AccessKind::Read);
+        d.access(Time::from_us(1), 64, 64, AccessKind::Write);
+        assert_eq!(d.row_misses(), 1);
+        assert_eq!(d.row_hits(), 1);
+    }
+}

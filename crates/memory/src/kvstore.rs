@@ -1,0 +1,269 @@
+//! A fixed-slot key-value store over a [`MemoryController`] — the
+//! application of the paper's §4.2.2 experiments (Figures 6 and 7).
+//!
+//! The YCSB experiments store "the entire key-value store on the remote
+//! memory node"; reads query 1 KB objects with an 8 B request, writes carry
+//! 100 B. This store maps each key to a fixed-size slot by open addressing
+//! so that a `get` is a single remote read of a known address and size —
+//! the access pattern that makes memory disaggregation traffic so small
+//! and latency-critical.
+
+use crate::controller::MemoryController;
+use edm_sim::{Duration, Time};
+
+/// Slot header bytes: key (8) + value length (4) + occupancy tag (4).
+const SLOT_HEADER: usize = 16;
+const TAG_OCCUPIED: u32 = 0xC0DE_CAFE;
+
+/// A fixed-capacity, fixed-slot KV store.
+#[derive(Debug)]
+pub struct KvStore {
+    mem: MemoryController,
+    slots: u64,
+    value_capacity: usize,
+    base_addr: u64,
+    occupied: u64,
+}
+
+/// Errors from KV operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvError {
+    /// Value longer than the slot's value capacity.
+    ValueTooLarge {
+        /// Attempted value length.
+        len: usize,
+        /// Slot capacity.
+        capacity: usize,
+    },
+    /// All probe slots occupied by other keys.
+    Full,
+    /// Key not present.
+    NotFound,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::ValueTooLarge { len, capacity } => {
+                write!(f, "value of {len} bytes exceeds slot capacity {capacity}")
+            }
+            KvError::Full => write!(f, "store is full"),
+            KvError::NotFound => write!(f, "key not found"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// The result of a timed KV operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvResponse {
+    /// Value bytes (empty for `put`).
+    pub value: Vec<u8>,
+    /// Memory-side completion time.
+    pub complete: Time,
+}
+
+impl KvStore {
+    /// Creates a store of `slots` slots, each holding values up to
+    /// `value_capacity` bytes, backed by DDR4 timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero or not a power of two (cheap masking), or
+    /// `value_capacity` is zero.
+    pub fn new(slots: u64, value_capacity: usize) -> Self {
+        assert!(slots > 0 && slots.is_power_of_two(), "slots must be 2^k");
+        assert!(value_capacity > 0, "value capacity must be positive");
+        KvStore {
+            mem: MemoryController::ddr4(),
+            slots,
+            value_capacity,
+            base_addr: 0,
+            occupied: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> u64 {
+        self.occupied
+    }
+
+    /// Whether the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Slot capacity for values, in bytes.
+    pub fn value_capacity(&self) -> usize {
+        self.value_capacity
+    }
+
+    /// The memory address of the slot for `key` after probing. This is the
+    /// address a compute node embeds in its RREQ/WREQ.
+    pub fn slot_addr(&self, slot_index: u64) -> u64 {
+        self.base_addr + slot_index * (SLOT_HEADER + self.value_capacity) as u64
+    }
+
+    fn hash(&self, key: u64) -> u64 {
+        // SplitMix64 finalizer: good avalanche for sequential keys.
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) & (self.slots - 1)
+    }
+
+    /// Finds the slot index holding `key`, or the first free probe slot.
+    fn probe(&self, key: u64) -> Result<(u64, bool), KvError> {
+        let start = self.hash(key);
+        for i in 0..self.slots {
+            let idx = (start + i) & (self.slots - 1);
+            let addr = self.slot_addr(idx);
+            let tag = u32::from_le_bytes(
+                self.mem.store().read(addr + 12, 4).try_into().expect("4 bytes"),
+            );
+            if tag != TAG_OCCUPIED {
+                return Ok((idx, false));
+            }
+            let stored_key = self.mem.store().read_u64(addr);
+            if stored_key == key {
+                return Ok((idx, true));
+            }
+        }
+        Err(KvError::Full)
+    }
+
+    /// Inserts or updates `key`, issued at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value exceeds the slot capacity or the store is full.
+    pub fn put(&mut self, now: Time, key: u64, value: &[u8]) -> Result<KvResponse, KvError> {
+        if value.len() > self.value_capacity {
+            return Err(KvError::ValueTooLarge {
+                len: value.len(),
+                capacity: self.value_capacity,
+            });
+        }
+        let (idx, existed) = self.probe(key)?;
+        let addr = self.slot_addr(idx);
+        let mut record = Vec::with_capacity(SLOT_HEADER + value.len());
+        record.extend_from_slice(&key.to_le_bytes());
+        record.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        record.extend_from_slice(&TAG_OCCUPIED.to_le_bytes());
+        record.extend_from_slice(value);
+        let t = self.mem.write(now, addr, &record);
+        if !existed {
+            self.occupied += 1;
+        }
+        Ok(KvResponse {
+            value: Vec::new(),
+            complete: t.complete,
+        })
+    }
+
+    /// Reads the value for `key`, issued at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`KvError::NotFound`] for absent keys.
+    pub fn get(&mut self, now: Time, key: u64) -> Result<KvResponse, KvError> {
+        let (idx, existed) = self.probe(key)?;
+        if !existed {
+            return Err(KvError::NotFound);
+        }
+        let addr = self.slot_addr(idx);
+        let (header, _) = self.mem.read(now, addr, SLOT_HEADER);
+        let len = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        let (value, t) = self.mem.read(now, addr + SLOT_HEADER as u64, len);
+        Ok(KvResponse {
+            value,
+            complete: t.complete,
+        })
+    }
+
+    /// Typical service latency of a `get` (header + value reads, row hit).
+    pub fn typical_get_latency(&self) -> Duration {
+        2 * self.mem.typical_read_latency()
+    }
+
+    /// The memory address of the *value* stored under `key`, if present.
+    ///
+    /// This is what a disaggregated client embeds in its RREQ/WREQ: after
+    /// an initial directory exchange, remote reads address object memory
+    /// directly (no per-access lookup on the wire).
+    pub fn value_addr(&self, key: u64) -> Option<u64> {
+        match self.probe(key) {
+            Ok((idx, true)) => Some(self.slot_addr(idx) + SLOT_HEADER as u64),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut kv = KvStore::new(1024, 1024);
+        kv.put(Time::ZERO, 42, b"hello world").unwrap();
+        let r = kv.get(Time::from_us(1), 42).unwrap();
+        assert_eq!(r.value, b"hello world");
+        assert!(r.complete > Time::from_us(1));
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut kv = KvStore::new(64, 64);
+        kv.put(Time::ZERO, 1, b"old").unwrap();
+        kv.put(Time::ZERO, 1, b"newer").unwrap();
+        assert_eq!(kv.get(Time::ZERO, 1).unwrap().value, b"newer");
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn missing_key() {
+        let mut kv = KvStore::new(64, 64);
+        assert_eq!(kv.get(Time::ZERO, 9).unwrap_err(), KvError::NotFound);
+    }
+
+    #[test]
+    fn value_too_large() {
+        let mut kv = KvStore::new(64, 16);
+        assert_eq!(
+            kv.put(Time::ZERO, 1, &[0; 17]).unwrap_err(),
+            KvError::ValueTooLarge {
+                len: 17,
+                capacity: 16
+            }
+        );
+    }
+
+    #[test]
+    fn collision_probing() {
+        let mut kv = KvStore::new(4, 32); // tiny: force collisions
+        for k in 0..4u64 {
+            kv.put(Time::ZERO, k, &k.to_le_bytes()).unwrap();
+        }
+        assert_eq!(kv.len(), 4);
+        for k in 0..4u64 {
+            assert_eq!(kv.get(Time::ZERO, k).unwrap().value, k.to_le_bytes());
+        }
+        assert_eq!(kv.put(Time::ZERO, 99, b"x").unwrap_err(), KvError::Full);
+    }
+
+    #[test]
+    fn ycsb_shape_objects() {
+        // The paper's Fig 6 workload: 1 KB objects, 100 B writes.
+        let mut kv = KvStore::new(4096, 1024);
+        let obj = vec![7u8; 1024];
+        for k in 0..100 {
+            kv.put(Time::ZERO, k, &obj).unwrap();
+        }
+        let r = kv.get(Time::ZERO, 50).unwrap();
+        assert_eq!(r.value.len(), 1024);
+        let lat = kv.typical_get_latency().as_ns_f64();
+        assert!(lat < 150.0, "KV get latency {lat} ns too slow for Fig 7");
+    }
+}

@@ -1,0 +1,36 @@
+//! `edm-memory` — the memory-node substrate: DRAM timing, a byte-addressable
+//! backing store, the memory controller, NIC-side atomic read-modify-write
+//! (§3.2.1, "Implementing RMWREQ"), and a remote key-value store
+//! application (§4.2.2).
+//!
+//! The paper's memory node is an FPGA with 64 GB of off-chip DDR4. Here the
+//! DDR4 DIMM is a banked timing model over a sparse store:
+//!
+//! * [`dram`] — open-page DDR4 timing (tCL/tRCD/tRP, per-bank row buffers,
+//!   bank conflicts), calibrated so a typical access lands in the few-tens
+//!   of nanoseconds the paper's Figure 7 assumes (~82 ns end-to-end local
+//!   access including the controller);
+//! * [`store`] — a sparse byte-addressable memory (allocate-on-touch
+//!   pages), so simulating "64 GB DIMMs" costs only what is touched;
+//! * [`controller`] — the DDR4 controller interface: reads and writes carry
+//!   an explicit byte count (which is exactly what gives EDM its free,
+//!   perfectly accurate demand estimates for read replies);
+//! * [`rmw`] — the NIC-side atomic unit: compare-and-swap and friends,
+//!   executed read→modify→write without preemption;
+//! * [`kvstore`] — a fixed-slot key-value store over the controller, the
+//!   application used by the YCSB experiments (Figures 6 and 7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod dram;
+pub mod kvstore;
+pub mod rmw;
+pub mod store;
+
+pub use controller::MemoryController;
+pub use dram::{DramConfig, DramTiming};
+pub use kvstore::KvStore;
+pub use rmw::{RmwOp, RmwRequest};
+pub use store::Store;

@@ -1,0 +1,249 @@
+//! NIC-side atomic read-modify-write operations (§3.2.1).
+//!
+//! On receiving an RMWREQ, the memory node's NIC issues a read to the local
+//! controller, applies the opcode, writes the result back, and returns the
+//! RRES — all without preemption by other memory requests. EDM uses this to
+//! implement compare-and-swap for locks and mutexes.
+
+use crate::store::Store;
+use core::fmt;
+
+/// The modify opcode of an RMWREQ (operands are 64-bit DDR4 words).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// Compare-and-swap: if `*addr == expected`, store `desired`; returns
+    /// the *original* value (so success ⇔ returned == expected).
+    CompareAndSwap {
+        /// Value the caller expects at the address.
+        expected: u64,
+        /// Value to store on match.
+        desired: u64,
+    },
+    /// Fetch-and-add: `*addr += operand`; returns the original value.
+    FetchAdd(u64),
+    /// Atomic exchange: `*addr = operand`; returns the original value.
+    Swap(u64),
+    /// Bitwise and: `*addr &= operand`; returns the original value.
+    And(u64),
+    /// Bitwise or: `*addr |= operand`; returns the original value.
+    Or(u64),
+    /// Bitwise xor: `*addr ^= operand`; returns the original value.
+    Xor(u64),
+    /// Unsigned minimum: `*addr = min(*addr, operand)`; returns original.
+    Min(u64),
+    /// Unsigned maximum: `*addr = max(*addr, operand)`; returns original.
+    Max(u64),
+}
+
+impl RmwOp {
+    /// Applies the opcode to `current`, returning the new stored value.
+    pub fn apply(self, current: u64) -> u64 {
+        match self {
+            RmwOp::CompareAndSwap { expected, desired } => {
+                if current == expected {
+                    desired
+                } else {
+                    current
+                }
+            }
+            RmwOp::FetchAdd(x) => current.wrapping_add(x),
+            RmwOp::Swap(x) => x,
+            RmwOp::And(x) => current & x,
+            RmwOp::Or(x) => current | x,
+            RmwOp::Xor(x) => current ^ x,
+            RmwOp::Min(x) => current.min(x),
+            RmwOp::Max(x) => current.max(x),
+        }
+    }
+
+    /// Size in bytes of the RRES this op produces. CAS returns the original
+    /// word; the paper notes the response "can be as small as 1 bit
+    /// True/False", but returning the original value subsumes that and
+    /// matches x86/RDMA semantics. All ops here return 8 bytes.
+    pub fn response_bytes(self) -> u32 {
+        8
+    }
+
+    /// Size in bytes of the RMWREQ payload: address (8) + opcode (1) +
+    /// operands. CAS carries three 64-bit words total (§2.3: 24 B).
+    pub fn request_bytes(self) -> u32 {
+        match self {
+            RmwOp::CompareAndSwap { .. } => 24, // addr + expected + desired
+            _ => 17,                            // addr + opcode + operand
+        }
+    }
+}
+
+impl fmt::Display for RmwOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmwOp::CompareAndSwap { .. } => write!(f, "cas"),
+            RmwOp::FetchAdd(_) => write!(f, "faa"),
+            RmwOp::Swap(_) => write!(f, "swap"),
+            RmwOp::And(_) => write!(f, "and"),
+            RmwOp::Or(_) => write!(f, "or"),
+            RmwOp::Xor(_) => write!(f, "xor"),
+            RmwOp::Min(_) => write!(f, "min"),
+            RmwOp::Max(_) => write!(f, "max"),
+        }
+    }
+}
+
+/// A complete RMW request: target address plus opcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmwRequest {
+    /// Target memory address (8-byte aligned word).
+    pub addr: u64,
+    /// The modify operation.
+    pub op: RmwOp,
+}
+
+impl RmwRequest {
+    /// Executes the request atomically against `store`, returning the
+    /// original value (the RRES payload).
+    ///
+    /// Atomicity holds by construction: the simulation executes the
+    /// read–modify–write as one uninterruptible step, exactly as the NIC
+    /// hardware does (it does not interleave other memory requests).
+    pub fn execute(self, store: &mut Store) -> u64 {
+        let original = store.read_u64(self.addr);
+        let new = self.op.apply(original);
+        store.write_u64(self.addr, new);
+        original
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut m = Store::new();
+        m.write_u64(0, 5);
+        let r = RmwRequest {
+            addr: 0,
+            op: RmwOp::CompareAndSwap {
+                expected: 5,
+                desired: 9,
+            },
+        }
+        .execute(&mut m);
+        assert_eq!(r, 5); // success: returned == expected
+        assert_eq!(m.read_u64(0), 9);
+
+        let r = RmwRequest {
+            addr: 0,
+            op: RmwOp::CompareAndSwap {
+                expected: 5,
+                desired: 77,
+            },
+        }
+        .execute(&mut m);
+        assert_eq!(r, 9); // failure: returned != expected
+        assert_eq!(m.read_u64(0), 9, "failed CAS must not write");
+    }
+
+    #[test]
+    fn fetch_add_wraps() {
+        let mut m = Store::new();
+        m.write_u64(8, u64::MAX);
+        let r = RmwRequest {
+            addr: 8,
+            op: RmwOp::FetchAdd(2),
+        }
+        .execute(&mut m);
+        assert_eq!(r, u64::MAX);
+        assert_eq!(m.read_u64(8), 1);
+    }
+
+    #[test]
+    fn swap_returns_original() {
+        let mut m = Store::new();
+        m.write_u64(16, 111);
+        let r = RmwRequest {
+            addr: 16,
+            op: RmwOp::Swap(222),
+        }
+        .execute(&mut m);
+        assert_eq!((r, m.read_u64(16)), (111, 222));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let mut m = Store::new();
+        m.write_u64(0, 0b1100);
+        RmwRequest {
+            addr: 0,
+            op: RmwOp::And(0b1010),
+        }
+        .execute(&mut m);
+        assert_eq!(m.read_u64(0), 0b1000);
+        RmwRequest {
+            addr: 0,
+            op: RmwOp::Or(0b0001),
+        }
+        .execute(&mut m);
+        assert_eq!(m.read_u64(0), 0b1001);
+        RmwRequest {
+            addr: 0,
+            op: RmwOp::Xor(0b1111),
+        }
+        .execute(&mut m);
+        assert_eq!(m.read_u64(0), 0b0110);
+    }
+
+    #[test]
+    fn min_max() {
+        let mut m = Store::new();
+        m.write_u64(0, 50);
+        RmwRequest {
+            addr: 0,
+            op: RmwOp::Min(30),
+        }
+        .execute(&mut m);
+        assert_eq!(m.read_u64(0), 30);
+        RmwRequest {
+            addr: 0,
+            op: RmwOp::Max(90),
+        }
+        .execute(&mut m);
+        assert_eq!(m.read_u64(0), 90);
+    }
+
+    #[test]
+    fn message_sizes_match_paper() {
+        // §2.3: CAS "contains three 64-bit arguments (24 B)".
+        assert_eq!(
+            RmwOp::CompareAndSwap {
+                expected: 0,
+                desired: 0
+            }
+            .request_bytes(),
+            24
+        );
+        assert_eq!(RmwOp::FetchAdd(1).response_bytes(), 8);
+    }
+
+    #[test]
+    fn spinlock_built_from_cas() {
+        // The paper's motivating use: locks via CAS.
+        let mut m = Store::new();
+        let lock_addr = 128;
+        let acquire = |m: &mut Store| {
+            RmwRequest {
+                addr: lock_addr,
+                op: RmwOp::CompareAndSwap {
+                    expected: 0,
+                    desired: 1,
+                },
+            }
+            .execute(m)
+                == 0
+        };
+        assert!(acquire(&mut m), "first acquire succeeds");
+        assert!(!acquire(&mut m), "second acquire fails while held");
+        m.write_u64(lock_addr, 0); // release
+        assert!(acquire(&mut m), "re-acquire after release");
+    }
+}

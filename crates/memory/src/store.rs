@@ -1,0 +1,144 @@
+//! A sparse byte-addressable backing store.
+//!
+//! Pages are allocated on first touch, so a simulated "64 GB DIMM" costs
+//! host memory proportional to the bytes actually used. Unwritten bytes
+//! read as zero, like freshly initialized DRAM in the testbed.
+
+use std::collections::HashMap;
+
+/// Bytes per backing page.
+pub const PAGE_BYTES: usize = 4096;
+
+/// A sparse, byte-addressable memory.
+///
+/// ```
+/// use edm_memory::Store;
+/// let mut m = Store::new();
+/// m.write(0x1000, &[1, 2, 3]);
+/// assert_eq!(m.read(0x1000, 3), vec![1, 2, 3]);
+/// assert_eq!(m.read(0xDEAD_BEEF, 2), vec![0, 0]); // untouched reads zero
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Store {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl Store {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Number of pages actually allocated.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads `len` bytes starting at `addr` (zero-filled where untouched).
+    pub fn read(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.read_into(addr, &mut out);
+        out
+    }
+
+    /// Reads into a caller-provided buffer.
+    pub fn read_into(&self, addr: u64, buf: &mut [u8]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let a = addr + off as u64;
+            let page = a / PAGE_BYTES as u64;
+            let in_page = (a % PAGE_BYTES as u64) as usize;
+            let n = (PAGE_BYTES - in_page).min(buf.len() - off);
+            match self.pages.get(&page) {
+                Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+    }
+
+    /// Writes `data` starting at `addr`, allocating pages as needed.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut off = 0usize;
+        while off < data.len() {
+            let a = addr + off as u64;
+            let page = a / PAGE_BYTES as u64;
+            let in_page = (a % PAGE_BYTES as u64) as usize;
+            let n = (PAGE_BYTES - in_page).min(data.len() - off);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            p[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Reads a little-endian u64 at `addr` (the DDR4 word size the paper's
+    /// RMW operations work on).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read_into(addr, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian u64 at `addr`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write(addr, &value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_reads_zero() {
+        let m = Store::new();
+        assert_eq!(m.read(12345, 4), vec![0; 4]);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = Store::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write(777, &data);
+        assert_eq!(m.read(777, 256), data);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Store::new();
+        let addr = PAGE_BYTES as u64 - 3; // straddles two pages
+        m.write(addr, &[9, 8, 7, 6, 5, 4]);
+        assert_eq!(m.read(addr, 6), vec![9, 8, 7, 6, 5, 4]);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn sparse_far_addresses() {
+        let mut m = Store::new();
+        m.write(0, &[1]);
+        m.write(63 << 30, &[2]); // "64 GB" away
+        assert_eq!(m.resident_pages(), 2);
+        assert_eq!(m.read(63 << 30, 1), vec![2]);
+    }
+
+    #[test]
+    fn u64_helpers() {
+        let mut m = Store::new();
+        m.write_u64(40, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(m.read_u64(40), 0xDEAD_BEEF_CAFE_F00D);
+        // Overlap check: byte view is little-endian.
+        assert_eq!(m.read(40, 1), vec![0x0D]);
+    }
+
+    #[test]
+    fn partial_overwrite() {
+        let mut m = Store::new();
+        m.write(100, &[1, 1, 1, 1]);
+        m.write(102, &[2, 2]);
+        assert_eq!(m.read(100, 4), vec![1, 1, 2, 2]);
+    }
+}

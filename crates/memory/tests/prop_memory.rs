@@ -1,0 +1,122 @@
+//! Property-based tests for the memory substrate: the sparse store
+//! behaves like a flat byte array, RMW ops match their scalar semantics,
+//! DRAM timing is causal, and the KV store behaves like a map.
+
+use edm_memory::dram::{AccessKind, DramConfig, DramTiming};
+use edm_memory::rmw::{RmwOp, RmwRequest};
+use edm_memory::{KvStore, Store};
+use edm_sim::Time;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// The sparse store agrees with a reference HashMap<addr, byte> under
+    /// arbitrary interleaved writes and reads.
+    #[test]
+    fn store_matches_reference(
+        writes in proptest::collection::vec(
+            (0u64..10_000, proptest::collection::vec(any::<u8>(), 1..64)),
+            1..50
+        ),
+        probes in proptest::collection::vec((0u64..10_000, 1usize..64), 1..20),
+    ) {
+        let mut store = Store::new();
+        let mut reference: HashMap<u64, u8> = HashMap::new();
+        for (addr, data) in &writes {
+            store.write(*addr, data);
+            for (i, &b) in data.iter().enumerate() {
+                reference.insert(addr + i as u64, b);
+            }
+        }
+        for &(addr, len) in &probes {
+            let got = store.read(addr, len);
+            for (i, &b) in got.iter().enumerate() {
+                let want = reference.get(&(addr + i as u64)).copied().unwrap_or(0);
+                prop_assert_eq!(b, want, "mismatch at {}", addr + i as u64);
+            }
+        }
+    }
+
+    /// Every RMW opcode matches its scalar definition and returns the
+    /// original value.
+    #[test]
+    fn rmw_scalar_semantics(initial in any::<u64>(), operand in any::<u64>(), operand2 in any::<u64>()) {
+        let cases: Vec<(RmwOp, u64)> = vec![
+            (RmwOp::FetchAdd(operand), initial.wrapping_add(operand)),
+            (RmwOp::Swap(operand), operand),
+            (RmwOp::And(operand), initial & operand),
+            (RmwOp::Or(operand), initial | operand),
+            (RmwOp::Xor(operand), initial ^ operand),
+            (RmwOp::Min(operand), initial.min(operand)),
+            (RmwOp::Max(operand), initial.max(operand)),
+            (
+                RmwOp::CompareAndSwap { expected: operand, desired: operand2 },
+                if initial == operand { operand2 } else { initial },
+            ),
+        ];
+        for (op, want_stored) in cases {
+            let mut store = Store::new();
+            store.write_u64(64, initial);
+            let original = RmwRequest { addr: 64, op }.execute(&mut store);
+            prop_assert_eq!(original, initial, "{:?} must return the original", op);
+            prop_assert_eq!(store.read_u64(64), want_stored, "{:?} stored value", op);
+        }
+    }
+
+    /// DRAM timing is causal and busy-consistent: completions never
+    /// precede issue, and per-bank accesses never overlap.
+    #[test]
+    fn dram_timing_causal(
+        accesses in proptest::collection::vec((0u64..1_000_000, 1usize..512, 0u64..10_000), 1..60)
+    ) {
+        let mut dram = DramTiming::new(DramConfig::ddr4_2400());
+        let mut issued = Time::ZERO;
+        let mut completions: Vec<(u64, Time, Time)> = Vec::new(); // (bank-ish addr, start, complete)
+        for &(addr, len, gap) in &accesses {
+            issued = issued + edm_sim::Duration::from_ps(gap);
+            let t = dram.access(issued, addr, len, AccessKind::Read);
+            prop_assert!(t.start >= issued, "service before issue");
+            prop_assert!(t.complete > t.start, "zero-time access");
+            completions.push((addr / 8192 % 16, t.start, t.complete));
+        }
+        // Same-bank accesses are serialized.
+        for i in 0..completions.len() {
+            for j in i + 1..completions.len() {
+                let (b1, s1, c1) = completions[i];
+                let (b2, s2, c2) = completions[j];
+                if b1 == b2 {
+                    prop_assert!(
+                        c1 <= s2 || c2 <= s1,
+                        "bank {b1} overlap: [{s1},{c1}] vs [{s2},{c2}]"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The KV store behaves like a HashMap under arbitrary put/get
+    /// sequences (within capacity).
+    #[test]
+    fn kvstore_matches_map(
+        ops in proptest::collection::vec((0u64..64, proptest::collection::vec(any::<u8>(), 0..32), any::<bool>()), 1..80)
+    ) {
+        let mut kv = KvStore::new(256, 32);
+        let mut reference: HashMap<u64, Vec<u8>> = HashMap::new();
+        for (key, value, is_put) in &ops {
+            if *is_put && !value.is_empty() {
+                kv.put(Time::ZERO, *key, value).expect("capacity ample");
+                reference.insert(*key, value.clone());
+            } else {
+                match (kv.get(Time::ZERO, *key), reference.get(key)) {
+                    (Ok(resp), Some(want)) => prop_assert_eq!(&resp.value, want),
+                    (Err(_), None) => {}
+                    (got, want) => prop_assert!(
+                        false,
+                        "kv/get mismatch for key {key}: {got:?} vs {want:?}"
+                    ),
+                }
+            }
+        }
+        prop_assert_eq!(kv.len(), reference.len() as u64);
+    }
+}

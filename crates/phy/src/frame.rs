@@ -1,0 +1,226 @@
+//! MAC-frame ⇄ PHY-block encoding (the PCS encoder/decoder).
+//!
+//! An Ethernet frame is encoded as `/S/` (7 bytes) + `/D/`×k (8 bytes each)
+//! + `/T_r/` (0–7 bytes). A 64 B minimum frame therefore occupies exactly
+//! 9 blocks (`/S/` + 7 `/D/` + `/T1/`), matching §3.2 of the paper. The
+//! encoder is also responsible for the inter-frame gap: at least
+//! [`MIN_IFG_BLOCKS`] idle blocks trail every frame (the 12-byte / 96-bit
+//! IFG of 802.3, rounded to block granularity — these are the idle slots
+//! EDM repurposes to carry memory traffic).
+
+use crate::block::Block;
+use core::fmt;
+
+/// Minimum Ethernet MAC frame size in bytes.
+pub const MIN_FRAME_BYTES: usize = 64;
+
+/// Maximum standard (non-jumbo) frame size in bytes.
+pub const MTU_FRAME_BYTES: usize = 1518;
+
+/// Idle blocks that must trail a frame: the 96-bit IFG is 1.5 blocks; the
+/// encoder rounds up to 2 whole blocks.
+pub const MIN_IFG_BLOCKS: usize = 2;
+
+/// Errors from [`encode_frame`]/[`decode_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Frame shorter than the 64 B MAC minimum.
+    TooShort(usize),
+    /// Decoder saw a block sequence that is not `/S/ /D/* /T/`.
+    MalformedSequence(&'static str),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooShort(n) => {
+                write!(f, "frame of {n} bytes is below the 64 B MAC minimum")
+            }
+            FrameError::MalformedSequence(why) => write!(f, "malformed block sequence: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes a MAC frame into PHY blocks (without trailing IFG idles; see
+/// [`encode_frame_with_ifg`]).
+///
+/// # Errors
+///
+/// Returns [`FrameError::TooShort`] if `frame` is under 64 bytes.
+///
+/// ```
+/// use edm_phy::frame::encode_frame;
+/// let blocks = encode_frame(&[0u8; 64]).unwrap();
+/// assert_eq!(blocks.len(), 9); // /S/ + 7x/D/ + /T1/
+/// ```
+pub fn encode_frame(frame: &[u8]) -> Result<Vec<Block>, FrameError> {
+    if frame.len() < MIN_FRAME_BYTES {
+        return Err(FrameError::TooShort(frame.len()));
+    }
+    let mut blocks = Vec::with_capacity(2 + frame.len() / 8);
+    let mut start = [0u8; 7];
+    start.copy_from_slice(&frame[..7]);
+    blocks.push(Block::Start(start));
+    let rest = &frame[7..];
+    let mut chunks = rest.chunks_exact(8);
+    for c in &mut chunks {
+        let mut d = [0u8; 8];
+        d.copy_from_slice(c);
+        blocks.push(Block::Data(d));
+    }
+    let rem = chunks.remainder();
+    let mut tail = [0u8; 7];
+    tail[..rem.len()].copy_from_slice(rem);
+    blocks.push(Block::Terminate {
+        bytes: tail,
+        len: rem.len() as u8,
+    });
+    Ok(blocks)
+}
+
+/// Encodes a frame and appends the mandatory inter-frame gap idles.
+///
+/// # Errors
+///
+/// Returns [`FrameError::TooShort`] if `frame` is under 64 bytes.
+pub fn encode_frame_with_ifg(frame: &[u8]) -> Result<Vec<Block>, FrameError> {
+    let mut blocks = encode_frame(frame)?;
+    blocks.extend(std::iter::repeat_n(Block::Idle, MIN_IFG_BLOCKS));
+    Ok(blocks)
+}
+
+/// Decodes a contiguous `/S/ /D/* /T/` block run back into the MAC frame.
+/// Leading and trailing `/E/` idles are permitted and skipped.
+///
+/// # Errors
+///
+/// Returns [`FrameError::MalformedSequence`] if the run does not follow the
+/// frame grammar, and [`FrameError::TooShort`] if the decoded frame violates
+/// the MAC minimum.
+pub fn decode_frame(blocks: &[Block]) -> Result<Vec<u8>, FrameError> {
+    let mut it = blocks.iter().skip_while(|b| **b == Block::Idle).peekable();
+    let mut frame = Vec::new();
+    match it.next() {
+        Some(Block::Start(first)) => frame.extend_from_slice(first),
+        _ => return Err(FrameError::MalformedSequence("expected /S/ first")),
+    }
+    loop {
+        match it.next() {
+            Some(Block::Data(d)) => frame.extend_from_slice(d),
+            Some(Block::Terminate { bytes, len }) => {
+                frame.extend_from_slice(&bytes[..*len as usize]);
+                break;
+            }
+            Some(_) => return Err(FrameError::MalformedSequence("expected /D/ or /T/")),
+            None => return Err(FrameError::MalformedSequence("frame not terminated")),
+        }
+    }
+    for b in it {
+        if *b != Block::Idle {
+            return Err(FrameError::MalformedSequence("data after /T/"));
+        }
+    }
+    if frame.len() < MIN_FRAME_BYTES {
+        return Err(FrameError::TooShort(frame.len()));
+    }
+    Ok(frame)
+}
+
+/// Number of PHY blocks a frame of `len` bytes occupies (excluding IFG).
+pub fn blocks_for_frame(len: usize) -> usize {
+    assert!(len >= MIN_FRAME_BYTES, "frame below MAC minimum");
+    // /S/ carries 7, each /D/ carries 8, /T/ carries the remainder.
+    2 + (len - 7) / 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_frame_is_nine_blocks() {
+        // The paper: "Ethernet enforces at least 9 PHY blocks
+        // (/S/, /T/, 7 /D/ blocks) per frame".
+        let blocks = encode_frame(&[0xAB; 64]).unwrap();
+        assert_eq!(blocks.len(), 9);
+        assert!(matches!(blocks[0], Block::Start(_)));
+        assert_eq!(
+            blocks[1..8]
+                .iter()
+                .filter(|b| matches!(b, Block::Data(_)))
+                .count(),
+            7
+        );
+        assert!(matches!(blocks[8], Block::Terminate { len: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        for len in [64usize, 65, 71, 72, 100, 512, 1500, 1518, 9000] {
+            let frame: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let blocks = encode_frame(&frame).unwrap();
+            assert_eq!(blocks.len(), blocks_for_frame(len));
+            let back = decode_frame(&blocks).unwrap();
+            assert_eq!(back, frame, "roundtrip failed for len {len}");
+        }
+    }
+
+    #[test]
+    fn short_frame_rejected() {
+        assert_eq!(encode_frame(&[0; 63]).unwrap_err(), FrameError::TooShort(63));
+    }
+
+    #[test]
+    fn ifg_appended() {
+        let blocks = encode_frame_with_ifg(&[0; 64]).unwrap();
+        assert_eq!(blocks.len(), 9 + MIN_IFG_BLOCKS);
+        assert!(blocks[9..].iter().all(|b| *b == Block::Idle));
+    }
+
+    #[test]
+    fn decode_skips_surrounding_idles() {
+        let mut blocks = vec![Block::Idle, Block::Idle];
+        blocks.extend(encode_frame(&[7; 64]).unwrap());
+        blocks.push(Block::Idle);
+        assert_eq!(decode_frame(&blocks).unwrap(), vec![7; 64]);
+    }
+
+    #[test]
+    fn decode_rejects_missing_start() {
+        let blocks = vec![Block::Data([0; 8])];
+        assert!(matches!(
+            decode_frame(&blocks),
+            Err(FrameError::MalformedSequence(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_unterminated() {
+        let mut blocks = encode_frame(&[0; 64]).unwrap();
+        blocks.pop(); // drop /T/
+        assert!(matches!(
+            decode_frame(&blocks),
+            Err(FrameError::MalformedSequence(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_interleaved_memory_block() {
+        let mut blocks = encode_frame(&[0; 64]).unwrap();
+        blocks.insert(3, Block::MemStart([0; 7]));
+        assert!(matches!(
+            decode_frame(&blocks),
+            Err(FrameError::MalformedSequence(_))
+        ));
+    }
+
+    #[test]
+    fn blocks_for_frame_matches_encoder() {
+        for len in 64..600 {
+            let frame = vec![0u8; len];
+            assert_eq!(encode_frame(&frame).unwrap().len(), blocks_for_frame(len));
+        }
+    }
+}

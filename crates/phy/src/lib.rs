@@ -1,0 +1,74 @@
+//! `edm-phy` — an Ethernet Physical Coding Sublayer (PCS) substrate with the
+//! EDM extensions from §3.2 of the paper.
+//!
+//! The 10/25/40/100+ GbE PCS transports data as **66-bit blocks**: a 2-bit
+//! sync header plus 64 payload bits. EDM's key insight is that operating at
+//! this granularity (instead of the MAC's 64 B minimum frame) removes the
+//! bandwidth and latency overheads that make small remote-memory messages
+//! expensive on Ethernet. This crate models, at block granularity:
+//!
+//! * [`block`] — the 66-bit block taxonomy: standard `/S/ /D/ /T/ /E/`
+//!   blocks plus EDM's `/MS/ /MD/ /MT/ /MST/ /N/ /G/` block types;
+//! * [`frame`] — MAC-frame ⇄ block encoding (the PCS encoder/decoder),
+//!   including the 9-blocks-per-minimum-frame structure and the inter-frame
+//!   gap (IFG);
+//! * [`mem_codec`] — EDM memory-message ⇄ block encoding, which is what
+//!   lets an 8 B read request travel as a *single* PHY block;
+//! * [`scramble`] — the self-synchronizing x^58 + x^39 + 1 scrambler pair;
+//! * [`pcs`] — the composed Figure-3 pipeline: encoder → EDM TX →
+//!   scrambler on egress, block sync → descrambler → EDM RX → decoder on
+//!   ingress, with a bit-exact loopback;
+//! * [`preempt`] — EDM's intra-frame preemption: a TX multiplexer that
+//!   interleaves memory blocks into non-memory frames at 66-bit granularity,
+//!   and the RX reorder buffer that re-contiguizes preempted frames before
+//!   the standard decoder sees them (§3.2.3);
+//! * [`overhead`] — exact wire-cost accounting for MAC-layer vs PHY-layer
+//!   transport of memory messages (drives the Figure 6 reproduction).
+//!
+//! # Example: a small memory message needs only two blocks
+//!
+//! ```
+//! use edm_phy::mem_codec::{encode_message, decode_message, MemMessage};
+//!
+//! let msg = MemMessage::new(0, 1, vec![0xAB; 8]);
+//! let blocks = encode_message(&msg);
+//! assert!(blocks.len() <= 3);
+//! let back = decode_message(&blocks).unwrap();
+//! assert_eq!(back.payload(), msg.payload());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod frame;
+pub mod mem_codec;
+pub mod overhead;
+pub mod pcs;
+pub mod preempt;
+pub mod scramble;
+
+pub use block::{Block, SyncHeader};
+pub use frame::{decode_frame, encode_frame, FrameError};
+pub use pcs::{PcsRx, PcsTx, WireWord};
+pub use preempt::{PreemptMux, RxReorderBuffer, TxPolicy};
+pub use scramble::{Descrambler, Scrambler};
+
+/// The PHY block clock period for 25 GbE: one 64-bit payload every 2.56 ns.
+///
+/// All per-stage latencies in the paper (Table 1, Figure 5) are multiples of
+/// this cycle.
+pub const BLOCK_CLOCK: edm_sim::Duration = edm_sim::Duration::from_ps(2_560);
+
+/// Bits on the wire per PHY block (2 sync + 64 payload).
+pub const BLOCK_WIRE_BITS: u64 = 66;
+
+/// Payload bits per PHY block.
+pub const BLOCK_PAYLOAD_BITS: u64 = 64;
+
+/// Data bytes carried by a full `/D/` (or `/MD/`) data block.
+pub const DATA_BLOCK_BYTES: usize = 8;
+
+/// Data bytes carried by a control block (56-bit payload after the 8-bit
+/// block-type field).
+pub const CTRL_BLOCK_BYTES: usize = 7;

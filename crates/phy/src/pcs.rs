@@ -1,0 +1,357 @@
+//! The composed PCS pipeline of Figure 3: everything between the MAC's
+//! reconciliation sublayer and the PMA, on both directions.
+//!
+//! ```text
+//!   egress:  encoder -> EDM TX (preemption mux) -> scrambler -> (PMA)
+//!   ingress: (PMA) -> block sync -> descrambler -> EDM RX -> decoder
+//! ```
+//!
+//! [`PcsTx`] accepts MAC frames and EDM memory messages, emits scrambled
+//! 66-bit wire words; [`PcsRx`] locks onto the block boundaries (the
+//! `Blocksync` box of Figure 3), descrambles, extracts memory traffic
+//! with zero buffering, and re-contiguizes preempted frames for the
+//! standard decoder. A [`PcsTx`]→[`PcsRx`] loopback is bit-exact.
+//!
+//! Wire format per block: 66 bits as `(sync: 2 bits, payload: 64 bits)`,
+//! carried here as a `(SyncHeader, u64)` pair after serialization — the
+//! gearbox's 66-to-64-bit lane packing is a pure bit-shuffle with no
+//! architectural effect and is modelled as the identity.
+
+use crate::block::{Block, SyncHeader, WireError};
+use crate::frame::{encode_frame, FrameError};
+use crate::mem_codec::{encode_message, MemMessage};
+use crate::preempt::{PreemptMux, RxError, RxOutput, RxReorderBuffer, TxPolicy};
+use crate::scramble::{Descrambler, Scrambler};
+
+/// A scrambled 66-bit wire word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireWord {
+    /// The 2-bit sync header (transmitted in the clear).
+    pub sync: SyncHeader,
+    /// The scrambled 64-bit payload.
+    pub payload: u64,
+}
+
+/// The transmit-side PCS pipeline.
+#[derive(Debug)]
+pub struct PcsTx {
+    mux: PreemptMux,
+    scrambler: Scrambler,
+    blocks_sent: u64,
+}
+
+impl PcsTx {
+    /// Creates a TX pipeline with the given preemption policy.
+    pub fn new(policy: TxPolicy) -> Self {
+        PcsTx {
+            mux: PreemptMux::new(policy),
+            scrambler: Scrambler::default(),
+            blocks_sent: 0,
+        }
+    }
+
+    /// Queues a MAC frame for transmission (the encoder step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::TooShort`] for sub-64 B frames.
+    pub fn send_frame(&mut self, frame: &[u8]) -> Result<(), FrameError> {
+        let blocks = encode_frame(frame)?;
+        self.mux.enqueue_frame(blocks);
+        Ok(())
+    }
+
+    /// Queues an EDM memory message (the EDM TX step).
+    pub fn send_message(&mut self, msg: &MemMessage) {
+        self.mux.enqueue_memory(encode_message(msg));
+    }
+
+    /// Queues a raw EDM control block (`/N/` or `/G/`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is not a memory-path block.
+    pub fn send_control(&mut self, block: Block) {
+        self.mux.enqueue_memory(vec![block]);
+    }
+
+    /// Advances one block clock: multiplexes, scrambles, emits one wire
+    /// word (idle blocks fill empty slots, as on a real link).
+    pub fn tick(&mut self) -> WireWord {
+        let block = self.mux.tick();
+        let (sync, clear) = block.to_wire();
+        self.blocks_sent += 1;
+        WireWord {
+            sync,
+            payload: self.scrambler.scramble(clear),
+        }
+    }
+
+    /// Whether any traffic is still queued.
+    pub fn is_idle(&self) -> bool {
+        self.mux.pending_memory_blocks() == 0 && self.mux.pending_frame_blocks() == 0
+    }
+
+    /// Total blocks emitted.
+    pub fn blocks_sent(&self) -> u64 {
+        self.blocks_sent
+    }
+}
+
+/// Errors from the receive pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcsRxError {
+    /// The descrambled payload was not a legal block (corruption).
+    Wire(WireError),
+    /// The block sequence violated the TX contract (corruption).
+    Sequence(RxError),
+    /// Receiver has not yet acquired block lock.
+    NotLocked,
+}
+
+impl std::fmt::Display for PcsRxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcsRxError::Wire(e) => write!(f, "wire error: {e}"),
+            PcsRxError::Sequence(e) => write!(f, "sequence error: {e}"),
+            PcsRxError::NotLocked => write!(f, "block sync not acquired"),
+        }
+    }
+}
+
+impl std::error::Error for PcsRxError {}
+
+/// Blocks of consecutive valid sync headers required to declare lock
+/// (IEEE 802.3 clause 49 uses 64; the mechanism is what matters here).
+pub const SYNC_LOCK_THRESHOLD: u32 = 64;
+/// Invalid sync headers within a window that drop lock.
+pub const SYNC_LOSS_THRESHOLD: u32 = 16;
+
+/// The receive-side PCS pipeline: block sync, descrambler, EDM RX,
+/// decoder feed.
+#[derive(Debug)]
+pub struct PcsRx {
+    descrambler: Descrambler,
+    reorder: RxReorderBuffer,
+    locked: bool,
+    good_syncs: u32,
+    bad_syncs: u32,
+    blocks_received: u64,
+}
+
+impl PcsRx {
+    /// Creates an RX pipeline (initially unlocked; feed it idles to lock,
+    /// or use [`PcsRx::assume_locked`] for loopback tests).
+    pub fn new() -> Self {
+        PcsRx {
+            descrambler: Descrambler::default(),
+            reorder: RxReorderBuffer::new(),
+            locked: false,
+            good_syncs: 0,
+            bad_syncs: 0,
+            blocks_received: 0,
+        }
+    }
+
+    /// Creates an RX pipeline that is already block-locked (links in the
+    /// testbed are brought up before traffic).
+    pub fn assume_locked() -> Self {
+        PcsRx {
+            locked: true,
+            ..PcsRx::new()
+        }
+    }
+
+    /// Whether block lock is held.
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Total blocks processed after lock.
+    pub fn blocks_received(&self) -> u64 {
+        self.blocks_received
+    }
+
+    /// Processes one wire word.
+    ///
+    /// Before lock, words only feed the sync state machine and produce no
+    /// output. After lock, each word is descrambled, classified, and —
+    /// for memory blocks — delivered immediately; completed non-memory
+    /// frames are released contiguously.
+    ///
+    /// # Errors
+    ///
+    /// Corruption surfaces as [`PcsRxError::Wire`]/[`PcsRxError::Sequence`]
+    /// (in the architecture, these feed the §3.3 link monitor).
+    pub fn receive(&mut self, word: WireWord) -> Result<RxOutput, PcsRxError> {
+        if !self.locked {
+            // The sync header of every legal 66-bit block is 01 or 10;
+            // a real implementation hunts for an alignment with a run of
+            // valid headers. Our words are always aligned, so every word
+            // counts toward lock.
+            self.good_syncs += 1;
+            if self.good_syncs >= SYNC_LOCK_THRESHOLD {
+                self.locked = true;
+            }
+            // Run the descrambler during acquisition so its state is
+            // synchronized by the time lock is declared.
+            let _ = self.descrambler.descramble(word.payload);
+            return Err(PcsRxError::NotLocked);
+        }
+        self.blocks_received += 1;
+        let clear = self.descrambler.descramble(word.payload);
+        let block = Block::from_wire(word.sync, clear).map_err(|e| {
+            self.bad_syncs += 1;
+            if self.bad_syncs >= SYNC_LOSS_THRESHOLD {
+                self.locked = false;
+                self.good_syncs = 0;
+                self.bad_syncs = 0;
+            }
+            PcsRxError::Wire(e)
+        })?;
+        self.bad_syncs = 0;
+        self.reorder.push(block).map_err(PcsRxError::Sequence)
+    }
+}
+
+impl Default for PcsRx {
+    fn default() -> Self {
+        PcsRx::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::decode_frame;
+    use crate::mem_codec::decode_message;
+
+    /// Runs a TX->RX loopback until TX drains, returning the extracted
+    /// memory blocks and completed frames.
+    fn loopback(tx: &mut PcsTx, rx: &mut PcsRx) -> (Vec<Block>, Vec<Vec<Block>>) {
+        let mut mem = Vec::new();
+        let mut frames = Vec::new();
+        while !tx.is_idle() {
+            let out = rx.receive(tx.tick()).expect("clean link");
+            mem.extend(out.mem);
+            if let Some(f) = out.frame {
+                frames.push(f);
+            }
+        }
+        (mem, frames)
+    }
+
+    #[test]
+    fn loopback_frame_bit_exact() {
+        let mut tx = PcsTx::new(TxPolicy::Fair);
+        let mut rx = PcsRx::assume_locked();
+        let frame: Vec<u8> = (0..999).map(|i| (i % 241) as u8).collect();
+        tx.send_frame(&frame).unwrap();
+        let (_, frames) = loopback(&mut tx, &mut rx);
+        assert_eq!(decode_frame(&frames[0]).unwrap(), frame);
+    }
+
+    #[test]
+    fn loopback_interleaved_memory_and_frames() {
+        let mut tx = PcsTx::new(TxPolicy::Fair);
+        let mut rx = PcsRx::assume_locked();
+        let frame = vec![0x3Cu8; 512];
+        tx.send_frame(&frame).unwrap();
+        let msg = MemMessage::new(3, 9, vec![0x77; 48]);
+        tx.send_message(&msg);
+        tx.send_control(Block::Notify {
+            dest: 3,
+            msg_id: 9,
+            size: 48,
+        });
+        let (mem, frames) = loopback(&mut tx, &mut rx);
+        assert_eq!(decode_frame(&frames[0]).unwrap(), frame);
+        // The /N/ control block and the full message both arrive.
+        assert!(mem.iter().any(|b| matches!(b, Block::Notify { size: 48, .. })));
+        let msg_blocks: Vec<Block> = mem
+            .iter()
+            .filter(|b| {
+                matches!(
+                    b,
+                    Block::MemStart(_) | Block::MemData(_) | Block::MemTerminate { .. }
+                )
+            })
+            .cloned()
+            .collect();
+        assert_eq!(decode_message(&msg_blocks).unwrap(), msg);
+    }
+
+    #[test]
+    fn block_sync_acquires_after_threshold() {
+        let mut tx = PcsTx::new(TxPolicy::Fair);
+        let mut rx = PcsRx::new();
+        assert!(!rx.is_locked());
+        for i in 0..SYNC_LOCK_THRESHOLD {
+            let r = rx.receive(tx.tick());
+            assert_eq!(r.unwrap_err(), PcsRxError::NotLocked, "word {i}");
+        }
+        assert!(rx.is_locked());
+        // Post-lock traffic flows normally (descrambler self-synced during
+        // acquisition).
+        tx.send_message(&MemMessage::new(0, 0, vec![1; 16]));
+        let mut mem = Vec::new();
+        while !tx.is_idle() {
+            mem.extend(rx.receive(tx.tick()).expect("locked link").mem);
+        }
+        assert_eq!(decode_message(&mem).unwrap().payload(), &[1; 16]);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut tx = PcsTx::new(TxPolicy::Fair);
+        let mut rx = PcsRx::assume_locked();
+        tx.send_message(&MemMessage::new(0, 0, vec![9; 8]));
+        let mut word = tx.tick();
+        word.payload ^= 0xFFFF; // corrupt the wire
+        // Either the block type becomes illegal or the sequence breaks —
+        // in both cases the corruption is observable, feeding the link
+        // monitor of §3.3. (A corrupted /MS/ that still parses as some
+        // legal control block may surface on a *later* block instead.)
+        let mut saw_error = rx.receive(word).is_err();
+        while !tx.is_idle() {
+            saw_error |= rx.receive(tx.tick()).is_err();
+        }
+        assert!(saw_error, "corruption must not pass silently");
+    }
+
+    #[test]
+    fn idle_link_stays_idle() {
+        let mut tx = PcsTx::new(TxPolicy::Fair);
+        let mut rx = PcsRx::assume_locked();
+        for _ in 0..100 {
+            let out = rx.receive(tx.tick()).expect("idles are legal");
+            assert!(out.mem.is_empty());
+            assert!(out.frame.is_none());
+        }
+        assert_eq!(rx.blocks_received(), 100);
+    }
+
+    #[test]
+    fn sustained_duplex_traffic() {
+        // Two independent directions, long alternating traffic; everything
+        // must survive bit-exact through scrambling and preemption.
+        let mut tx_a = PcsTx::new(TxPolicy::Fair);
+        let mut rx_b = PcsRx::assume_locked();
+        let mut total_frames = 0;
+        let mut total_msgs = 0;
+        for round in 0..20u32 {
+            let frame = vec![(round % 251) as u8; 64 + (round as usize * 37) % 900];
+            tx_a.send_frame(&frame).unwrap();
+            tx_a.send_message(&MemMessage::new(1, round as u8, vec![round as u8; 24]));
+            let (mem, frames) = loopback(&mut tx_a, &mut rx_b);
+            total_frames += frames.len();
+            total_msgs += mem
+                .iter()
+                .filter(|b| matches!(b, Block::MemStart(_)))
+                .count();
+            assert_eq!(decode_frame(&frames[0]).unwrap(), frame, "round {round}");
+        }
+        assert_eq!(total_frames, 20);
+        assert_eq!(total_msgs, 20);
+    }
+}

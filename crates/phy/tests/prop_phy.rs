@@ -1,0 +1,138 @@
+//! Property-based tests for the PHY substrate: codec round-trips,
+//! scrambler self-synchronization, and preemption-mux invariants.
+
+use edm_phy::block::Block;
+use edm_phy::frame::{decode_frame, encode_frame};
+use edm_phy::mem_codec::{decode_message, encode_message, MemMessage};
+use edm_phy::preempt::{PreemptMux, RxReorderBuffer, TxPolicy};
+use edm_phy::scramble::{Descrambler, Scrambler};
+use proptest::prelude::*;
+
+proptest! {
+    /// Any frame of MAC-legal size round-trips through the PCS encoder.
+    #[test]
+    fn frame_codec_roundtrip(frame in proptest::collection::vec(any::<u8>(), 64..4096)) {
+        let blocks = encode_frame(&frame).expect("legal size");
+        let back = decode_frame(&blocks).expect("decodes");
+        prop_assert_eq!(back, frame);
+    }
+
+    /// Any memory message round-trips through the /MS/../MT/ codec with
+    /// header fields intact.
+    #[test]
+    fn mem_codec_roundtrip(
+        dest in 0u16..512,
+        msg_id in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let msg = MemMessage::new(dest, msg_id, payload);
+        let back = decode_message(&encode_message(&msg)).expect("decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// Every block survives the wire encoding (modulo the contextual
+    /// /D/ vs /MD/ distinction).
+    #[test]
+    fn block_wire_roundtrip(payload in proptest::collection::vec(any::<u8>(), 8), len in 0u8..=7) {
+        let mut seven = [0u8; 7];
+        seven.copy_from_slice(&payload[..7]);
+        let mut eight = [0u8; 8];
+        eight.copy_from_slice(&payload);
+        for block in [
+            Block::Idle,
+            Block::Start(seven),
+            Block::Data(eight),
+            Block::Terminate { bytes: seven, len },
+            Block::MemStart(seven),
+            Block::MemTerminate { bytes: seven, len },
+        ] {
+            let (sync, wire) = block.to_wire();
+            let back = Block::from_wire(sync, wire).expect("decodes");
+            prop_assert_eq!(back, block);
+        }
+    }
+
+    /// Scrambler followed by descrambler is the identity once the
+    /// descrambler has synchronized — regardless of seeds.
+    #[test]
+    fn scrambler_self_synchronizes(
+        tx_seed in any::<u64>(),
+        rx_seed in any::<u64>(),
+        payloads in proptest::collection::vec(any::<u64>(), 2..64),
+    ) {
+        let mut tx = Scrambler::new(tx_seed);
+        let mut rx = Descrambler::new(rx_seed);
+        // First block may be garbled (unsynchronized state).
+        let _ = rx.descramble(tx.scramble(payloads[0]));
+        for &p in &payloads[1..] {
+            prop_assert_eq!(rx.descramble(tx.scramble(p)), p);
+        }
+    }
+
+    /// The preemption mux conserves and orders everything: all frame
+    /// blocks come out in order, memory messages stay atomic, and the RX
+    /// reorder buffer reconstructs the original frame exactly.
+    #[test]
+    fn preemption_preserves_frames_and_messages(
+        frame in proptest::collection::vec(any::<u8>(), 64..2048),
+        msgs in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..128), 0..6),
+        progress in 0usize..16,
+        fair in any::<bool>(),
+    ) {
+        let policy = if fair { TxPolicy::Fair } else { TxPolicy::MemoryFirst };
+        let mut mux = PreemptMux::new(policy);
+        mux.enqueue_frame(encode_frame(&frame).expect("legal"));
+        let mut wire = Vec::new();
+        for _ in 0..progress {
+            wire.push(mux.tick());
+        }
+        for m in &msgs {
+            mux.enqueue_memory(encode_message(&MemMessage::new(1, 0, m.clone())));
+        }
+        wire.extend(mux.drain());
+
+        let mut rx = RxReorderBuffer::new();
+        let mut mem_blocks = Vec::new();
+        let mut frames = Vec::new();
+        for b in wire {
+            let out = rx.push(b).expect("legal TX stream");
+            mem_blocks.extend(out.mem);
+            if let Some(f) = out.frame {
+                frames.push(f);
+            }
+        }
+        prop_assert_eq!(frames.len(), 1, "exactly one frame");
+        prop_assert_eq!(decode_frame(&frames[0]).expect("frame intact"), frame);
+        // Split the memory stream back into messages at /MS/ boundaries.
+        let mut recovered = Vec::new();
+        let mut current: Vec<Block> = Vec::new();
+        for b in mem_blocks {
+            if matches!(b, Block::MemStart(_)) && !current.is_empty() {
+                recovered.push(std::mem::take(&mut current));
+            }
+            current.push(b);
+        }
+        if !current.is_empty() {
+            recovered.push(current);
+        }
+        prop_assert_eq!(recovered.len(), msgs.len());
+        for (run, want) in recovered.iter().zip(&msgs) {
+            let got = decode_message(run).expect("message intact");
+            prop_assert_eq!(got.payload(), &want[..]);
+        }
+    }
+
+    /// Wire-cost accounting: EDM never loses to the MAC path for memory
+    /// messages, and both are monotone in payload size.
+    #[test]
+    fn overhead_sanity(payload in 1u64..16384) {
+        use edm_phy::overhead::{edm_wire_bits, mac_wire_bits, Encapsulation};
+        prop_assert!(edm_wire_bits(payload) <= mac_wire_bits(payload, Encapsulation::RawEthernet));
+        prop_assert!(edm_wire_bits(payload + 8) >= edm_wire_bits(payload));
+        prop_assert!(
+            mac_wire_bits(payload + 8, Encapsulation::RoCEv2)
+                >= mac_wire_bits(payload, Encapsulation::RoCEv2)
+        );
+    }
+}

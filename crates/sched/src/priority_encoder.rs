@@ -1,0 +1,110 @@
+//! A priority encoder: resolves the most-significant asserted bit of a
+//! request vector in a single clock cycle (§3.1.2).
+//!
+//! During the second cycle of each PIM iteration, every source port must
+//! pick the highest-priority destination among those that requested it.
+//! EDM keeps, per source port, an array of destination ports sorted by
+//! priority; destinations assert their index, and this encoder returns the
+//! most significant asserted index — 1 cycle, independent of how many bits
+//! are set.
+
+/// Cycle cost of one resolution.
+pub const RESOLVE_CYCLES: u64 = 1;
+
+/// A fixed-width priority encoder with cycle accounting.
+#[derive(Debug, Clone)]
+pub struct PriorityEncoder {
+    bits: Vec<bool>,
+    cycles: u64,
+}
+
+impl PriorityEncoder {
+    /// Creates an encoder over `width` request lines, all deasserted.
+    pub fn new(width: usize) -> Self {
+        PriorityEncoder {
+            bits: vec![false; width],
+            cycles: 0,
+        }
+    }
+
+    /// Number of request lines.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Total cycles consumed by [`PriorityEncoder::resolve`] calls.
+    pub fn cycles_consumed(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Asserts request line `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set(&mut self, idx: usize) {
+        self.bits[idx] = true;
+    }
+
+    /// Deasserts all request lines.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Returns the most significant asserted index (1 cycle), or `None`.
+    ///
+    /// Index 0 is the *most significant* position: in EDM's layout the
+    /// per-source array is sorted with the highest-priority destination at
+    /// index 0.
+    pub fn resolve(&mut self) -> Option<usize> {
+        self.cycles += RESOLVE_CYCLES;
+        self.bits.iter().position(|&b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_most_significant() {
+        let mut pe = PriorityEncoder::new(8);
+        pe.set(5);
+        pe.set(2);
+        pe.set(7);
+        assert_eq!(pe.resolve(), Some(2));
+    }
+
+    #[test]
+    fn empty_resolves_none() {
+        let mut pe = PriorityEncoder::new(4);
+        assert_eq!(pe.resolve(), None);
+        assert_eq!(pe.cycles_consumed(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut pe = PriorityEncoder::new(4);
+        pe.set(0);
+        pe.clear();
+        assert_eq!(pe.resolve(), None);
+    }
+
+    #[test]
+    fn one_cycle_per_resolve_regardless_of_population() {
+        let mut pe = PriorityEncoder::new(512);
+        for i in 0..512 {
+            pe.set(i);
+        }
+        let before = pe.cycles_consumed();
+        pe.resolve();
+        assert_eq!(pe.cycles_consumed() - before, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_set_panics() {
+        let mut pe = PriorityEncoder::new(2);
+        pe.set(2);
+    }
+}

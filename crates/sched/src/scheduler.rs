@@ -1,0 +1,621 @@
+//! The full grant engine (§3.1.1): demand notification queues, chunked
+//! grants, timed busy release, and the FCFS/SRPT priority policies.
+//!
+//! Life of a message through the scheduler:
+//!
+//! 1. A sender announces demand ([`Scheduler::notify`]) — explicitly for
+//!    writes (`/N/` block), implicitly for reads (the RREQ itself).
+//! 2. At each [`Scheduler::poll`], the scheduler frees ports whose chunk
+//!    timers expired, runs priority PIM over all eligible demand, and
+//!    issues one [`Grant`] of up to `chunk_bytes` per matched pair.
+//! 3. A granted port pair is *busy* for exactly `chunk/B` — the paper's
+//!    step (7): releasing after the chunk's transmission time (not its
+//!    arrival) keeps the pipe full despite propagation delay.
+//! 4. When a message's remaining bytes reach zero it leaves the queue.
+
+use crate::ordered_list::OrderedList;
+use crate::pim::{self, PimConfig, PimRunner};
+use edm_sim::{Bandwidth, Duration, Time};
+use std::fmt;
+
+/// Scheduling priority policy (§3.1.1, property 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Policy {
+    /// First-come-first-serve: priority = notification time. Optimal for
+    /// light-tailed workloads.
+    Fcfs,
+    /// Shortest remaining processing time: priority = remaining bytes.
+    /// Optimal for heavy-tailed workloads. Applied only *across*
+    /// source–destination pairs; messages within a pair stay in order.
+    #[default]
+    Srpt,
+}
+
+/// A demand notification: source port, destination port, message id, size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Notification {
+    /// Source switch port.
+    pub src: u16,
+    /// Destination switch port.
+    pub dest: u16,
+    /// Message id (unique within the source–destination pair).
+    pub msg_id: u8,
+    /// Message size in bytes.
+    pub size_bytes: u32,
+}
+
+impl Notification {
+    /// Creates a notification.
+    pub fn new(src: u16, dest: u16, msg_id: u8, size_bytes: u32) -> Self {
+        Notification {
+            src,
+            dest,
+            msg_id,
+            size_bytes,
+        }
+    }
+}
+
+/// A grant: permission for `src` to send a chunk of message `msg_id`
+/// toward `dest`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// Source port being granted.
+    pub src: u16,
+    /// Destination port of the granted message.
+    pub dest: u16,
+    /// Message id of the granted message.
+    pub msg_id: u8,
+    /// Granted bytes (≤ configured chunk size).
+    pub chunk_bytes: u32,
+    /// Bytes remaining in the message *after* this chunk.
+    pub remaining_after: u32,
+    /// When the grant was issued.
+    pub issued_at: Time,
+}
+
+impl Grant {
+    /// Whether this grant completes its message.
+    pub fn is_final(&self) -> bool {
+        self.remaining_after == 0
+    }
+}
+
+/// Why a notification was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotifyError {
+    /// The source–destination pair already has X active notifications
+    /// (§3.1.2: senders rate-limit to X per destination).
+    PairLimitReached {
+        /// The configured X.
+        limit: usize,
+    },
+    /// A port index is out of range.
+    BadPort {
+        /// The offending port number.
+        port: u16,
+    },
+    /// Zero-byte messages carry no demand.
+    EmptyMessage,
+}
+
+impl fmt::Display for NotifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotifyError::PairLimitReached { limit } => {
+                write!(f, "pair already has {limit} active notifications")
+            }
+            NotifyError::BadPort { port } => write!(f, "port {port} out of range"),
+            NotifyError::EmptyMessage => write!(f, "zero-byte message"),
+        }
+    }
+}
+
+impl std::error::Error for NotifyError {}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Number of switch ports.
+    pub ports: usize,
+    /// Maximum chunk size in bytes (§3.1.3 sets 128 B minimum for a
+    /// 512×100G switch; the evaluation uses 256 B).
+    pub chunk_bytes: u32,
+    /// Link bandwidth (used for the busy-release timer `chunk/B`).
+    pub link: Bandwidth,
+    /// Priority policy.
+    pub policy: Policy,
+    /// X — max active notifications per source–destination pair (§3.1.2;
+    /// the evaluation found X=3 works best).
+    pub max_active_per_pair: usize,
+    /// Scheduler pipeline clock period (ASIC: 1/3 ns).
+    pub clock: Duration,
+}
+
+impl SchedulerConfig {
+    /// The evaluation-section defaults for an `n`-port switch:
+    /// 100 Gb/s links, 256 B chunks, SRPT, X=3, 3 GHz clock.
+    pub fn default_for_ports(n: usize) -> Self {
+        SchedulerConfig {
+            ports: n,
+            chunk_bytes: 256,
+            link: Bandwidth::from_gbps(100),
+            policy: Policy::Srpt,
+            max_active_per_pair: 3,
+            clock: crate::ASIC_CLOCK,
+        }
+    }
+}
+
+/// A queued message inside a notification queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueuedMsg {
+    src: u16,
+    msg_id: u8,
+    remaining: u32,
+    notified_at: Time,
+}
+
+/// Result of one [`Scheduler::poll`].
+#[derive(Debug, Clone, Default)]
+pub struct PollResult {
+    /// Grants issued by this poll (one per matched port pair).
+    pub grants: Vec<Grant>,
+    /// PIM iterations this poll used.
+    pub pim_iterations: usize,
+    /// The matching latency this poll would take in hardware.
+    pub sched_latency: Duration,
+    /// Earliest future time at which polling again can make progress
+    /// (next busy-timer expiry), if demand remains.
+    pub next_wakeup: Option<Time>,
+}
+
+/// EDM's centralized in-network scheduler.
+pub struct Scheduler {
+    config: SchedulerConfig,
+    /// Per-destination notification queues, priority-keyed per policy.
+    queues: Vec<OrderedList<QueuedMsg>>,
+    /// Per-port TX busy-until (source role; host uplink).
+    src_busy_until: Vec<Time>,
+    /// Per-port RX busy-until (destination role; host downlink).
+    dst_busy_until: Vec<Time>,
+    /// Active notification count per (src, dest) pair, for the X bound.
+    active_per_pair: Vec<u32>,
+    /// Whether a pair currently has its head message in a notification
+    /// queue (in-order delivery, §3.1.1 property 5: priority policies
+    /// apply only *across* pairs; within a pair, messages are FIFO).
+    head_in_queue: Vec<bool>,
+    /// Same-pair messages waiting behind the head, in arrival order.
+    pair_waiting: Vec<std::collections::VecDeque<QueuedMsg>>,
+    pim: PimRunner,
+    /// Total grants issued (stats).
+    grants_issued: u64,
+    /// Total bytes granted (stats).
+    bytes_granted: u64,
+    /// Reusable demand-snapshot buffers (avoids per-poll allocation).
+    demand_scratch: Vec<Vec<(u64, usize)>>,
+}
+
+/// Demand-row depth offered to PIM per destination. The hardware presents
+/// the whole queue in parallel; in the software model a deep row only
+/// matters when more than this many distinct sources contend for one
+/// destination *and* all earlier ones are busy — beyond any realistic
+/// matching fallback depth.
+const PIM_ROW_DEPTH: usize = 64;
+
+impl fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("ports", &self.config.ports)
+            .field("pending", &self.pending_messages())
+            .field("grants_issued", &self.grants_issued)
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.ports` is zero or `chunk_bytes` is zero.
+    pub fn new(config: SchedulerConfig) -> Self {
+        assert!(config.ports > 0, "need at least one port");
+        assert!(config.chunk_bytes > 0, "chunk size must be positive");
+        Scheduler {
+            queues: (0..config.ports).map(|_| OrderedList::new()).collect(),
+            src_busy_until: vec![Time::ZERO; config.ports],
+            dst_busy_until: vec![Time::ZERO; config.ports],
+            active_per_pair: vec![0; config.ports * config.ports],
+            head_in_queue: vec![false; config.ports * config.ports],
+            pair_waiting: (0..config.ports * config.ports)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            pim: PimRunner::new(PimConfig::for_ports(config.ports)),
+            demand_scratch: (0..config.ports).map(|_| Vec::new()).collect(),
+            config,
+            grants_issued: 0,
+            bytes_granted: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Messages currently queued across all destinations.
+    pub fn pending_messages(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Total grants issued so far.
+    pub fn grants_issued(&self) -> u64 {
+        self.grants_issued
+    }
+
+    /// Total bytes granted so far.
+    pub fn bytes_granted(&self) -> u64 {
+        self.bytes_granted
+    }
+
+    /// Active notifications for a (src, dest) pair.
+    pub fn active_for_pair(&self, src: u16, dest: u16) -> usize {
+        self.active_per_pair[self.pair_idx(src, dest)] as usize
+    }
+
+    fn pair_idx(&self, src: u16, dest: u16) -> usize {
+        src as usize * self.config.ports + dest as usize
+    }
+
+    fn priority_key(&self, msg: &QueuedMsg) -> u64 {
+        match self.config.policy {
+            Policy::Fcfs => msg.notified_at.as_ps(),
+            Policy::Srpt => msg.remaining as u64,
+        }
+    }
+
+    /// Registers demand for a message (§3.1.1, "Notification").
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range ports, zero-size messages, and notifications
+    /// beyond the per-pair X bound.
+    pub fn notify(&mut self, now: Time, n: Notification) -> Result<(), NotifyError> {
+        if n.src as usize >= self.config.ports {
+            return Err(NotifyError::BadPort { port: n.src });
+        }
+        if n.dest as usize >= self.config.ports {
+            return Err(NotifyError::BadPort { port: n.dest });
+        }
+        if n.size_bytes == 0 {
+            return Err(NotifyError::EmptyMessage);
+        }
+        let idx = self.pair_idx(n.src, n.dest);
+        if self.active_per_pair[idx] as usize >= self.config.max_active_per_pair {
+            return Err(NotifyError::PairLimitReached {
+                limit: self.config.max_active_per_pair,
+            });
+        }
+        self.active_per_pair[idx] += 1;
+        let msg = QueuedMsg {
+            src: n.src,
+            msg_id: n.msg_id,
+            remaining: n.size_bytes,
+            notified_at: now,
+        };
+        if self.head_in_queue[idx] {
+            // In-order within a pair: wait behind the current head.
+            self.pair_waiting[idx].push_back(msg);
+        } else {
+            self.head_in_queue[idx] = true;
+            let key = self.priority_key(&msg);
+            self.queues[n.dest as usize].insert(key, msg);
+        }
+        Ok(())
+    }
+
+    /// Runs one scheduling round at time `now` (§3.1.1, "Grant").
+    pub fn poll(&mut self, now: Time) -> PollResult {
+        // Eligibility from busy timers.
+        let src_free: Vec<bool> = self.src_busy_until.iter().map(|&t| t <= now).collect();
+        let dst_free: Vec<bool> = self.dst_busy_until.iter().map(|&t| t <= now).collect();
+
+        // Snapshot demand per destination in priority order, reusing the
+        // scratch buffers and skipping busy destinations (they cannot be
+        // matched this round anyway).
+        for (d, row) in self.demand_scratch.iter_mut().enumerate() {
+            row.clear();
+            if !dst_free[d] {
+                continue;
+            }
+            row.extend(
+                self.queues[d]
+                    .iter()
+                    .map(|(k, m)| (k, m.src as usize))
+                    .take(PIM_ROW_DEPTH),
+            );
+        }
+        let demand = std::mem::take(&mut self.demand_scratch);
+
+        let matching = self.pim.run(&demand, &src_free, &dst_free);
+        self.demand_scratch = demand;
+        let mut grants = Vec::with_capacity(matching.pairs.len());
+
+        for &(s, d) in &matching.pairs {
+            // Take the highest-priority message s->d from d's queue.
+            let (_, mut msg) = self.queues[d]
+                .remove_first(|m| m.src as usize == s)
+                .expect("PIM matched an edge that must exist in the queue");
+            let l = msg.remaining.min(self.config.chunk_bytes);
+            msg.remaining -= l;
+            let remaining_after = msg.remaining;
+            if msg.remaining > 0 {
+                let key = self.priority_key(&msg);
+                self.queues[d].insert(key, msg);
+            } else {
+                let idx = self.pair_idx(msg.src, d as u16);
+                self.active_per_pair[idx] -= 1;
+                // The head finished: promote the pair's next message.
+                match self.pair_waiting[idx].pop_front() {
+                    Some(next) => {
+                        let key = self.priority_key(&next);
+                        self.queues[d].insert(key, next);
+                    }
+                    None => self.head_in_queue[idx] = false,
+                }
+            }
+            // Busy for the chunk's transmission time (step 7).
+            let busy = self.config.link.tx_time_bytes(l as u64);
+            self.src_busy_until[s] = now + busy;
+            self.dst_busy_until[d] = now + busy;
+            self.grants_issued += 1;
+            self.bytes_granted += l as u64;
+            grants.push(Grant {
+                src: s as u16,
+                dest: d as u16,
+                msg_id: msg.msg_id,
+                chunk_bytes: l,
+                remaining_after,
+                issued_at: now,
+            });
+        }
+
+        // Next wakeup: earliest busy expiry strictly after now, but only if
+        // demand remains.
+        let next_wakeup = if self.pending_messages() > 0 {
+            self.src_busy_until
+                .iter()
+                .chain(self.dst_busy_until.iter())
+                .filter(|&&t| t > now)
+                .min()
+                .copied()
+        } else {
+            None
+        };
+
+        PollResult {
+            grants,
+            pim_iterations: matching.iterations,
+            sched_latency: Duration::from_ps(matching.cycles * self.config.clock.as_ps()),
+            next_wakeup,
+        }
+    }
+
+    /// The average-case matching latency for this configuration (§3.1.3).
+    pub fn nominal_sched_latency(&self) -> Duration {
+        pim::scheduling_latency(self.config.ports, self.config.clock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(ports: usize, chunk: u32, policy: Policy) -> Scheduler {
+        Scheduler::new(SchedulerConfig {
+            ports,
+            chunk_bytes: chunk,
+            link: Bandwidth::from_gbps(100),
+            policy,
+            max_active_per_pair: 3,
+            clock: crate::ASIC_CLOCK,
+        })
+    }
+
+    #[test]
+    fn single_message_single_chunk() {
+        let mut s = sched(4, 256, Policy::Srpt);
+        s.notify(Time::ZERO, Notification::new(0, 1, 7, 200)).unwrap();
+        let r = s.poll(Time::ZERO);
+        assert_eq!(r.grants.len(), 1);
+        let g = r.grants[0];
+        assert_eq!((g.src, g.dest, g.msg_id), (0, 1, 7));
+        assert_eq!(g.chunk_bytes, 200);
+        assert!(g.is_final());
+        assert_eq!(s.pending_messages(), 0);
+    }
+
+    #[test]
+    fn multi_chunk_message_conserves_bytes() {
+        let mut s = sched(4, 256, Policy::Srpt);
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 1000)).unwrap();
+        let mut granted = 0u64;
+        let mut now = Time::ZERO;
+        let mut polls = 0;
+        while s.pending_messages() > 0 || granted < 1000 {
+            let r = s.poll(now);
+            for g in &r.grants {
+                granted += g.chunk_bytes as u64;
+                assert!(g.chunk_bytes <= 256);
+            }
+            match r.next_wakeup {
+                Some(t) => now = t,
+                None => break,
+            }
+            polls += 1;
+            assert!(polls < 100, "did not converge");
+        }
+        assert_eq!(granted, 1000);
+        assert_eq!(s.bytes_granted(), 1000);
+        // 1000 B in 256 B chunks = 4 grants.
+        assert_eq!(s.grants_issued(), 4);
+    }
+
+    #[test]
+    fn busy_release_is_back_to_back() {
+        // Grants for consecutive chunks must be spaced exactly l/B apart.
+        let mut s = sched(2, 256, Policy::Fcfs);
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 512)).unwrap();
+        let r1 = s.poll(Time::ZERO);
+        assert_eq!(r1.grants.len(), 1);
+        let gap = s.config().link.tx_time_bytes(256);
+        assert_eq!(r1.next_wakeup, Some(Time::ZERO + gap));
+        // Polling too early yields nothing.
+        let r_early = s.poll(Time::ZERO + Duration::from_ps(1));
+        assert!(r_early.grants.is_empty());
+        let r2 = s.poll(Time::ZERO + gap);
+        assert_eq!(r2.grants.len(), 1);
+        assert_eq!(r2.grants[0].issued_at, Time::ZERO + gap);
+    }
+
+    #[test]
+    fn no_receiver_sharing() {
+        // Two sources to one destination: only one granted per round.
+        let mut s = sched(4, 64, Policy::Fcfs);
+        s.notify(Time::from_ns(1), Notification::new(0, 2, 0, 64)).unwrap();
+        s.notify(Time::from_ns(2), Notification::new(1, 2, 0, 64)).unwrap();
+        let r = s.poll(Time::from_ns(2));
+        assert_eq!(r.grants.len(), 1);
+        // FCFS: the earlier notification wins.
+        assert_eq!(r.grants[0].src, 0);
+    }
+
+    #[test]
+    fn srpt_prefers_short_messages() {
+        let mut s = sched(4, 64, Policy::Srpt);
+        s.notify(Time::ZERO, Notification::new(0, 2, 0, 4096)).unwrap();
+        s.notify(Time::ZERO, Notification::new(1, 2, 0, 64)).unwrap();
+        let r = s.poll(Time::ZERO);
+        assert_eq!(r.grants.len(), 1);
+        assert_eq!(r.grants[0].src, 1, "SRPT must pick the 64 B message");
+    }
+
+    #[test]
+    fn fcfs_is_arrival_ordered() {
+        let mut s = sched(4, 64, Policy::Fcfs);
+        s.notify(Time::from_ns(5), Notification::new(0, 2, 0, 4096)).unwrap();
+        s.notify(Time::from_ns(9), Notification::new(1, 2, 0, 64)).unwrap();
+        let r = s.poll(Time::from_ns(10));
+        assert_eq!(r.grants[0].src, 0, "FCFS must pick the earlier arrival");
+    }
+
+    #[test]
+    fn parallel_pairs_granted_together() {
+        let mut s = sched(4, 256, Policy::Srpt);
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 100)).unwrap();
+        s.notify(Time::ZERO, Notification::new(2, 3, 0, 100)).unwrap();
+        let r = s.poll(Time::ZERO);
+        assert_eq!(r.grants.len(), 2, "disjoint pairs must match in parallel");
+    }
+
+    #[test]
+    fn pair_limit_enforced() {
+        let mut s = sched(4, 256, Policy::Srpt);
+        for i in 0..3 {
+            s.notify(Time::ZERO, Notification::new(0, 1, i, 64)).unwrap();
+        }
+        assert_eq!(
+            s.notify(Time::ZERO, Notification::new(0, 1, 3, 64)),
+            Err(NotifyError::PairLimitReached { limit: 3 })
+        );
+        // Other pairs unaffected.
+        s.notify(Time::ZERO, Notification::new(0, 2, 0, 64)).unwrap();
+        assert_eq!(s.active_for_pair(0, 1), 3);
+        assert_eq!(s.active_for_pair(0, 2), 1);
+    }
+
+    #[test]
+    fn pair_slot_freed_on_completion() {
+        let mut s = sched(4, 256, Policy::Srpt);
+        for i in 0..3 {
+            s.notify(Time::ZERO, Notification::new(0, 1, i, 64)).unwrap();
+        }
+        let mut now = Time::ZERO;
+        for _ in 0..3 {
+            let r = s.poll(now);
+            if let Some(t) = r.next_wakeup {
+                now = t;
+            }
+        }
+        assert!(s.active_for_pair(0, 1) < 3);
+        assert!(s.notify(now, Notification::new(0, 1, 9, 64)).is_ok());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut s = sched(4, 256, Policy::Srpt);
+        assert_eq!(
+            s.notify(Time::ZERO, Notification::new(4, 0, 0, 1)),
+            Err(NotifyError::BadPort { port: 4 })
+        );
+        assert_eq!(
+            s.notify(Time::ZERO, Notification::new(0, 9, 0, 1)),
+            Err(NotifyError::BadPort { port: 9 })
+        );
+        assert_eq!(
+            s.notify(Time::ZERO, Notification::new(0, 1, 0, 0)),
+            Err(NotifyError::EmptyMessage)
+        );
+    }
+
+    #[test]
+    fn in_order_within_pair_under_srpt() {
+        // §3.1.1 property 5: SRPT applies across pairs; within a pair the
+        // scheduler must preserve order. Model: two messages of one pair,
+        // the second smaller. Because the pair queue uses remaining bytes,
+        // a naive SRPT would reorder; EDM guards by granting the pair's
+        // messages in notification order. Our implementation achieves this
+        // because only one message per pair can be in flight per round and
+        // the smaller one is only preferred across different pairs.
+        let mut s = sched(4, 64, Policy::Srpt);
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 64)).unwrap();
+        s.notify(Time::ZERO, Notification::new(0, 1, 1, 32)).unwrap();
+        let r = s.poll(Time::ZERO);
+        assert_eq!(r.grants.len(), 1);
+        // Both candidates are from the same pair; grant must not starve
+        // either, and bytes must conserve overall.
+        let first = r.grants[0].msg_id;
+        let mut now = r.next_wakeup.unwrap();
+        let mut ids = vec![first];
+        loop {
+            let r = s.poll(now);
+            ids.extend(r.grants.iter().map(|g| g.msg_id));
+            match r.next_wakeup {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, vec![0, 1], "both messages eventually granted");
+    }
+
+    #[test]
+    fn nominal_latency_reported() {
+        let s = sched(512, 256, Policy::Srpt);
+        assert!((s.nominal_sched_latency().as_ns_f64() - 9.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn poll_reports_pim_cost() {
+        let mut s = sched(8, 256, Policy::Srpt);
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 64)).unwrap();
+        let r = s.poll(Time::ZERO);
+        assert!(r.pim_iterations >= 1);
+        assert_eq!(
+            r.sched_latency.as_ps(),
+            r.pim_iterations as u64 * 3 * crate::ASIC_CLOCK.as_ps()
+        );
+    }
+}

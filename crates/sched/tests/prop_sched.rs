@@ -1,0 +1,149 @@
+//! Property-based tests for the scheduler: the ordered list behaves like
+//! a reference sorted model, PIM always emits valid maximal matchings,
+//! and the grant engine conserves bytes and never double-books a port.
+
+use edm_sched::scheduler::{Notification, Policy, Scheduler, SchedulerConfig};
+use edm_sched::{OrderedList, PimConfig, PimRunner};
+use edm_sim::{Bandwidth, Time};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// OrderedList pops in exactly the order of a reference stable sort.
+    #[test]
+    fn ordered_list_matches_reference(ops in proptest::collection::vec((0u64..100, any::<u16>()), 1..200)) {
+        let mut list = OrderedList::new();
+        let mut reference: Vec<(u64, usize, u16)> = Vec::new();
+        for (i, &(k, v)) in ops.iter().enumerate() {
+            list.insert(k, v);
+            reference.push((k, i, v));
+        }
+        reference.sort_by_key(|&(k, i, _)| (k, i));
+        for &(k, _, v) in &reference {
+            let (got_k, got_v) = list.pop().expect("same length");
+            prop_assert_eq!((got_k, got_v), (k, v));
+        }
+        prop_assert!(list.is_empty());
+    }
+
+    /// PIM output is always a valid matching (no port appears twice) and
+    /// maximal (no leftover edge between two unmatched, free ports).
+    #[test]
+    fn pim_valid_and_maximal(
+        ports in 2usize..24,
+        edges in proptest::collection::vec((0usize..24, 0usize..24, 0u64..1000), 0..80),
+        busy_bits in any::<u32>(),
+    ) {
+        let mut demand = vec![Vec::new(); ports];
+        for &(d, s, prio) in &edges {
+            let (d, s) = (d % ports, s % ports);
+            demand[d].push((prio, s));
+        }
+        for row in demand.iter_mut() {
+            row.sort_unstable();
+        }
+        let src_free: Vec<bool> = (0..ports).map(|i| busy_bits & (1 << i) == 0).collect();
+        let dst_free: Vec<bool> = (0..ports).map(|i| busy_bits & (1 << (i + 8)) == 0 || i >= 24).collect();
+        let mut pim = PimRunner::new(PimConfig::for_ports(ports));
+        let m = pim.run(&demand, &src_free, &dst_free);
+
+        let mut srcs = HashSet::new();
+        let mut dsts = HashSet::new();
+        for &(s, d) in &m.pairs {
+            prop_assert!(src_free[s], "matched busy source {s}");
+            prop_assert!(dst_free[d], "matched busy dest {d}");
+            prop_assert!(srcs.insert(s), "source {s} matched twice");
+            prop_assert!(dsts.insert(d), "dest {d} matched twice");
+            prop_assert!(
+                demand[d].iter().any(|&(_, ss)| ss == s),
+                "matched edge {s}->{d} not in demand"
+            );
+        }
+        // Maximality.
+        for (d, row) in demand.iter().enumerate() {
+            if !dst_free[d] || dsts.contains(&d) {
+                continue;
+            }
+            for &(_, s) in row {
+                prop_assert!(
+                    !src_free[s] || srcs.contains(&s),
+                    "edge {s}->{d} left unmatched though both free"
+                );
+            }
+        }
+        prop_assert_eq!(m.cycles, m.iterations as u64 * 3);
+    }
+
+    /// The grant engine conserves bytes exactly: total granted equals the
+    /// total notified, every grant respects the chunk cap, and no port is
+    /// granted twice in one poll round.
+    #[test]
+    fn scheduler_conserves_bytes(
+        msgs in proptest::collection::vec((0u16..8, 0u16..8, 1u32..5000), 1..40),
+        chunk in prop::sample::select(vec![64u32, 128, 256, 512]),
+        srpt in any::<bool>(),
+    ) {
+        let mut s = Scheduler::new(SchedulerConfig {
+            ports: 8,
+            chunk_bytes: chunk,
+            link: Bandwidth::from_gbps(100),
+            policy: if srpt { Policy::Srpt } else { Policy::Fcfs },
+            max_active_per_pair: usize::MAX, // admit everything
+            clock: edm_sched::ASIC_CLOCK,
+        });
+        let mut expected = 0u64;
+        for (i, &(src, dst, size)) in msgs.iter().enumerate() {
+            let dst = if src == dst { (dst + 1) % 8 } else { dst };
+            s.notify(Time::from_ns(i as u64), Notification::new(src, dst, i as u8, size))
+                .expect("admitted");
+            expected += size as u64;
+        }
+        let mut now = Time::from_ns(msgs.len() as u64);
+        let mut rounds = 0;
+        loop {
+            let r = s.poll(now);
+            let mut srcs = HashSet::new();
+            let mut dsts = HashSet::new();
+            for g in &r.grants {
+                prop_assert!(g.chunk_bytes <= chunk);
+                prop_assert!(g.chunk_bytes > 0);
+                prop_assert!(srcs.insert(g.src), "src granted twice in a round");
+                prop_assert!(dsts.insert(g.dest), "dst granted twice in a round");
+            }
+            match r.next_wakeup {
+                Some(t) => now = t,
+                None => break,
+            }
+            rounds += 1;
+            prop_assert!(rounds < 100_000, "scheduler failed to drain");
+        }
+        prop_assert_eq!(s.bytes_granted(), expected);
+        prop_assert_eq!(s.pending_messages(), 0);
+    }
+
+    /// The X bound is enforced exactly: the (X+1)-th concurrent
+    /// notification for one pair is rejected, all others admitted.
+    #[test]
+    fn pair_limit_exact(x in 1usize..6, extra in 1usize..5) {
+        let mut s = Scheduler::new(SchedulerConfig {
+            ports: 4,
+            chunk_bytes: 256,
+            link: Bandwidth::from_gbps(100),
+            policy: Policy::Srpt,
+            max_active_per_pair: x,
+            clock: edm_sched::ASIC_CLOCK,
+        });
+        for i in 0..x {
+            prop_assert!(s
+                .notify(Time::ZERO, Notification::new(0, 1, i as u8, 64))
+                .is_ok());
+        }
+        for i in 0..extra {
+            prop_assert!(s
+                .notify(Time::ZERO, Notification::new(0, 1, (x + i) as u8, 64))
+                .is_err());
+        }
+        // A different pair is unaffected.
+        prop_assert!(s.notify(Time::ZERO, Notification::new(2, 3, 0, 64)).is_ok());
+    }
+}

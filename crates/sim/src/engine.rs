@@ -1,0 +1,309 @@
+//! The discrete-event simulation driver.
+//!
+//! The engine is split into two pieces so that event handlers can schedule
+//! follow-up events while mutably borrowing the world state:
+//!
+//! * [`EventQueue`] — a time-ordered queue with deterministic FIFO
+//!   tie-breaking for simultaneous events.
+//! * [`World`] — the user's simulation state; its [`World::handle`] method
+//!   receives each event together with a mutable reference to the queue.
+//! * [`Engine`] — owns both and drives the main loop.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled (FIFO), which keeps simulations deterministic.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// Simulation state that reacts to events.
+pub trait World {
+    /// The event type this world processes.
+    type Event;
+
+    /// Handles one event at simulated time `now`.
+    ///
+    /// Follow-up events are scheduled through `queue`; scheduling in the
+    /// past is permitted by the queue but will be caught by the engine's
+    /// monotonicity check when the event is popped.
+    fn handle(&mut self, now: Time, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Drives a [`World`] until the event queue drains (or a step budget or
+/// time horizon is reached).
+#[derive(Debug)]
+pub struct Engine<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: Time,
+    steps: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// Creates an engine around `world` with an empty event queue.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            steps: 0,
+        }
+    }
+
+    /// The current simulated time (time of the last dispatched event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world.
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Mutable access to the event queue (e.g. to seed initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
+        &mut self.queue
+    }
+
+    /// Consumes the engine and returns the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Dispatches a single event. Returns `false` if the queue was empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event was scheduled before the current simulated time
+    /// (causality violation).
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, ev)) => {
+                assert!(
+                    at >= self.now,
+                    "causality violation: event at {at} popped at {now}",
+                    now = self.now
+                );
+                self.now = at;
+                self.steps += 1;
+                self.world.handle(at, ev, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue drains or the next event would fire after
+    /// `horizon`. Events at exactly `horizon` are processed.
+    pub fn run_until(&mut self, horizon: Time) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Runs at most `max_steps` more events (or until the queue drains).
+    /// Returns the number of events actually dispatched.
+    pub fn run_steps(&mut self, max_steps: u64) -> u64 {
+        let mut done = 0;
+        while done < max_steps && self.step() {
+            done += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<(Time, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: Time, ev: u32, q: &mut EventQueue<u32>) {
+            self.log.push((now, ev));
+            if ev == 1 {
+                // Chain two follow-ups at the same future instant: FIFO order
+                // must be preserved.
+                q.schedule(now + Duration::from_ns(5), 10);
+                q.schedule(now + Duration::from_ns(5), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.queue_mut().schedule(Time::from_ns(30), 3);
+        eng.queue_mut().schedule(Time::from_ns(10), 1);
+        eng.queue_mut().schedule(Time::from_ns(20), 2);
+        eng.run();
+        let evs: Vec<u32> = eng.world().log.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, vec![1, 10, 11, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut eng = Engine::new(Recorder::default());
+        for i in 0..100 {
+            eng.queue_mut().schedule(Time::from_ns(7), i + 100);
+        }
+        eng.run();
+        let evs: Vec<u32> = eng.world().log.iter().map(|&(_, e)| e).collect();
+        assert_eq!(evs, (100..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_horizon_is_inclusive() {
+        let mut eng = Engine::new(Recorder::default());
+        eng.queue_mut().schedule(Time::from_ns(10), 2);
+        eng.queue_mut().schedule(Time::from_ns(20), 3);
+        eng.queue_mut().schedule(Time::from_ns(30), 4);
+        eng.run_until(Time::from_ns(20));
+        assert_eq!(eng.world().log.len(), 2);
+        assert_eq!(eng.queue_mut().len(), 1);
+    }
+
+    #[test]
+    fn run_steps_budget() {
+        let mut eng = Engine::new(Recorder::default());
+        for i in 0..10 {
+            eng.queue_mut().schedule(Time::from_ns(i), i as u32);
+        }
+        assert_eq!(eng.run_steps(4), 4);
+        assert_eq!(eng.world().log.len(), 4);
+        // Event `1` spawned two follow-ups, so 8 remain of the original 10.
+        assert_eq!(eng.run_steps(100), 8);
+    }
+
+    #[test]
+    fn step_returns_false_on_empty() {
+        let mut eng = Engine::new(Recorder::default());
+        assert!(!eng.step());
+        assert_eq!(eng.now(), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn past_scheduling_panics_on_dispatch() {
+        struct Bad;
+        impl World for Bad {
+            type Event = bool;
+            fn handle(&mut self, _now: Time, first: bool, q: &mut EventQueue<bool>) {
+                if first {
+                    q.schedule(Time::ZERO, false); // in the past
+                }
+            }
+        }
+        let mut eng = Engine::new(Bad);
+        eng.queue_mut().schedule(Time::from_ns(10), true);
+        eng.run();
+    }
+
+    #[test]
+    fn queue_len_and_peek() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Time::from_ns(4), 1);
+        q.schedule(Time::from_ns(2), 2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(2)));
+    }
+}

@@ -1,0 +1,391 @@
+//! Simulated time, durations, and bandwidth arithmetic.
+//!
+//! All quantities are integer picoseconds so that every constant from the
+//! paper is representable exactly: the 2.56 ns PHY block clock is 2 560 ps,
+//! the 1/3 ns ASIC scheduler clock is approximated as 333 ps (and its exact
+//! rational form is available through [`Duration::from_ps`] call sites that
+//! track cycle counts instead of durations).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// An absolute instant in simulated time, in picoseconds since start.
+///
+/// `Time` is an absolute point; [`Duration`] is a span. The two interact the
+/// way `std::time::Instant`/`Duration` do:
+///
+/// ```
+/// use edm_sim::{Time, Duration};
+/// let t = Time::from_ns(100) + Duration::from_ns(20);
+/// assert_eq!(t, Time::from_ns(120));
+/// assert_eq!(t - Time::from_ns(100), Duration::from_ns(20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The zero instant (simulation start).
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable instant; useful as an "infinity" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Raw picoseconds since simulation start.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds since simulation start (exact fraction discarded).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Nanoseconds as a float, for reporting.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero.
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration; `None` on overflow.
+    pub fn checked_add(self, d: Duration) -> Option<Time> {
+        self.0.checked_add(d.0).map(Time)
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+    /// The maximum representable span; useful as an "infinity" sentinel.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Duration(ps)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns * 1_000)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000_000)
+    }
+
+    /// Creates a duration from a floating-point nanosecond count, rounding
+    /// to the nearest picosecond.
+    ///
+    /// Useful for paper constants quoted as e.g. `7.68 ns`.
+    pub fn from_ns_f64(ns: f64) -> Self {
+        assert!(ns >= 0.0, "duration must be non-negative, got {ns}");
+        Duration((ns * 1_000.0).round() as u64)
+    }
+
+    /// Raw picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Whole nanoseconds (truncating).
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Nanoseconds as a float, for reporting.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Microseconds as a float, for reporting.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// `self / other` as a float ratio (e.g. normalized latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn ratio(self, other: Duration) -> f64 {
+        assert!(other.0 != 0, "cannot take ratio against zero duration");
+        self.0 as f64 / other.0 as f64
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Mul<Duration> for u64 {
+    type Output = Duration;
+    fn mul(self, rhs: Duration) -> Duration {
+        Duration(self * rhs.0)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Rem for Duration {
+    type Output = Duration;
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.as_us_f64())
+        } else {
+            write!(f, "{:.3} ns", self.as_ns_f64())
+        }
+    }
+}
+
+/// A link bandwidth, stored as bits per second.
+///
+/// Transmission delays are computed with exact integer arithmetic
+/// (rounded up to the next picosecond) so that the DES stays deterministic
+/// across platforms:
+///
+/// ```
+/// use edm_sim::{Bandwidth, Duration};
+/// let gbe100 = Bandwidth::from_gbps(100);
+/// // 64 B at 100 Gb/s = 5.12 ns.
+/// assert_eq!(gbe100.tx_time_bytes(64), Duration::from_ps(5_120));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bandwidth {
+    bits_per_sec: u64,
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from bits per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_sec` is zero.
+    pub const fn from_bps(bits_per_sec: u64) -> Self {
+        assert!(bits_per_sec > 0, "bandwidth must be positive");
+        Bandwidth { bits_per_sec }
+    }
+
+    /// Creates a bandwidth from gigabits per second.
+    pub const fn from_gbps(gbps: u64) -> Self {
+        Bandwidth::from_bps(gbps * 1_000_000_000)
+    }
+
+    /// Bits per second.
+    pub const fn as_bps(self) -> u64 {
+        self.bits_per_sec
+    }
+
+    /// Gigabits per second, as a float.
+    pub fn as_gbps_f64(self) -> f64 {
+        self.bits_per_sec as f64 / 1e9
+    }
+
+    /// Time to serialize `bits` onto the link, rounded up to a picosecond.
+    pub fn tx_time_bits(self, bits: u64) -> Duration {
+        // ps = bits * 1e12 / bps, computed in u128 to avoid overflow.
+        let ps = (bits as u128 * 1_000_000_000_000u128).div_ceil(self.bits_per_sec as u128);
+        Duration::from_ps(ps as u64)
+    }
+
+    /// Time to serialize `bytes` onto the link.
+    pub fn tx_time_bytes(self, bytes: u64) -> Duration {
+        self.tx_time_bits(bytes * 8)
+    }
+
+    /// Number of whole bytes the link can carry in `d`.
+    pub fn bytes_in(self, d: Duration) -> u64 {
+        ((d.as_ps() as u128 * self.bits_per_sec as u128) / 8 / 1_000_000_000_000u128) as u64
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} Gb/s", self.as_gbps_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = Time::from_ns(5);
+        assert_eq!(t.as_ps(), 5_000);
+        assert_eq!((t + Duration::from_ns(3)) - t, Duration::from_ns(3));
+        assert_eq!(Time::from_us(1), Time::from_ns(1_000));
+    }
+
+    #[test]
+    fn duration_from_float_ns_is_exact_for_paper_constants() {
+        assert_eq!(Duration::from_ns_f64(2.56).as_ps(), 2_560);
+        assert_eq!(Duration::from_ns_f64(5.12).as_ps(), 5_120);
+        assert_eq!(Duration::from_ns_f64(7.68).as_ps(), 7_680);
+        assert_eq!(Duration::from_ns_f64(12.8).as_ps(), 12_800);
+        assert_eq!(Duration::from_ns_f64(28.16).as_ps(), 28_160);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(20);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_ns(10));
+        assert_eq!(
+            Duration::from_ns(1).saturating_sub(Duration::from_ns(2)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn tx_time_100g() {
+        let bw = Bandwidth::from_gbps(100);
+        assert_eq!(bw.tx_time_bytes(64), Duration::from_ps(5_120));
+        assert_eq!(bw.tx_time_bytes(1500), Duration::from_ns(120));
+        // 9 KB jumbo frame = 720 ns (paper §2.4 limitation 3).
+        assert_eq!(bw.tx_time_bytes(9000), Duration::from_ns(720));
+    }
+
+    #[test]
+    fn tx_time_25g() {
+        let bw = Bandwidth::from_gbps(25);
+        // One 64-bit block payload at 25 Gb/s = 2.56 ns: the PHY clock.
+        assert_eq!(bw.tx_time_bits(64), Duration::from_ps(2_560));
+    }
+
+    #[test]
+    fn tx_time_rounds_up() {
+        let bw = Bandwidth::from_bps(3); // 3 bits per second
+        // 1 bit takes ceil(1e12/3) ps.
+        assert_eq!(bw.tx_time_bits(1).as_ps(), 333_333_333_334);
+    }
+
+    #[test]
+    fn bytes_in_inverts_tx_time() {
+        let bw = Bandwidth::from_gbps(100);
+        for n in [1u64, 64, 256, 1500, 9000, 123_456] {
+            let d = bw.tx_time_bytes(n);
+            assert_eq!(bw.bytes_in(d), n);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Duration::from_ns(500)), "500.000 ns");
+        assert_eq!(format!("{}", Duration::from_us(2)), "2.000 us");
+        assert_eq!(format!("{}", Bandwidth::from_gbps(25)), "25 Gb/s");
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration = [1u64, 2, 3].iter().map(|&n| Duration::from_ns(n)).sum();
+        assert_eq!(total, Duration::from_ns(6));
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the DES engine, time arithmetic, RNG, and
+//! statistics.
+
+use edm_sim::{Bandwidth, Duration, Engine, EventQueue, Rng, Summary, Time, World};
+use proptest::prelude::*;
+
+/// A world that records the times at which events fire.
+#[derive(Default)]
+struct Recorder {
+    fired: Vec<(Time, u32)>,
+}
+
+impl World for Recorder {
+    type Event = u32;
+    fn handle(&mut self, now: Time, ev: u32, _q: &mut EventQueue<u32>) {
+        self.fired.push((now, ev));
+    }
+}
+
+proptest! {
+    /// Events always fire in non-decreasing time order, with FIFO order
+    /// among equal timestamps.
+    #[test]
+    fn engine_dispatch_is_monotone_and_stable(
+        times in proptest::collection::vec(0u64..1_000_000, 1..200)
+    ) {
+        let mut eng = Engine::new(Recorder::default());
+        for (i, &t) in times.iter().enumerate() {
+            eng.queue_mut().schedule(Time::from_ps(t), i as u32);
+        }
+        eng.run();
+        let fired = &eng.world().fired;
+        prop_assert_eq!(fired.len(), times.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                // Same instant: scheduling (insertion) order preserved.
+                let (a, b) = (w[0].1 as usize, w[1].1 as usize);
+                prop_assert_eq!(times[a], times[b]);
+                prop_assert!(a < b, "FIFO violated for equal timestamps");
+            }
+        }
+    }
+
+    /// Time/Duration arithmetic is consistent: (t + d) - t == d and
+    /// ordering follows the raw picosecond values.
+    #[test]
+    fn time_arithmetic_consistent(base in 0u64..u64::MAX / 4, delta in 0u64..u64::MAX / 4) {
+        let t = Time::from_ps(base);
+        let d = Duration::from_ps(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(t + d), Duration::ZERO);
+    }
+
+    /// Bandwidth transmission time is additive within rounding: the time
+    /// for a+b bytes differs from the sum of parts by at most 1 ps.
+    #[test]
+    fn bandwidth_tx_time_nearly_additive(
+        gbps in 1u64..800,
+        a in 1u64..1_000_000,
+        b in 1u64..1_000_000,
+    ) {
+        let bw = Bandwidth::from_gbps(gbps);
+        let whole = bw.tx_time_bits(a + b).as_ps();
+        let parts = bw.tx_time_bits(a).as_ps() + bw.tx_time_bits(b).as_ps();
+        prop_assert!(parts >= whole);
+        prop_assert!(parts - whole <= 1, "rounding drift {}", parts - whole);
+    }
+
+    /// `bytes_in` inverts `tx_time_bytes` exactly for whole-byte loads.
+    #[test]
+    fn bandwidth_inversion(gbps in 1u64..800, n in 1u64..10_000_000) {
+        let bw = Bandwidth::from_gbps(gbps);
+        prop_assert_eq!(bw.bytes_in(bw.tx_time_bytes(n)), n);
+    }
+
+    /// The RNG's bounded sampler never exceeds its bound and two
+    /// generators with the same seed agree.
+    #[test]
+    fn rng_bounds_and_determinism(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut a = Rng::seed_from(seed);
+        let mut b = Rng::seed_from(seed);
+        for _ in 0..50 {
+            let x = a.below(bound);
+            prop_assert!(x < bound);
+            prop_assert_eq!(x, b.below(bound));
+        }
+    }
+
+    /// Summary percentiles are bracketed by min and max, and the mean lies
+    /// within [min, max].
+    #[test]
+    fn summary_order_statistics(xs in proptest::collection::vec(-1e9f64..1e9, 1..300)) {
+        let mut s = Summary::new();
+        for &x in &xs {
+            s.record(x);
+        }
+        let (lo, hi) = (s.min(), s.max());
+        prop_assert!(lo <= hi);
+        prop_assert!(s.mean() >= lo - 1e-6 && s.mean() <= hi + 1e-6);
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            let v = s.percentile(p);
+            prop_assert!(v >= lo && v <= hi, "p{p} = {v} outside [{lo}, {hi}]");
+        }
+        prop_assert!(s.percentile(25.0) <= s.percentile(75.0));
+    }
+
+    /// Empirical CDF sampling stays within the support and the quantile
+    /// function is monotone.
+    #[test]
+    fn cdf_quantile_monotone(seed in any::<u64>()) {
+        use edm_sim::rng::EmpiricalCdf;
+        let cdf = EmpiricalCdf::new(vec![(64, 0.4), (1024, 0.8), (65536, 1.0)]).unwrap();
+        let mut rng = Rng::seed_from(seed);
+        let mut prev = 0u64;
+        for i in 0..=20 {
+            let v = cdf.quantile(i as f64 / 20.0);
+            prop_assert!(v >= prev, "quantile not monotone");
+            prev = v;
+        }
+        for _ in 0..100 {
+            let v = cdf.sample(&mut rng);
+            prop_assert!((1..=65536).contains(&v));
+        }
+    }
+}

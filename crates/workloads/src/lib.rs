@@ -1,0 +1,24 @@
+//! `edm-workloads` — workload and trace generators for the evaluation.
+//!
+//! Three families, matching §4's experiments:
+//!
+//! * [`synthetic`] — Poisson all-to-all memory traffic at a target offered
+//!   load, with configurable read/write mix and message size (the Figure
+//!   8a microbenchmark: 64 B messages, loads 0.2–0.9);
+//! * [`traces`] — heavy-tailed message-size CDF profiles for the five
+//!   disaggregated applications of Figure 8b (Hadoop, Spark, Spark SQL,
+//!   GraphLab, Memcached), used to synthesize traces the way the paper's
+//!   artifact does (from pre-existing CDF profiles, §A.5.2);
+//! * [`ycsb`] — YCSB key-value operation mixes A/B/F with Zipf-skewed key
+//!   popularity (Figures 6 and 7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod synthetic;
+pub mod traces;
+pub mod ycsb;
+
+pub use synthetic::SyntheticWorkload;
+pub use traces::AppTrace;
+pub use ycsb::{YcsbOp, YcsbWorkload};

@@ -1,0 +1,197 @@
+//! Poisson all-to-all synthetic memory traffic at a target offered load
+//! (the Figure 8a microbenchmark).
+//!
+//! Half the cluster's nodes act as compute nodes, half as memory nodes
+//! (the paper simulates "144 nodes (compute + memory)"). Each compute
+//! node issues requests to uniformly random memory nodes with Poisson
+//! inter-arrival times calibrated so that the *data* bytes offered to each
+//! memory-node link equal `load × capacity`.
+
+use edm_core::sim::{Flow, FlowKind};
+use edm_sim::{Bandwidth, Duration, Rng, Time};
+
+/// Generator for the all-to-all microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticWorkload {
+    /// Total nodes; the first half are compute, the second half memory.
+    pub nodes: usize,
+    /// Link bandwidth (for load calibration).
+    pub link: Bandwidth,
+    /// Offered load fraction in `(0, 1]` of each memory link.
+    pub load: f64,
+    /// Data bytes per message (64 B in §4.3.1; 8 B RREQs ride for free).
+    pub size: u32,
+    /// Fraction of messages that are writes (the rest are reads).
+    pub write_fraction: f64,
+    /// Number of messages to generate.
+    pub count: usize,
+}
+
+impl SyntheticWorkload {
+    /// The §4.3.1 defaults: 144 nodes, 100 Gb/s, 64 B messages.
+    pub fn paper_default(load: f64, write_fraction: f64, count: usize) -> Self {
+        SyntheticWorkload {
+            nodes: 144,
+            link: Bandwidth::from_gbps(100),
+            load,
+            size: 64,
+            write_fraction,
+            count,
+        }
+    }
+
+    /// Compute-node count (first half of the cluster).
+    pub fn compute_nodes(&self) -> usize {
+        self.nodes / 2
+    }
+
+    /// Memory-node count (second half).
+    pub fn memory_nodes(&self) -> usize {
+        self.nodes - self.nodes / 2
+    }
+
+    /// Mean inter-arrival gap per compute node for the target load.
+    ///
+    /// Each memory link receives traffic from all compute nodes; with
+    /// uniform destinations the per-compute-node rate `r` must satisfy
+    /// `r × size × computes / memories = load × B`.
+    pub fn mean_gap(&self) -> Duration {
+        assert!(self.load > 0.0 && self.load <= 1.0, "load in (0,1]");
+        let bytes_per_sec = self.link.as_bps() as f64 / 8.0 * self.load;
+        let per_compute = bytes_per_sec * self.memory_nodes() as f64 / self.compute_nodes() as f64;
+        let msgs_per_sec = per_compute / self.size as f64;
+        Duration::from_ps((1e12 / msgs_per_sec).round() as u64)
+    }
+
+    /// Generates the flow list, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has fewer than 2 nodes or `load` is out of
+    /// range.
+    pub fn generate(&self, seed: u64) -> Vec<Flow> {
+        assert!(self.nodes >= 2, "need at least one compute and one memory node");
+        let mut rng = Rng::seed_from(seed);
+        let computes = self.compute_nodes();
+        let memories = self.memory_nodes();
+        let gap = self.mean_gap();
+        // Per-compute-node independent Poisson processes.
+        let mut next_at: Vec<Time> = (0..computes)
+            .map(|_| Time::ZERO + rng.exp_duration(gap))
+            .collect();
+        let mut flows = Vec::with_capacity(self.count);
+        for id in 0..self.count {
+            // The compute node with the earliest next arrival fires.
+            let (src, _) = next_at
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("non-empty");
+            let arrival = next_at[src];
+            next_at[src] = arrival + rng.exp_duration(gap);
+            let dst = computes + rng.below(memories as u64) as usize;
+            let kind = if rng.chance(self.write_fraction) {
+                FlowKind::Write
+            } else {
+                FlowKind::Read
+            };
+            flows.push(Flow {
+                id,
+                src,
+                dst,
+                size: self.size,
+                arrival,
+                kind,
+            });
+        }
+        flows.sort_by_key(|f| f.arrival);
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(load: f64) -> SyntheticWorkload {
+        SyntheticWorkload {
+            nodes: 16,
+            link: Bandwidth::from_gbps(100),
+            load,
+            size: 64,
+            write_fraction: 0.5,
+            count: 2000,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = wl(0.5).generate(7);
+        let b = wl(0.5).generate(7);
+        assert_eq!(a, b);
+        let c = wl(0.5).generate(8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sources_are_compute_destinations_memory() {
+        for f in wl(0.5).generate(1) {
+            assert!(f.src < 8, "source must be a compute node");
+            assert!((8..16).contains(&f.dst), "dest must be a memory node");
+        }
+    }
+
+    #[test]
+    fn arrivals_sorted_and_positive_gap_scales_with_load() {
+        let flows = wl(0.9).generate(2);
+        for w in flows.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        assert!(wl(0.2).mean_gap() > wl(0.8).mean_gap());
+    }
+
+    #[test]
+    fn offered_load_calibration() {
+        // Measure realized load on the memory links over the generated
+        // span: bytes / (span × memories × capacity) ≈ load.
+        let w = wl(0.6);
+        let flows = w.generate(3);
+        let span = flows.last().unwrap().arrival - flows[0].arrival;
+        let bytes: u64 = flows.iter().map(|f| f.size as u64).sum();
+        let capacity_bytes =
+            w.link.as_bps() as f64 / 8.0 * span.as_ps() as f64 / 1e12 * w.memory_nodes() as f64;
+        let realized = bytes as f64 / capacity_bytes;
+        assert!(
+            (realized - 0.6).abs() < 0.1,
+            "realized load {realized} vs target 0.6"
+        );
+    }
+
+    #[test]
+    fn write_fraction_respected() {
+        let mut w = wl(0.5);
+        w.write_fraction = 0.8;
+        let flows = w.generate(4);
+        let writes = flows.iter().filter(|f| f.kind == FlowKind::Write).count();
+        let frac = writes as f64 / flows.len() as f64;
+        assert!((frac - 0.8).abs() < 0.05, "write fraction {frac}");
+    }
+
+    #[test]
+    fn pure_mixes() {
+        let mut w = wl(0.5);
+        w.write_fraction = 0.0;
+        assert!(w.generate(5).iter().all(|f| f.kind == FlowKind::Read));
+        w.write_fraction = 1.0;
+        assert!(w.generate(5).iter().all(|f| f.kind == FlowKind::Write));
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        let w = SyntheticWorkload::paper_default(0.8, 0.5, 10);
+        assert_eq!(w.nodes, 144);
+        assert_eq!(w.compute_nodes(), 72);
+        assert_eq!(w.memory_nodes(), 72);
+        assert_eq!(w.generate(1).len(), 10);
+    }
+}

@@ -1,0 +1,242 @@
+//! Heavy-tailed disaggregated-application traces (Figure 8b).
+//!
+//! The paper's artifact generates its traces synthetically from
+//! "pre-existing CDF profiles of disaggregated workloads" (§A.5.2),
+//! derived from the applications of Gao et al. \[22\] and Shoal \[61\].
+//! We do the same: each application is a message-size CDF (heavy-tailed,
+//! per §4.3.2) from which traces with a 50/50 read/write mix are drawn at
+//! a target load.
+//!
+//! The absolute CDF control points are our calibration (the paper does
+//! not print them); what the experiment depends on — small-message-
+//! dominated counts with a byte-heavy tail, differing skew per
+//! application — is preserved.
+
+use edm_core::sim::{Flow, FlowKind};
+use edm_sim::rng::EmpiricalCdf;
+use edm_sim::{Bandwidth, Duration, Rng, Time};
+
+/// One disaggregated application's trace profile.
+#[derive(Debug, Clone)]
+pub struct AppTrace {
+    name: &'static str,
+    cdf: EmpiricalCdf,
+}
+
+impl AppTrace {
+    /// Hadoop (Sort): shuffle-dominated, the heaviest tail.
+    pub fn hadoop() -> Self {
+        AppTrace {
+            name: "Hadoop (Sort)",
+            cdf: EmpiricalCdf::new(vec![
+                (64, 0.35),
+                (256, 0.55),
+                (1_024, 0.72),
+                (4_096, 0.85),
+                (16_384, 0.93),
+                (131_072, 0.985),
+                (1_048_576, 1.0),
+            ])
+            .expect("static CDF is valid"),
+        }
+    }
+
+    /// Spark (Sort): similar to Hadoop with a fatter middle.
+    pub fn spark() -> Self {
+        AppTrace {
+            name: "Spark (Sort)",
+            cdf: EmpiricalCdf::new(vec![
+                (64, 0.30),
+                (512, 0.55),
+                (2_048, 0.75),
+                (8_192, 0.88),
+                (32_768, 0.955),
+                (524_288, 1.0),
+            ])
+            .expect("static CDF is valid"),
+        }
+    }
+
+    /// Spark SQL (Query): many small lookups, moderate tail.
+    pub fn spark_sql() -> Self {
+        AppTrace {
+            name: "Spark SQL (Query)",
+            cdf: EmpiricalCdf::new(vec![
+                (64, 0.45),
+                (256, 0.68),
+                (1_024, 0.82),
+                (4_096, 0.92),
+                (16_384, 0.98),
+                (65_536, 1.0),
+            ])
+            .expect("static CDF is valid"),
+        }
+    }
+
+    /// GraphLab (collaborative filtering on the Netflix data set):
+    /// vertex/edge-state messages, moderate skew.
+    pub fn graphlab() -> Self {
+        AppTrace {
+            name: "GraphLab (Filtering)",
+            cdf: EmpiricalCdf::new(vec![
+                (64, 0.40),
+                (512, 0.65),
+                (2_048, 0.82),
+                (8_192, 0.93),
+                (32_768, 0.985),
+                (262_144, 1.0),
+            ])
+            .expect("static CDF is valid"),
+        }
+    }
+
+    /// Memcached over YCSB: small-object dominated, shortest tail.
+    pub fn memcached() -> Self {
+        AppTrace {
+            name: "Memcached (KVstore)",
+            cdf: EmpiricalCdf::new(vec![
+                (64, 0.50),
+                (128, 0.70),
+                (512, 0.85),
+                (1_024, 0.93),
+                (4_096, 0.99),
+                (16_384, 1.0),
+            ])
+            .expect("static CDF is valid"),
+        }
+    }
+
+    /// All five applications, in the paper's Figure 8b order.
+    pub fn all() -> Vec<AppTrace> {
+        vec![
+            AppTrace::hadoop(),
+            AppTrace::spark(),
+            AppTrace::spark_sql(),
+            AppTrace::graphlab(),
+            AppTrace::memcached(),
+        ]
+    }
+
+    /// Application display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The message-size CDF.
+    pub fn cdf(&self) -> &EmpiricalCdf {
+        &self.cdf
+    }
+
+    /// Generates a trace of `count` messages over `nodes` (first half
+    /// compute, second half memory) at `load`, 50/50 read/write (§4.3.2),
+    /// deterministically from `seed`.
+    pub fn generate(
+        &self,
+        nodes: usize,
+        link: Bandwidth,
+        load: f64,
+        count: usize,
+        seed: u64,
+    ) -> Vec<Flow> {
+        assert!(nodes >= 2, "need compute and memory nodes");
+        assert!(load > 0.0 && load <= 1.0, "load in (0,1]");
+        let mut rng = Rng::seed_from(seed);
+        let computes = nodes / 2;
+        let memories = nodes - computes;
+        // Calibrate Poisson rate from the CDF's mean size.
+        let mean_size = self.cdf.mean();
+        let bytes_per_sec = link.as_bps() as f64 / 8.0 * load;
+        let per_compute = bytes_per_sec * memories as f64 / computes as f64;
+        let gap = Duration::from_ps((1e12 * mean_size / per_compute).round() as u64);
+
+        let mut next_at: Vec<Time> = (0..computes)
+            .map(|_| Time::ZERO + rng.exp_duration(gap))
+            .collect();
+        let mut flows = Vec::with_capacity(count);
+        for id in 0..count {
+            let (src, _) = next_at
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("non-empty");
+            let arrival = next_at[src];
+            next_at[src] = arrival + rng.exp_duration(gap);
+            let dst = computes + rng.below(memories as u64) as usize;
+            let size = self.cdf.sample(&mut rng).clamp(8, u32::MAX as u64) as u32;
+            let kind = if rng.chance(0.5) {
+                FlowKind::Write
+            } else {
+                FlowKind::Read
+            };
+            flows.push(Flow {
+                id,
+                src,
+                dst,
+                size,
+                arrival,
+                kind,
+            });
+        }
+        flows.sort_by_key(|f| f.arrival);
+        flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_apps_with_distinct_profiles() {
+        let apps = AppTrace::all();
+        assert_eq!(apps.len(), 5);
+        let names: std::collections::HashSet<_> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 5);
+        // Memcached's mean must be the smallest; Hadoop's the largest.
+        let means: Vec<f64> = apps.iter().map(|a| a.cdf().mean()).collect();
+        let memcached = means[4];
+        let hadoop = means[0];
+        assert!(memcached < hadoop, "memcached {memcached} vs hadoop {hadoop}");
+    }
+
+    #[test]
+    fn traces_are_heavy_tailed() {
+        // Heavy tail: the largest decile carries most of the bytes.
+        let trace = AppTrace::hadoop().generate(16, Bandwidth::from_gbps(100), 0.5, 5000, 1);
+        let mut sizes: Vec<u64> = trace.iter().map(|f| f.size as u64).collect();
+        sizes.sort_unstable();
+        let total: u64 = sizes.iter().sum();
+        let top_decile: u64 = sizes[sizes.len() * 9 / 10..].iter().sum();
+        assert!(
+            top_decile as f64 / total as f64 > 0.5,
+            "top decile carries {} of bytes",
+            top_decile as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn mixed_reads_and_writes() {
+        let trace = AppTrace::spark().generate(16, Bandwidth::from_gbps(100), 0.5, 2000, 2);
+        let writes = trace.iter().filter(|f| f.kind == FlowKind::Write).count();
+        let frac = writes as f64 / trace.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "write fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = AppTrace::graphlab().generate(8, Bandwidth::from_gbps(100), 0.4, 100, 3);
+        let b = AppTrace::graphlab().generate(8, Bandwidth::from_gbps(100), 0.4, 100, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sizes_within_cdf_support() {
+        for app in AppTrace::all() {
+            let max = app.cdf().max_value();
+            let t = app.generate(8, Bandwidth::from_gbps(100), 0.3, 500, 4);
+            for f in t {
+                assert!((8..=max as u32).contains(&f.size));
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Intra-frame preemption demo (§3.2.3): a small memory message cuts
+//! *into* an in-flight 1500 B Ethernet frame at 66-bit block granularity,
+//! something the MAC layer fundamentally cannot do.
+//!
+//! Shows the wait the memory message would suffer behind a full frame at
+//! the MAC layer versus the couple of block slots it waits in EDM's PHY,
+//! and verifies the preempted frame still decodes intact at the receiver.
+//!
+//! Run with: `cargo run --example preemption`
+
+use edm_phy::frame::{blocks_for_frame, encode_frame};
+use edm_phy::mem_codec::{decode_message, encode_message, MemMessage};
+use edm_phy::preempt::{PreemptMux, RxReorderBuffer, TxPolicy};
+use edm_phy::BLOCK_CLOCK;
+
+fn main() {
+    let mut mux = PreemptMux::new(TxPolicy::Fair);
+
+    // A 1500 B IP frame begins transmission...
+    let ip_frame: Vec<u8> = (0..1500).map(|i| (i % 251) as u8).collect();
+    mux.enqueue_frame(encode_frame(&ip_frame).expect("valid frame"));
+    let frame_blocks = blocks_for_frame(ip_frame.len());
+
+    // ...and transmits its first 10 blocks before a remote memory read
+    // request shows up.
+    let mut wire = Vec::new();
+    for _ in 0..10 {
+        wire.push(mux.tick());
+    }
+    let rreq = MemMessage::new(1, 0, vec![0xAA; 8]); // 8 B read request
+    mux.enqueue_memory(encode_message(&rreq));
+
+    // Drain the link and find where the memory message landed.
+    wire.extend(mux.drain());
+    let ms_at = wire
+        .iter()
+        .position(|b| matches!(b, edm_phy::Block::MemStart(_)))
+        .expect("memory message transmitted");
+
+    let waited_blocks = ms_at - 10;
+    let mac_wait_blocks = frame_blocks - 10; // MAC: wait for the whole frame
+    println!("1500 B frame = {frame_blocks} blocks of 66 bits");
+    println!(
+        "memory message waited {} block slots = {} (EDM PHY preemption)",
+        waited_blocks,
+        BLOCK_CLOCK * waited_blocks as u64
+    );
+    println!(
+        "at the MAC layer it would wait {} slots = {} (no preemption)",
+        mac_wait_blocks,
+        BLOCK_CLOCK * mac_wait_blocks as u64
+    );
+
+    // The receiver re-contiguizes the frame and extracts the message.
+    let mut rx = RxReorderBuffer::new();
+    let mut mem_blocks = Vec::new();
+    let mut frames = Vec::new();
+    for b in wire {
+        let out = rx.push(b).expect("legal TX stream");
+        mem_blocks.extend(out.mem);
+        if let Some(f) = out.frame {
+            frames.push(f);
+        }
+    }
+    let got = decode_message(&mem_blocks).expect("memory message intact");
+    assert_eq!(got.payload(), rreq.payload());
+    let got_frame = edm_phy::frame::decode_frame(&frames[0]).expect("frame intact");
+    assert_eq!(got_frame, ip_frame);
+    println!();
+    println!("receiver: frame reassembled intact, memory message extracted with zero buffering");
+}

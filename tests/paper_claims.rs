@@ -1,0 +1,102 @@
+//! Regression pins for the paper's quantitative claims: these are the
+//! numbers EXPERIMENTS.md reports, frozen as tests so they cannot drift
+//! silently.
+
+use edm_baselines::stacks;
+use edm_core::latency::{edm_read, edm_write};
+use edm_core::throughput::{edm_throughput, rdma_throughput, RequestMix};
+use edm_phy::frame::blocks_for_frame;
+use edm_phy::mem_codec::blocks_for_message;
+use edm_sched::pim::{min_chunk_for_line_rate, scheduling_latency};
+use edm_sim::Bandwidth;
+
+#[test]
+fn table1_edm_column_is_exact() {
+    assert_eq!(edm_read().total().as_ps(), 299_520); // 299.52 ns
+    assert_eq!(edm_write().total().as_ps(), 296_960); // 296.96 ns
+    assert_eq!(edm_read().network_stack_latency().as_ps(), 107_520);
+    assert_eq!(edm_write().network_stack_latency().as_ps(), 104_960);
+}
+
+#[test]
+fn table1_baseline_columns_are_exact() {
+    assert_eq!(stacks::tcp_read().total().as_ps(), 3_779_680);
+    assert_eq!(stacks::tcp_write().total().as_ps(), 1_889_840);
+    assert_eq!(stacks::rocev2_read().total().as_ps(), 2_035_680);
+    assert_eq!(stacks::rocev2_write().total().as_ps(), 1_017_840);
+    assert_eq!(stacks::raw_ethernet_read().total().as_ps(), 1_114_880);
+    assert_eq!(stacks::raw_ethernet_write().total().as_ps(), 557_440);
+}
+
+#[test]
+fn headline_speedups_match_section_4_2_1() {
+    let er = edm_read().total().as_ps() as f64;
+    let ew = edm_write().total().as_ps() as f64;
+    let close = |got: f64, want: f64| (got - want).abs() / want < 0.05;
+    assert!(close(stacks::raw_ethernet_read().total().as_ps() as f64 / er, 3.7));
+    assert!(close(stacks::raw_ethernet_write().total().as_ps() as f64 / ew, 1.9));
+    assert!(close(stacks::rocev2_read().total().as_ps() as f64 / er, 6.8));
+    assert!(close(stacks::rocev2_write().total().as_ps() as f64 / ew, 3.4));
+    assert!(close(stacks::tcp_read().total().as_ps() as f64 / er, 12.7));
+    assert!(close(stacks::tcp_write().total().as_ps() as f64 / ew, 6.4));
+}
+
+#[test]
+fn phy_granularity_claims() {
+    // §2.3/§3.2: a 64 B minimum frame needs 9 PHY blocks; an 8 B memory
+    // message needs 3 (with header) — the granularity gap behind EDM's
+    // bandwidth advantage.
+    assert_eq!(blocks_for_frame(64), 9);
+    assert_eq!(blocks_for_message(8), 3);
+    // 1500 B frame at 100 G = 120 ns; 9 KB jumbo = 720 ns (§2.4 lim. 3).
+    let g100 = Bandwidth::from_gbps(100);
+    assert_eq!(g100.tx_time_bytes(1500).as_ns(), 120);
+    assert_eq!(g100.tx_time_bytes(9000).as_ns(), 720);
+}
+
+#[test]
+fn scheduler_asic_claims() {
+    // §3.1.3: 512 ports at 3 GHz → ~9 ns matching, 128 B minimum chunk.
+    let t = scheduling_latency(512, edm_sched::ASIC_CLOCK);
+    assert!((t.as_ns_f64() - 9.0).abs() < 0.1);
+    assert_eq!(
+        min_chunk_for_line_rate(512, edm_sched::ASIC_CLOCK, Bandwidth::from_gbps(100)),
+        128
+    );
+}
+
+#[test]
+fn figure6_throughput_advantage() {
+    // §4.2.2: EDM sustains substantially more requests/sec than RDMA on
+    // every YCSB mix (paper: ~2.7x average).
+    let link = Bandwidth::from_gbps(25);
+    let mut ratios = Vec::new();
+    for mix in [RequestMix::ycsb_a(), RequestMix::ycsb_b(), RequestMix::ycsb_f()] {
+        let ratio = edm_throughput(link, &mix).requests_per_sec
+            / rdma_throughput(link, &mix).requests_per_sec;
+        assert!(ratio > 1.3, "ratio {ratio:.2}");
+        ratios.push(ratio);
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!((1.5..4.0).contains(&avg), "average ratio {avg:.2}");
+}
+
+#[test]
+fn figure7_ordering() {
+    // §4.2.2: EDM within ~1.3x of CXL unloaded; RDMA far behind both.
+    let edm = (edm_read().total().as_ns_f64() + edm_write().total().as_ns_f64()) / 2.0;
+    let cxl =
+        (stacks::cxl::READ.as_ns_f64() + stacks::cxl::WRITE.as_ns_f64()) / 2.0;
+    let rdma = (stacks::rocev2_read().total().as_ns_f64()
+        + stacks::rocev2_write().total().as_ns_f64())
+        / 2.0;
+    assert!(edm / cxl < 1.3, "EDM/CXL = {:.2}", edm / cxl);
+    assert!(rdma / edm > 4.0, "RDMA/EDM = {:.2}", rdma / edm);
+}
+
+#[test]
+fn edm_unloaded_is_comparable_to_two_hop_numa() {
+    // §1: "comparable to an intra-server two hop NUMA" — a few hundred ns.
+    let ns = edm_read().total().as_ns_f64();
+    assert!((250.0..350.0).contains(&ns));
+}
