@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the EDM workspace. Mirrors what CI should run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo build --examples --benches"
+cargo build --examples --benches
+
+echo "==> examples run end-to-end"
+for ex in quickstart preemption remote_kv_store cluster_simulation; do
+    cargo run -q --release --example "$ex" > /dev/null
+done
+
+echo "==> criterion benches smoke-run (no measurement)"
+cargo test -q --release --benches -p edm-bench > /dev/null
+
+echo "==> fast harness bins run end-to-end"
+for bin in table1 fig5 sched_scaling; do
+    cargo run -q --release -p edm-bench --bin "$bin" > /dev/null
+done
+
+echo "==> property suites at ${PROPTEST_CASES:=1024} cases"
+PROPTEST_CASES="$PROPTEST_CASES" cargo test -q --release \
+    -p edm-core -p edm-phy -p edm-sched -p edm-memory -p edm-sim \
+    --test "prop_*"
+
+echo "ci.sh: all green"

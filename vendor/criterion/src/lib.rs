@@ -1,0 +1,340 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of criterion's surface that `crates/bench/benches/*` use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`BenchmarkId`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement is deliberately simple: each benchmark auto-scales its
+//! iteration count until a sample takes long enough to time reliably, runs
+//! `sample_size` samples, and reports min/mean ns per iteration (plus
+//! throughput when configured). Good enough to compare runs on one
+//! machine; not a statistical engine.
+//!
+//! Measurement runs only under `cargo bench` (which passes `--bench` to
+//! harness=false targets). `cargo test --benches` and `cargo bench --
+//! --test` execute every benchmark once and skip measurement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The stub treats all variants
+/// identically: setup is re-run per iteration and excluded from timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Medium per-iteration input.
+    MediumInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier, e.g. `BenchmarkId::from_parameter(144)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (the group supplies the function name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Passed to benchmark closures; drives the timed loop.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// Filled in by the timing loop; `(total_duration, iterations)` per sample.
+    samples: Vec<(Duration, u64)>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` in an auto-scaled loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.cfg.test_mode {
+            std::hint::black_box(routine());
+            return;
+        }
+        let iters = calibrate(|n| {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            start.elapsed()
+        });
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.cfg.test_mode {
+            std::hint::black_box(routine(setup()));
+            return;
+        }
+        let iters = calibrate(|n| {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            start.elapsed()
+        });
+        for _ in 0..self.cfg.sample_size {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples.push((start.elapsed(), iters));
+        }
+    }
+}
+
+/// Finds an iteration count whose sample takes ≥ ~5 ms (capped so very
+/// slow benchmarks still run once per sample).
+fn calibrate(mut run: impl FnMut(u64) -> Duration) -> u64 {
+    let target = Duration::from_millis(5);
+    let mut iters = 1u64;
+    loop {
+        let took = run(iters);
+        if took >= target || iters >= 1 << 20 {
+            return iters;
+        }
+        // Scale towards the target, at least doubling.
+        let scale = (target.as_nanos() / took.as_nanos().max(1)).clamp(2, 16) as u64;
+        iters = iters.saturating_mul(scale);
+    }
+}
+
+struct Config {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+/// The benchmark manager. Collects and reports results to stdout.
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` passes `--bench` to harness=false targets;
+        // `cargo test --benches` passes neither flag. Measure only under
+        // `cargo bench`, and honor an explicit `--test` override — same
+        // gating as real criterion.
+        let args: Vec<String> = std::env::args().collect();
+        let test_mode = !args.iter().any(|a| a == "--bench") || args.iter().any(|a| a == "--test");
+        Self {
+            cfg: Config {
+                sample_size: 100,
+                test_mode,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.samples, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        // The group gets its own config copy so `sample_size` overrides
+        // stay scoped to the group, as in real criterion.
+        BenchmarkGroup {
+            cfg: Config {
+                sample_size: self.cfg.sample_size,
+                test_mode: self.cfg.test_mode,
+            },
+            name: name.to_string(),
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    cfg: Config,
+    name: String,
+    throughput: Option<Throughput>,
+    // Keeps real criterion's `&mut Criterion` borrow semantics.
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b.samples, self.throughput);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b.samples, self.throughput);
+        self
+    }
+
+    /// Closes the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, samples: &[(Duration, u64)], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<50} ok (test mode)");
+        return;
+    }
+    let per_iter: Vec<f64> = samples
+        .iter()
+        .map(|(d, n)| d.as_nanos() as f64 / *n as f64)
+        .collect();
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let tput = match throughput {
+        Some(Throughput::Bytes(b)) => {
+            format!("  {:8.2} GiB/s", b as f64 / min / 1.073_741_824)
+        }
+        Some(Throughput::Elements(e)) => {
+            // e elements per `min` ns → e/min elem/ns → ×1e3 Melem/s.
+            format!("  {:8.2} Melem/s", e as f64 / min * 1e3)
+        }
+        None => String::new(),
+    };
+    println!("{name:<50} min {min:>12.1} ns/iter  mean {mean:>12.1} ns/iter{tput}");
+}
+
+/// Declares a benchmark group function, optionally with a custom
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export so `criterion::black_box` callers work; defers to
+/// `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}

@@ -1,0 +1,455 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of proptest's surface that the `prop_*.rs` suites use:
+//!
+//! * the [`proptest!`] macro (`#[test] fn name(arg in strategy, ..) { .. }`);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * range strategies over integers and floats (`0u64..100`, `0u8..=7`,
+//!   `-1e9f64..1e9`), [`any`], tuple strategies, and
+//!   [`collection::vec`];
+//!
+//! Cases are generated from a deterministic per-test seed (splitmix64 over
+//! the test name), so failures reproduce across runs. There is no
+//! shrinking: a failing case reports its inputs via `Debug` instead.
+//! `PROPTEST_CASES` overrides the default case count (256).
+
+#![forbid(unsafe_code)]
+
+/// Deterministic RNG and failure plumbing used by the generated tests.
+pub mod test_runner {
+    /// Splitmix64 generator; statistically fine for test-case generation
+    /// and trivially reproducible.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Derives a per-test seed from the test's name so every test has
+        /// an independent, stable stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self::new(h)
+        }
+
+        /// Captures the generator state so a case's inputs can be
+        /// regenerated later (e.g. for failure reporting).
+        pub fn snapshot(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator from a [`snapshot`](Self::snapshot).
+        pub fn restore(state: u64) -> Self {
+            Self { state }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            // Multiply-shift bounded sampling; bias is negligible for
+            // test-case generation.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// A failed property; carries the formatted assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: String) -> Self {
+            Self(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Extracts a printable message from a `catch_unwind` payload.
+    pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            format!("panicked: {s}")
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            format!("panicked: {s}")
+        } else {
+            "panicked (non-string payload)".to_string()
+        }
+    }
+
+    /// Number of cases each property runs (`PROPTEST_CASES` overrides).
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything that can produce a value from the RNG.
+    pub trait Strategy {
+        /// The value type this strategy generates.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// `Strategy` passes through references so strategies can be borrowed.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        // Whole-domain range: use the raw generator.
+                        rng.next_u64() as $t
+                    } else {
+                        (lo + rng.below(span as u64) as i128) as $t
+                    }
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// Types with a canonical whole-domain strategy (see [`crate::any`]).
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only; keeps arithmetic properties meaningful.
+            (rng.unit_f64() - 0.5) * 2e12
+        }
+    }
+
+    /// The strategy returned by [`crate::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification accepted by [`vec`]: a fixed size or a range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`].
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Strategies that sample from explicit value sets
+/// (`prop::sample::select`).
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice among the given values.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Builds a [`Select`] strategy; `options` must be non-empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Whole-domain strategy for `T` (`any::<u8>()`, `any::<bool>()`, ...).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// The glob-import surface the test suites use.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a property within a `proptest!` body; failure aborts the case
+/// with the offending inputs reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with both sides reported on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!(a != b)` with both sides reported on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: `{}` != `{}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}
+
+/// Declares property tests:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn roundtrip(xs in proptest::collection::vec(any::<u8>(), 0..64)) {
+///         prop_assert_eq!(decode(&encode(&xs)), xs);
+///     }
+/// }
+/// ```
+///
+/// Each function runs [`test_runner::case_count`] cases drawn from a
+/// deterministic per-test stream; a failing case panics with its inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..$crate::test_runner::case_count() {
+                let snapshot = rng.snapshot();
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                ));
+                let failure = match outcome {
+                    ::core::result::Result::Ok(::core::result::Result::Ok(())) => None,
+                    ::core::result::Result::Ok(::core::result::Result::Err(e)) => {
+                        Some(e.to_string())
+                    }
+                    ::core::result::Result::Err(payload) => {
+                        Some($crate::test_runner::panic_message(&payload))
+                    }
+                };
+                if let Some(msg) = failure {
+                    // The body may have moved (or panicked before using)
+                    // its inputs; replay the RNG from the snapshot to
+                    // render them.
+                    let mut replay = $crate::test_runner::TestRng::restore(snapshot);
+                    let mut inputs = ::std::string::String::new();
+                    $(inputs.push_str(&format!(
+                        "\n  {} = {:?}",
+                        stringify!($arg),
+                        $crate::strategy::Strategy::sample(&($strat), &mut replay)
+                    ));)+
+                    panic!(
+                        "proptest case {case} of {} failed: {msg}\ninputs:{inputs}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+    () => {};
+}
