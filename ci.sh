@@ -3,6 +3,12 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -24,6 +30,10 @@ echo "==> fast harness bins run end-to-end"
 for bin in table1 fig5 sched_scaling; do
     cargo run -q --release -p edm-bench --bin "$bin" > /dev/null
 done
+
+echo "==> bench_json emits machine-readable baselines"
+EDM_BENCH_ITERS=2 cargo run -q --release -p edm-bench --bin bench_json -- \
+    --out "$(mktemp -d)" > /dev/null
 
 echo "==> property suites at ${PROPTEST_CASES:=1024} cases"
 PROPTEST_CASES="$PROPTEST_CASES" cargo test -q --release \

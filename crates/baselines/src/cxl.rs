@@ -172,7 +172,10 @@ impl CxlWorld {
         );
         // Credit returns once the flit has left the buffer *and* the
         // credit update has travelled back.
-        q.schedule(now + tx + self.cfg.credit_return_delay, CEv::CreditReturn { dst });
+        q.schedule(
+            now + tx + self.cfg.credit_return_delay,
+            CEv::CreditReturn { dst },
+        );
         q.schedule(now + tx, CEv::EgressDrain { dst });
     }
 }

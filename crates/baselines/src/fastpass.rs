@@ -112,7 +112,9 @@ struct FastpassWorld {
 
 impl FastpassWorld {
     fn control_time(&self) -> Duration {
-        self.cfg.server_link.tx_time_bytes(self.cfg.control_bytes as u64)
+        self.cfg
+            .server_link
+            .tx_time_bytes(self.cfg.control_bytes as u64)
     }
 
     fn half_hop(&self) -> Duration {
@@ -367,7 +369,11 @@ mod tests {
             .map(|i| wflow(i, i % 32, 32 + (i % 32), 64, (i / 64) as u64))
             .collect();
         let r = FastpassProtocol::default().simulate(&c, &flows);
-        let worst = r.outcomes.iter().map(|o| o.mct().as_ns_f64()).fold(0.0, f64::max);
+        let worst = r
+            .outcomes
+            .iter()
+            .map(|o| o.mct().as_ns_f64())
+            .fold(0.0, f64::max);
         let solo = FastpassProtocol::default()
             .simulate(&c, &[wflow(0, 0, 32, 64, 0)])
             .outcomes[0]
@@ -386,7 +392,11 @@ mod tests {
         let c = cluster(4);
         let flows: Vec<Flow> = (0..100).map(|i| wflow(i, 0, 1, 64, 0)).collect();
         let r = FastpassProtocol::default().simulate(&c, &flows);
-        let worst = r.outcomes.iter().map(|o| o.mct().as_ns_f64()).fold(0.0, f64::max);
+        let worst = r
+            .outcomes
+            .iter()
+            .map(|o| o.mct().as_ns_f64())
+            .fold(0.0, f64::max);
         // Unbatched would cost ≥ 100 × (2 × 6.72 ns) control alone plus
         // the X-limit round trips; batched completes in a few us.
         assert!(worst < 10_000.0, "batched tail {worst} ns");
@@ -407,7 +417,15 @@ mod tests {
     fn all_flows_complete() {
         let c = cluster(16);
         let flows: Vec<Flow> = (0..200)
-            .map(|i| wflow(i, i % 8, 8 + (i % 8), 64 + (i as u32 % 3) * 512, i as u64 * 20))
+            .map(|i| {
+                wflow(
+                    i,
+                    i % 8,
+                    8 + (i % 8),
+                    64 + (i as u32 % 3) * 512,
+                    i as u64 * 20,
+                )
+            })
             .collect();
         let r = FastpassProtocol::default().simulate(&c, &flows);
         assert_eq!(r.outcomes.len(), 200);

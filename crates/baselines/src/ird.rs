@@ -159,15 +159,13 @@ impl IrdWorld {
         }
         // SRPT across this receiver's schedulable flows that are not in
         // conflict back-off.
-        let Some(&flow) = self
-            .pending[dst]
+        let Some(&flow) = self.pending[dst]
             .iter()
             .filter(|&&f| self.to_credit[f] > 0 && self.defer_until[f] <= now)
             .min_by_key(|&&f| self.to_credit[f])
         else {
             // Nothing ready: retry when the earliest back-off expires.
-            if let Some(t) = self
-                .pending[dst]
+            if let Some(t) = self.pending[dst]
                 .iter()
                 .filter(|&&f| self.to_credit[f] > 0)
                 .map(|&f| self.defer_until[f])
@@ -360,12 +358,13 @@ mod tests {
         // one-way flight even with a cold receiver.
         let c = cluster(4);
         let r = IrdProtocol::default().simulate(&c, &[wflow(0, 0, 1, 64, 0)]);
-        let flight = (c.pipeline_latency
-            + 2 * c.prop_delay
-            + c.link.tx_time_bytes(64 + 40))
-        .as_ns_f64();
+        let flight =
+            (c.pipeline_latency + 2 * c.prop_delay + c.link.tx_time_bytes(64 + 40)).as_ns_f64();
         let mct = r.outcomes[0].mct().as_ns_f64();
-        assert!(mct < flight * 2.0, "unscheduled MCT {mct} vs flight {flight}");
+        assert!(
+            mct < flight * 2.0,
+            "unscheduled MCT {mct} vs flight {flight}"
+        );
     }
 
     #[test]
@@ -384,7 +383,10 @@ mod tests {
         let c = cluster(4);
         let r = IrdProtocol::default().simulate(&c, &[wflow(0, 0, 1, 100_000, 0)]);
         let mct = r.outcomes[0].mct();
-        assert!(mct >= c.link.tx_time_bytes(100_000), "cannot beat line rate");
+        assert!(
+            mct >= c.link.tx_time_bytes(100_000),
+            "cannot beat line rate"
+        );
     }
 
     #[test]
@@ -395,10 +397,7 @@ mod tests {
         let c = cluster(4);
         let flows = vec![wflow(0, 0, 1, 40_960, 0), wflow(1, 0, 2, 40_960, 0)];
         let r = IrdProtocol::default().simulate(&c, &flows);
-        let perfect = c
-            .link
-            .tx_time_bytes(2 * (40_960 + 40 * 160))
-            .as_ns_f64();
+        let perfect = c.link.tx_time_bytes(2 * (40_960 + 40 * 160)).as_ns_f64();
         let worst = r
             .outcomes
             .iter()

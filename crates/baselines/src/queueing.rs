@@ -325,8 +325,7 @@ impl QWorld {
                     Discipline::SrptPriority => {
                         // pFabric: drop the lowest-priority (largest
                         // remaining) packet among queued + arriving.
-                        let worst_queued = self
-                            .egress[dst]
+                        let worst_queued = self.egress[dst]
                             .iter()
                             .enumerate()
                             .max_by_key(|(_, p)| self.flows[p.flow].remaining())
@@ -335,8 +334,7 @@ impl QWorld {
                         match worst_queued {
                             Some((i, rem, bytes, flow)) if rem > arriving_rem => {
                                 self.egress[dst].remove(i);
-                                self.egress_bytes[dst] -=
-                                    (bytes + self.cfg.header_bytes) as u64;
+                                self.egress_bytes[dst] -= (bytes + self.cfg.header_bytes) as u64;
                                 self.drops += 1;
                                 q.schedule(now + rto, QEv::Retx { flow, bytes });
                                 // fall through: enqueue the arriving packet
@@ -381,8 +379,7 @@ impl QWorld {
                     Some(0)
                 }
             }
-            Discipline::SrptPriority => self
-                .egress[dst]
+            Discipline::SrptPriority => self.egress[dst]
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, p)| self.flows[p.flow].remaining())
@@ -427,10 +424,7 @@ impl QWorld {
         }
         let src = f.src;
         // The ack opens window space after a return hop.
-        q.schedule(
-            now + 2 * self.cluster.prop_delay,
-            QEv::SrcTry { src },
-        );
+        q.schedule(now + 2 * self.cluster.prop_delay, QEv::SrcTry { src });
     }
 }
 
@@ -569,7 +563,15 @@ mod tests {
     fn all_protocols_complete_all_flows() {
         let c = cluster(8);
         let flows: Vec<Flow> = (0..20)
-            .map(|i| wflow(i, i % 4, 4 + (i % 4), 64 + (i as u32 % 7) * 100, i as u64 * 50))
+            .map(|i| {
+                wflow(
+                    i,
+                    i % 4,
+                    4 + (i % 4),
+                    64 + (i as u32 % 7) * 100,
+                    i as u64 * 50,
+                )
+            })
             .collect();
         for cfg in [
             QueueConfig::dctcp(),
@@ -589,7 +591,10 @@ mod tests {
         let r = QueueFabric::new(QueueConfig::dctcp()).simulate(&c, &flows);
         let solo = {
             let f = vec![wflow(0, 0, 31, 1000, 0)];
-            QueueFabric::new(QueueConfig::dctcp()).simulate(&c, &f).outcomes[0].mct()
+            QueueFabric::new(QueueConfig::dctcp())
+                .simulate(&c, &f)
+                .outcomes[0]
+                .mct()
         };
         let worst = r.outcomes.iter().map(|o| o.mct()).max().unwrap();
         assert!(

@@ -157,6 +157,9 @@ mod tests {
         let cxl_avg = (cxl::READ.as_ps() + cxl::WRITE.as_ps()) as f64 / 2.0;
         let edm_avg = (edm_read().total().as_ps() + edm_write().total().as_ps()) as f64 / 2.0;
         let ratio = edm_avg / cxl_avg;
-        assert!((0.9..1.3).contains(&ratio), "EDM/CXL unloaded ratio {ratio}");
+        assert!(
+            (0.9..1.3).contains(&ratio),
+            "EDM/CXL unloaded ratio {ratio}"
+        );
     }
 }

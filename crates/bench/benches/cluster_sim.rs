@@ -3,17 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use edm_baselines::prelude::*;
+use edm_bench::scenarios;
 use edm_core::sim::{ClusterConfig, EdmProtocol, FabricProtocol};
-use edm_workloads::SyntheticWorkload;
 use std::hint::black_box;
-
-fn flows() -> Vec<edm_core::sim::Flow> {
-    SyntheticWorkload::paper_default(0.8, 0.5, 500).generate(42)
-}
 
 fn bench_protocols(c: &mut Criterion) {
     let cluster = ClusterConfig::default();
-    let workload = flows();
+    let workload = scenarios::fig8_flows(500);
     let mut g = c.benchmark_group("fig8/simulate_500_flows");
     g.bench_function("EDM", |b| {
         b.iter(|| {
@@ -58,9 +54,42 @@ fn bench_protocols(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sparse regime: 144 ports but only a few flows in flight. EDM's
+/// control loop must cost close to the passive baselines here — the
+/// scheduler only touches ports with queued notifications.
+fn bench_sparse_regime(c: &mut Criterion) {
+    let cluster = ClusterConfig::default();
+    for flows in [2usize, 16] {
+        let workload = scenarios::sparse_flows(flows);
+        let group_name = format!("fig8/simulate_{flows}_flows");
+        let mut g = c.benchmark_group(&group_name);
+        g.bench_function("EDM", |b| {
+            b.iter(|| {
+                black_box(
+                    EdmProtocol::default()
+                        .simulate(&cluster, &workload)
+                        .outcomes
+                        .len(),
+                )
+            })
+        });
+        g.bench_function("DCTCP", |b| {
+            b.iter(|| {
+                black_box(
+                    QueueFabric::new(QueueConfig::dctcp())
+                        .simulate(&cluster, &workload)
+                        .outcomes
+                        .len(),
+                )
+            })
+        });
+        g.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_protocols
+    targets = bench_protocols, bench_sparse_regime
 }
 criterion_main!(benches);

@@ -2,8 +2,9 @@
 //! engine): PIM matching at various port counts and full grant rounds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use edm_bench::scenarios;
 use edm_sched::pim::{PimConfig, PimRunner};
-use edm_sched::scheduler::{Notification, Scheduler, SchedulerConfig};
+use edm_sched::scheduler::{Scheduler, SchedulerConfig};
 use edm_sim::{Rng, Time};
 use std::hint::black_box;
 
@@ -35,28 +36,45 @@ fn bench_pim(c: &mut Criterion) {
 fn bench_grant_rounds(c: &mut Criterion) {
     c.bench_function("sched/grant_round_144_ports", |b| {
         b.iter_batched(
-            || {
-                let mut s = Scheduler::new(SchedulerConfig::default_for_ports(144));
-                let mut rng = Rng::seed_from(9);
-                for i in 0..200u32 {
-                    let src = rng.below(72) as u16;
-                    let dst = 72 + rng.below(72) as u16;
-                    let _ = s.notify(
-                        Time::ZERO,
-                        Notification::new(src, dst, i as u8, 64 + rng.below(4096) as u32),
-                    );
-                }
-                s
-            },
+            scenarios::grant_round_scheduler,
             |mut s| black_box(s.poll(Time::ZERO).grants.len()),
             criterion::BatchSize::SmallInput,
         )
     });
 }
 
+/// The demand-sparse regime the hardware is built around: a big switch
+/// with only a handful of active flows. Steady state: each iteration
+/// notifies `flows` disjoint single-chunk messages, polls once (granting
+/// them all), then advances time past the busy window — so the measured
+/// cost is notify + poll + drain for the *active* demand, with no
+/// per-iteration scheduler construction. Cost must track `flows`, not
+/// `ports`.
+fn bench_sparse_poll(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sched/sparse_poll");
+    for &(ports, flows) in &[(144usize, 2usize), (144, 16), (512, 2), (512, 16)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ports}_ports_{flows}_flows")),
+            &(),
+            |b, _| {
+                let mut s = Scheduler::new(SchedulerConfig::default_for_ports(ports));
+                let mut now = Time::ZERO;
+                let step = edm_sim::Duration::from_ns(100); // > 256 B busy window
+                b.iter(|| {
+                    let granted = scenarios::sparse_poll_round(&mut s, now, flows);
+                    assert_eq!(granted, flows, "disjoint pairs all grant in one round");
+                    now += step;
+                    black_box(granted)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_pim, bench_grant_rounds
+    targets = bench_pim, bench_grant_rounds, bench_sparse_poll
 }
 criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Machine-readable performance baselines: times the hot-path benchmark
+//! set with `std::time::Instant` and emits `BENCH_<group>.json` files so
+//! future PRs can diff numbers instead of eyeballing criterion output.
+//!
+//! Run:
+//!   `cargo run --release -p edm-bench --bin bench_json [-- --out DIR]`
+//!
+//! Optional env: `EDM_BENCH_ITERS` (samples per benchmark, default 20).
+//!
+//! Each `BENCH_<group>.json` holds `{"group", "unit", "results": [{"name",
+//! "min_ns", "mean_ns", "iters"}]}` — minima are the regression-tracking
+//! signal (means absorb machine noise).
+
+use edm_baselines::prelude::*;
+use edm_bench::scenarios;
+use edm_core::sim::{ClusterConfig, EdmProtocol, FabricProtocol};
+use edm_sched::scheduler::{Scheduler, SchedulerConfig};
+use edm_sim::{Duration, Time};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured benchmark.
+struct Entry {
+    name: String,
+    min_ns: f64,
+    mean_ns: f64,
+    iters: usize,
+}
+
+/// Runs `f` for `iters` samples (after one warm-up) and aggregates the
+/// per-sample nanoseconds it returns — so setup inside `f` can be excluded
+/// from its own timing.
+fn measure<F: FnMut() -> f64>(name: &str, iters: usize, mut f: F) -> Entry {
+    f(); // warm-up: page in code and data
+    let mut min = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let ns = f();
+        min = min.min(ns);
+        total += ns;
+    }
+    Entry {
+        name: name.to_string(),
+        min_ns: min,
+        mean_ns: total / iters as f64,
+        iters,
+    }
+}
+
+/// Times one call of `f`, returning elapsed nanoseconds.
+fn timed<R, F: FnOnce() -> R>(f: F) -> f64 {
+    let t0 = Instant::now();
+    black_box(f());
+    t0.elapsed().as_nanos() as f64
+}
+
+fn write_group(dir: &std::path::Path, group: &str, entries: &[Entry]) {
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\n  \"group\": \"{group}\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n"
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"iters\": {}}}{comma}\n",
+            e.name, e.min_ns, e.mean_ns, e.iters
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = dir.join(format!("BENCH_{group}.json"));
+    std::fs::write(&path, json).expect("write baseline file");
+    println!("wrote {}", path.display());
+}
+
+fn fig8_group(iters: usize) -> Vec<Entry> {
+    let cluster = ClusterConfig::default();
+    let w500 = scenarios::fig8_flows(500);
+    let mut out = Vec::new();
+    out.push(measure("fig8/simulate_500_flows/EDM", iters, || {
+        timed(|| {
+            EdmProtocol::default()
+                .simulate(&cluster, &w500)
+                .outcomes
+                .len()
+        })
+    }));
+    out.push(measure("fig8/simulate_500_flows/IRD", iters, || {
+        timed(|| {
+            IrdProtocol::default()
+                .simulate(&cluster, &w500)
+                .outcomes
+                .len()
+        })
+    }));
+    out.push(measure("fig8/simulate_500_flows/DCTCP", iters, || {
+        timed(|| {
+            QueueFabric::new(QueueConfig::dctcp())
+                .simulate(&cluster, &w500)
+                .outcomes
+                .len()
+        })
+    }));
+    out.push(measure("fig8/simulate_500_flows/CXL", iters, || {
+        timed(|| {
+            CxlProtocol::default()
+                .simulate(&cluster, &w500)
+                .outcomes
+                .len()
+        })
+    }));
+    // The demand-sparse regime: ports ≫ active flows.
+    for flows in [2usize, 16] {
+        let w = scenarios::sparse_flows(flows);
+        out.push(measure(
+            &format!("fig8/simulate_{flows}_flows/EDM"),
+            iters,
+            || timed(|| EdmProtocol::default().simulate(&cluster, &w).outcomes.len()),
+        ));
+    }
+    out
+}
+
+fn sched_group(iters: usize) -> Vec<Entry> {
+    let mut out = Vec::new();
+    // Dense grant round: 200 random notifications over 144 ports (the
+    // criterion `sched/grant_round_144_ports` scenario; setup excluded).
+    out.push(measure("sched/grant_round_144_ports", iters, || {
+        let mut s = scenarios::grant_round_scheduler();
+        timed(|| s.poll(Time::ZERO).grants.len())
+    }));
+    // Steady-state sparse polls: k disjoint single-chunk flows per round,
+    // amortized over an inner batch so timer overhead stays negligible.
+    const BATCH: u32 = 64;
+    for &(ports, flows) in &[(144usize, 2usize), (144, 16), (512, 2), (512, 16)] {
+        let mut s = Scheduler::new(SchedulerConfig::default_for_ports(ports));
+        let mut now = Time::ZERO;
+        let step = Duration::from_ns(100);
+        out.push(measure(
+            &format!("sched/sparse_poll/{ports}_ports_{flows}_flows"),
+            iters,
+            || {
+                let ns = timed(|| {
+                    for _ in 0..BATCH {
+                        black_box(scenarios::sparse_poll_round(&mut s, now, flows));
+                        now += step;
+                    }
+                });
+                ns / BATCH as f64
+            },
+        ));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let iters: usize = std::env::var("EDM_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+
+    write_group(&out_dir, "fig8", &fig8_group(iters));
+    write_group(&out_dir, "sched", &sched_group(iters));
+}

@@ -24,8 +24,22 @@ fn main() {
             ..EdmProtocol::default()
         };
         let probe = small[0];
-        let solo_w = solo_mct(&mut p, &cluster, &Flow { kind: FlowKind::Write, ..probe });
-        let solo_r = solo_mct(&mut p, &cluster, &Flow { kind: FlowKind::Read, ..probe });
+        let solo_w = solo_mct(
+            &mut p,
+            &cluster,
+            &Flow {
+                kind: FlowKind::Write,
+                ..probe
+            },
+        );
+        let solo_r = solo_mct(
+            &mut p,
+            &cluster,
+            &Flow {
+                kind: FlowKind::Read,
+                ..probe
+            },
+        );
         let r_small = p.simulate(&cluster, &small);
         let small_mean = r_small
             .normalized_mct(|f| match f.kind {
@@ -37,7 +51,10 @@ fn main() {
         // keep the comparison one-dimensional.
         let r_heavy = p.simulate(&cluster, &heavy);
         let heavy_mean_us = r_heavy.mean_mct().as_us_f64();
-        println!("{:<5} B {:>16.3} {:>13.2} us", chunk, small_mean, heavy_mean_us);
+        println!(
+            "{:<5} B {:>16.3} {:>13.2} us",
+            chunk, small_mean, heavy_mean_us
+        );
     }
     println!();
     println!(

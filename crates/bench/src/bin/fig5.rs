@@ -13,14 +13,23 @@ fn main() {
     println!("Figure 5: EDM latency breakdown, 64 B read/write (cycle = 2.56 ns)");
     println!();
     println!("READ (RREQ -> RRES):");
-    stage("compute TX: generate RREQ /M*/", stack::host::GEN_NOTIFY_OR_RREQ);
+    stage(
+        "compute TX: generate RREQ /M*/",
+        stack::host::GEN_NOTIFY_OR_RREQ,
+    );
     stage(
         "switch: identify + notification enqueue + fwd",
         stack::switch_read_cycles(),
     );
-    stage("memory RX: parse RREQ, to mem controller", stack::host::RX_RREQ);
+    stage(
+        "memory RX: parse RREQ, to mem controller",
+        stack::host::RX_RREQ,
+    );
     stage("memory TX: grant queue read", stack::host::READ_GRANT_QUEUE);
-    stage("memory TX: generate RRES data blocks", stack::host::GEN_DATA_BLOCK);
+    stage(
+        "memory TX: generate RRES data blocks",
+        stack::host::GEN_DATA_BLOCK,
+    );
     stage("compute RX: parse RRES, deliver", stack::host::RX_DATA);
     println!(
         "  EDM logic total (read): {} cycles = {}",
@@ -36,13 +45,28 @@ fn main() {
     println!();
     println!("WRITE (/N/ -> /G/ -> WREQ):");
     stage("compute TX: generate /N/", stack::host::GEN_NOTIFY_OR_RREQ);
-    stage("switch: /N/ identify + enqueue", stack::switch::IDENTIFY + stack::switch::ENQUEUE_NOTIFICATION);
-    stage("switch: generate /G/ (+ scheduler pop)", stack::switch::GEN_GRANT + 3);
+    stage(
+        "switch: /N/ identify + enqueue",
+        stack::switch::IDENTIFY + stack::switch::ENQUEUE_NOTIFICATION,
+    );
+    stage(
+        "switch: generate /G/ (+ scheduler pop)",
+        stack::switch::GEN_GRANT + 3,
+    );
     stage("compute RX: process /G/", stack::host::RX_GRANT);
-    stage("compute TX: grant queue read", stack::host::READ_GRANT_QUEUE);
-    stage("compute TX: generate WREQ data blocks", stack::host::GEN_DATA_BLOCK);
+    stage(
+        "compute TX: grant queue read",
+        stack::host::READ_GRANT_QUEUE,
+    );
+    stage(
+        "compute TX: generate WREQ data blocks",
+        stack::host::GEN_DATA_BLOCK,
+    );
     stage("switch: forward WREQ RX->TX", stack::switch::FORWARD);
-    stage("memory RX: parse WREQ, to mem controller", stack::host::RX_DATA);
+    stage(
+        "memory RX: parse WREQ, to mem controller",
+        stack::host::RX_DATA,
+    );
     println!(
         "  EDM logic total (write): {} cycles = {}",
         stack::compute_node_write_cycles()

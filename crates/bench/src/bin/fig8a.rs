@@ -26,36 +26,47 @@ fn run_panel(loads_or_mixes: &[(f64, f64, String)], count: usize, seed: u64) {
         "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "", "EDM", "IRD", "pFabric", "PFC", "DCTCP", "CXL", "Fastpass"
     );
-    for (load, write_fraction, label) in loads_or_mixes {
-        let workload = SyntheticWorkload::paper_default(*load, *write_fraction, count);
-        let flows = workload.generate(seed);
-        let mut cells = Vec::new();
-        for mut protocol in all_protocols() {
-            // Normalize by the protocol's own unloaded latency (one write
-            // and one read probe; weight by the mix).
-            let probe_w = edm_core::sim::Flow {
-                id: 0,
-                src: 0,
-                dst: cluster.nodes - 1,
-                size: 64,
-                arrival: edm_sim::Time::ZERO,
-                kind: FlowKind::Write,
-            };
-            let probe_r = edm_core::sim::Flow {
-                kind: FlowKind::Read,
-                ..probe_w
-            };
-            let solo_w = solo_mct(protocol.as_mut(), &cluster, &probe_w);
-            let solo_r = solo_mct(protocol.as_mut(), &cluster, &probe_r);
-            let result = protocol.simulate(&cluster, &flows);
-            let norm = result.normalized_mct(|f| match f.kind {
-                FlowKind::Write => solo_w,
-                FlowKind::Read => solo_r,
-            });
-            cells.push(format!("{:.2}", norm.mean()));
-        }
+    // One thread per (load, protocol) point: the sweeps are independent
+    // simulations, so they fan out across cores. Each load row's workload
+    // is generated once and shared by its seven protocol points.
+    let n_protocols = all_protocols().len();
+    let workloads: Vec<Vec<edm_core::sim::Flow>> = loads_or_mixes
+        .iter()
+        .map(|&(load, wf, _)| SyntheticWorkload::paper_default(load, wf, count).generate(seed))
+        .collect();
+    let points: Vec<(usize, usize)> = (0..loads_or_mixes.len())
+        .flat_map(|ri| (0..n_protocols).map(move |pi| (ri, pi)))
+        .collect();
+    let cells = edm_bench::par_sweep(points, |(ri, pi)| {
+        let flows = &workloads[ri];
+        let mut protocol = all_protocols().swap_remove(pi);
+        let protocol = protocol.as_mut();
+        // Normalize by the protocol's own unloaded latency (one write
+        // and one read probe; weight by the mix).
+        let probe_w = edm_core::sim::Flow {
+            id: 0,
+            src: 0,
+            dst: cluster.nodes - 1,
+            size: 64,
+            arrival: edm_sim::Time::ZERO,
+            kind: FlowKind::Write,
+        };
+        let probe_r = edm_core::sim::Flow {
+            kind: FlowKind::Read,
+            ..probe_w
+        };
+        let solo_w = solo_mct(protocol, &cluster, &probe_w);
+        let solo_r = solo_mct(protocol, &cluster, &probe_r);
+        let result = protocol.simulate(&cluster, flows);
+        let norm = result.normalized_mct(|f| match f.kind {
+            FlowKind::Write => solo_w,
+            FlowKind::Read => solo_r,
+        });
+        format!("{:.2}", norm.mean())
+    });
+    for (ri, (_, _, label)) in loads_or_mixes.iter().enumerate() {
         print!("{label:<12}");
-        for c in cells {
+        for c in &cells[ri * n_protocols..(ri + 1) * n_protocols] {
             print!(" {c:>9}");
         }
         println!();

@@ -7,8 +7,8 @@
 //! Optional env: `EDM_FLOWS` (default 3000), `EDM_SEED` (default 42),
 //! `EDM_LOAD` (default 0.8).
 
-use edm_bench::SoloCurve;
 use edm_baselines::prelude::*;
+use edm_bench::SoloCurve;
 use edm_core::sim::{ClusterConfig, FlowKind};
 use edm_sim::Bandwidth;
 use edm_workloads::AppTrace;

@@ -48,7 +48,12 @@ fn main() {
     let light = SyntheticWorkload::paper_default(0.8, 0.5, 4000).generate(42);
     for (name, policy) in [("FCFS", Policy::Fcfs), ("SRPT", Policy::Srpt)] {
         let (mean, p99) = norm_stats(policy, &cluster, &light, 64);
-        println!("{:<28} {:>14.3} {:>14.3}", format!("light-tailed 64 B / {name}"), mean, p99);
+        println!(
+            "{:<28} {:>14.3} {:>14.3}",
+            format!("light-tailed 64 B / {name}"),
+            mean,
+            p99
+        );
     }
 
     let heavy = AppTrace::hadoop().generate(cluster.nodes, cluster.link, 0.8, 3000, 42);

@@ -27,7 +27,7 @@ fn main() {
         "",
         &columns
             .iter()
-            .map(|c| format!("{}", c.stack.split(' ').next().unwrap_or(c.stack)))
+            .map(|c| c.stack.split(' ').next().unwrap_or(c.stack).to_string())
             .collect::<Vec<_>>(),
     );
     row(
@@ -35,7 +35,8 @@ fn main() {
         &columns.iter().map(|c| c.op.to_string()).collect::<Vec<_>>(),
     );
     println!("{}", "-".repeat(22 + 11 * columns.len()));
-    let fields: [(&str, fn(&FabricLatency) -> edm_sim::Duration); 9] = [
+    type FieldOf = fn(&FabricLatency) -> edm_sim::Duration;
+    let fields: [(&str, FieldOf); 9] = [
         ("compute protocol", |c| c.compute_protocol),
         ("compute MAC", |c| c.compute_mac),
         ("compute PCS", |c| c.compute_pcs),
@@ -47,10 +48,7 @@ fn main() {
         ("memory PCS", |c| c.memory_pcs),
     ];
     for (label, f) in fields {
-        row(
-            label,
-            &columns.iter().map(|c| ns(f(c))).collect::<Vec<_>>(),
-        );
+        row(label, &columns.iter().map(|c| ns(f(c))).collect::<Vec<_>>());
     }
     println!("{}", "-".repeat(22 + 11 * columns.len()));
     row(

@@ -40,8 +40,22 @@ fn main() {
             ..EdmProtocol::default()
         };
         let probe = flows[0];
-        let solo_w = solo_mct(&mut p, &cluster, &Flow { kind: FlowKind::Write, ..probe });
-        let solo_r = solo_mct(&mut p, &cluster, &Flow { kind: FlowKind::Read, ..probe });
+        let solo_w = solo_mct(
+            &mut p,
+            &cluster,
+            &Flow {
+                kind: FlowKind::Write,
+                ..probe
+            },
+        );
+        let solo_r = solo_mct(
+            &mut p,
+            &cluster,
+            &Flow {
+                kind: FlowKind::Read,
+                ..probe
+            },
+        );
         let r = p.simulate(&cluster, &flows);
         let mut norm = r.normalized_mct(|f| match f.kind {
             FlowKind::Write => solo_w,

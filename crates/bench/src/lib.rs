@@ -20,6 +20,86 @@
 use edm_core::sim::{solo_mct, ClusterConfig, FabricProtocol, Flow, FlowKind};
 use edm_sim::{Duration, Time};
 
+pub mod scenarios {
+    //! Shared benchmark scenarios. The criterion benches and the
+    //! `bench_json` baseline emitter must measure the *same* workloads
+    //! under the same names, so both build them from here.
+
+    use edm_core::sim::Flow;
+    use edm_sched::scheduler::{Notification, Scheduler, SchedulerConfig};
+    use edm_sim::{Rng, Time};
+    use edm_workloads::SyntheticWorkload;
+
+    /// The fig8 microbenchmark slice: `count` flows at load 0.8, 50:50
+    /// read/write mix, seed 42.
+    pub fn fig8_flows(count: usize) -> Vec<Flow> {
+        SyntheticWorkload::paper_default(0.8, 0.5, count).generate(42)
+    }
+
+    /// The demand-sparse regime slice: `count` flows at load 0.1 on the
+    /// full 144-node cluster (ports ≫ active flows), seed 7.
+    pub fn sparse_flows(count: usize) -> Vec<Flow> {
+        SyntheticWorkload::paper_default(0.1, 0.5, count).generate(7)
+    }
+
+    /// A 144-port scheduler pre-loaded with the dense grant-round demand:
+    /// 200 random notifications, 72 senders → 72 receivers, seed 9.
+    pub fn grant_round_scheduler() -> Scheduler {
+        let mut s = Scheduler::new(SchedulerConfig::default_for_ports(144));
+        let mut rng = Rng::seed_from(9);
+        for i in 0..200u32 {
+            let src = rng.below(72) as u16;
+            let dst = 72 + rng.below(72) as u16;
+            let _ = s.notify(
+                Time::ZERO,
+                Notification::new(src, dst, i as u8, 64 + rng.below(4096) as u32),
+            );
+        }
+        s
+    }
+
+    /// One steady-state sparse round: notify `flows` disjoint
+    /// single-chunk messages at `now`, poll once, return the grant count
+    /// (always `flows` — disjoint pairs all match in one round).
+    pub fn sparse_poll_round(s: &mut Scheduler, now: Time, flows: usize) -> usize {
+        for f in 0..flows {
+            let (src, dst) = ((2 * f) as u16, (2 * f + 1) as u16);
+            s.notify(now, Notification::new(src, dst, 0, 256)).unwrap();
+        }
+        s.poll(now).grants.len()
+    }
+}
+
+/// Runs one closure per sweep point on its own OS thread and returns the
+/// results in input order.
+///
+/// The fig8-style sweeps are embarrassingly parallel: every
+/// (protocol, load) point simulates an independent cluster. One thread per
+/// point is the right grain here — points are few (tens) and each runs for
+/// milliseconds to seconds.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn par_sweep<T, R, F>(points: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = points
+            .into_iter()
+            .map(|p| scope.spawn(move || f(p)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+}
+
 /// Prints a row of right-aligned cells under a fixed layout.
 pub fn row(label: &str, cells: &[String]) {
     print!("{label:<22}");
@@ -139,5 +219,32 @@ mod tests {
     fn ns_formatting() {
         assert_eq!(ns(Duration::from_ns(300)), "300.0 ns");
         assert_eq!(ns(Duration::from_us(2)), "2.00 us");
+    }
+
+    #[test]
+    fn par_sweep_preserves_order() {
+        let got = par_sweep((0..32).collect(), |i: u32| i * i);
+        assert_eq!(got, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_sweep_runs_simulations() {
+        let cluster = ClusterConfig {
+            nodes: 8,
+            ..ClusterConfig::default()
+        };
+        let sizes = vec![64u32, 256, 1024];
+        let mcts = par_sweep(sizes, |size| {
+            let flow = Flow {
+                id: 0,
+                src: 0,
+                dst: 7,
+                size,
+                arrival: Time::ZERO,
+                kind: FlowKind::Write,
+            };
+            solo_mct(&mut EdmProtocol::default(), &cluster, &flow).as_ns_f64()
+        });
+        assert!(mcts.windows(2).all(|w| w[0] < w[1]), "{mcts:?}");
     }
 }

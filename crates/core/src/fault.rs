@@ -230,7 +230,8 @@ mod tests {
     #[test]
     fn failover_preserves_state() {
         let mut r = ReplicatedScheduler::new(config());
-        r.notify(Time::ZERO, Notification::new(0, 1, 0, 1024)).unwrap();
+        r.notify(Time::ZERO, Notification::new(0, 1, 0, 1024))
+            .unwrap();
         // First chunk granted by the primary.
         let g1 = r.poll(Time::ZERO).grants[0];
         assert_eq!(g1.chunk_bytes, 256);
@@ -255,7 +256,8 @@ mod tests {
     fn post_failover_admissions_still_work() {
         let mut r = ReplicatedScheduler::new(config());
         r.fail_over();
-        r.notify(Time::ZERO, Notification::new(2, 3, 0, 64)).unwrap();
+        r.notify(Time::ZERO, Notification::new(2, 3, 0, 64))
+            .unwrap();
         let pr = r.poll(Time::ZERO);
         assert_eq!(pr.grants.len(), 1);
     }

@@ -111,8 +111,7 @@ pub fn edm_write() -> FabricLatency {
         compute_protocol: Duration::ZERO,
         compute_mac: Duration::ZERO,
         compute_pcs: stack::cycles(
-            stack::pcs_passes::COMPUTE_WRITE * stack::PCS_PASS
-                + stack::compute_node_write_cycles(),
+            stack::pcs_passes::COMPUTE_WRITE * stack::PCS_PASS + stack::compute_node_write_cycles(),
         ),
         switch_l2: Duration::ZERO,
         switch_mac: Duration::ZERO,
@@ -161,7 +160,12 @@ mod tests {
         // The headline claim: ~300 ns for both reads and writes.
         for l in [edm_read(), edm_write()] {
             let ns = l.total().as_ns_f64();
-            assert!((290.0..305.0).contains(&ns), "{} {} = {ns} ns", l.stack, l.op);
+            assert!(
+                (290.0..305.0).contains(&ns),
+                "{} {} = {ns} ns",
+                l.stack,
+                l.op
+            );
         }
     }
 }

@@ -10,8 +10,8 @@
 //! The defining property of this traffic is how *small* it is: an RREQ is
 //! 8 B of control information, far below Ethernet's 64 B minimum frame.
 
-use edm_memory::rmw::RmwOp;
 use core::fmt;
+use edm_memory::rmw::RmwOp;
 
 /// Opcode tags in the serialized form.
 const TAG_RREQ: u8 = 1;
@@ -267,14 +267,7 @@ mod tests {
     #[test]
     fn nominal_sizes_match_paper() {
         // §2.3 / §4.2: RREQ is 8 B; CAS RMWREQ is 24 B.
-        assert_eq!(
-            MemOp::Read {
-                addr: 0,
-                len: 64
-            }
-            .nominal_bytes(),
-            8
-        );
+        assert_eq!(MemOp::Read { addr: 0, len: 64 }.nominal_bytes(), 8);
         assert_eq!(
             MemOp::Rmw {
                 addr: 0,

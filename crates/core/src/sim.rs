@@ -11,8 +11,17 @@
 //! by its *ideal* completion time (what it would take alone in the
 //! network), so 1.0 is optimal and "within 1.3× of unloaded" means ≤ 1.3.
 
+use edm_sched::scheduler::PollResult;
 use edm_sched::{Notification, Policy, Scheduler, SchedulerConfig};
 use edm_sim::{Bandwidth, Duration, Engine, EventQueue, Summary, Time, World};
+use std::sync::OnceLock;
+
+/// Whether `EDM_SIM_DEBUG` is set, resolved once: the env lookup is a
+/// syscall and must stay out of the per-simulation hot path.
+fn sim_debug() -> bool {
+    static DEBUG: OnceLock<bool> = OnceLock::new();
+    *DEBUG.get_or_init(|| std::env::var_os("EDM_SIM_DEBUG").is_some())
+}
 
 /// Cluster-wide configuration shared by every protocol.
 #[derive(Debug, Clone, Copy)]
@@ -222,6 +231,12 @@ struct MsgState {
     prefix: Vec<u32>,
     delivered: u32,
     next_flow: usize,
+    /// Scheduler msg_id this message was notified under (sanity checks).
+    msg_id: u8,
+    /// Next in-flight message of the same pair — the pair's grant FIFO as
+    /// an intrusive list through the slab (target index + 1; 0 = last).
+    /// The zero sentinel keeps the per-pair slabs calloc-cheap.
+    next_in_pair: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -231,23 +246,38 @@ enum EdmEv {
     /// Scheduler poll.
     Poll,
     /// A chunk's last byte reaches the flow's data destination.
-    ChunkDelivered { target: usize, bytes: u32, last: bool },
+    ChunkDelivered {
+        target: usize,
+        bytes: u32,
+        last: bool,
+    },
 }
 
 struct EdmWorld {
     cluster: ClusterConfig,
     flows: Vec<Flow>,
     scheduler: Scheduler,
-    /// Scheduled message slab, keyed by scheduler (src, dest, msg_id).
-    grant_lookup: std::collections::HashMap<(u16, u16, u8), usize>,
+    /// Head of each pair's in-flight message FIFO (`targets` index + 1;
+    /// 0 = empty), keyed by pair index — a flat slab replacing the former
+    /// `HashMap<(u16, u16, u8), usize>` grant lookup. Grants within a pair
+    /// are strictly FIFO (§3.1.1 property 5), so the head *is* the
+    /// granted message.
+    pair_head: Vec<u32>,
+    /// Tail of each pair's in-flight message FIFO (`targets` index + 1).
+    pair_tail: Vec<u32>,
     targets: Vec<MsgState>,
     batch_small: bool,
     /// Pending notifications blocked on the per-pair X limit.
     backlog: std::collections::VecDeque<usize>,
+    /// Backlogged flow count per pair index: O(1) same-pair waiter checks
+    /// instead of an O(backlog) scan per demand arrival.
+    backlog_per_pair: Vec<u32>,
     completed: Vec<Option<Time>>,
     poll_at: Option<Time>,
-    /// msg_id allocator per (data src, data dst) pair.
-    next_msg_id: std::collections::HashMap<(u16, u16), u8>,
+    /// msg_id allocator per pair index (flat slab, wraps at 256).
+    next_msg_id: Vec<u8>,
+    /// Reused scheduler poll result (grant buffer survives across polls).
+    poll_scratch: PollResult,
 }
 
 impl EdmWorld {
@@ -258,6 +288,11 @@ impl EdmWorld {
             FlowKind::Write => (flow.src as u16, flow.dst as u16),
             FlowKind::Read => (flow.dst as u16, flow.src as u16),
         }
+    }
+
+    /// Flat index of a (data src, data dst) pair.
+    fn pair_idx(&self, src: u16, dst: u16) -> usize {
+        src as usize * self.cluster.nodes + dst as usize
     }
 
     /// Announces one message (possibly carrying several batched same-pair
@@ -272,26 +307,35 @@ impl EdmWorld {
             total += self.flows[fi].size;
             prefix.push(total);
         }
-        let id_slot = self.next_msg_id.entry((s, d)).or_insert(0);
-        let msg_id = *id_slot;
+        let pi = self.pair_idx(s, d);
+        let msg_id = self.next_msg_id[pi];
         match self
             .scheduler
             .notify(now, Notification::new(s, d, msg_id, total))
         {
             Ok(()) => {
-                *id_slot = id_slot.wrapping_add(1);
-                let target = self.targets.len();
+                self.next_msg_id[pi] = msg_id.wrapping_add(1);
                 self.targets.push(MsgState {
                     flows: flow_idxs,
                     prefix,
                     delivered: 0,
                     next_flow: 0,
+                    msg_id,
+                    next_in_pair: 0,
                 });
-                self.grant_lookup.insert((s, d, msg_id), target);
+                // Append to the pair's grant FIFO (index + 1 encoding).
+                let slot = self.targets.len() as u32;
+                if self.pair_head[pi] == 0 {
+                    self.pair_head[pi] = slot;
+                } else {
+                    self.targets[(self.pair_tail[pi] - 1) as usize].next_in_pair = slot;
+                }
+                self.pair_tail[pi] = slot;
                 self.schedule_poll(now, q);
             }
             Err(edm_sched::scheduler::NotifyError::PairLimitReached { .. }) => {
                 // Sender rate-limiting: retry when a grant frees a slot.
+                self.backlog_per_pair[pi] += flow_idxs.len() as u32;
                 self.backlog.extend(flow_idxs);
             }
             Err(e) => panic!("unexpected notify error: {e}"),
@@ -305,24 +349,29 @@ impl EdmWorld {
         let Some(first) = self.backlog.pop_front() else {
             return;
         };
+        let (s, d) = Self::data_dir(&self.flows[first]);
+        let pi = self.pair_idx(s, d);
+        self.backlog_per_pair[pi] -= 1;
         if !self.batch_small {
             self.try_notify(now, vec![first], q);
             return;
         }
-        let pair = Self::data_dir(&self.flows[first]);
+        let pair = (s, d);
         let mut batch = vec![first];
         let mut total = self.flows[first].size;
+        let flows = &self.flows;
         self.backlog.retain(|&fi| {
-            if Self::data_dir(&self.flows[fi]) == pair
-                && total as u64 + self.flows[fi].size as u64 <= u16::MAX as u64
+            if Self::data_dir(&flows[fi]) == pair
+                && total as u64 + flows[fi].size as u64 <= u16::MAX as u64
             {
-                total += self.flows[fi].size;
+                total += flows[fi].size;
                 batch.push(fi);
                 false
             } else {
                 true
             }
         });
+        self.backlog_per_pair[pi] -= (batch.len() - 1) as u32;
         self.try_notify(now, batch, q);
     }
 
@@ -342,12 +391,10 @@ impl World for EdmWorld {
             EdmEv::DemandArrives { flow_idx } => {
                 // Host message-queue FIFO: a new message may not overtake
                 // older same-pair messages already waiting in the backlog.
-                let pair = Self::data_dir(&self.flows[flow_idx]);
-                if self
-                    .backlog
-                    .iter()
-                    .any(|&fi| Self::data_dir(&self.flows[fi]) == pair)
-                {
+                let (s, d) = Self::data_dir(&self.flows[flow_idx]);
+                let pi = self.pair_idx(s, d);
+                if self.backlog_per_pair[pi] > 0 {
+                    self.backlog_per_pair[pi] += 1;
                     self.backlog.push_back(flow_idx);
                 } else {
                     self.try_notify(now, vec![flow_idx], q);
@@ -361,24 +408,30 @@ impl World for EdmWorld {
                     return;
                 }
                 self.poll_at = None;
-                let result = self.scheduler.poll(now);
+                let mut result = std::mem::take(&mut self.poll_scratch);
+                self.scheduler.poll_into(now, &mut result);
                 let half = self.cluster.pipeline_latency / 2
                     + self.cluster.prop_delay
                     + self.cluster.link.tx_time_bytes(8); // grant block flight
                 for g in &result.grants {
-                    let target = *self
-                        .grant_lookup
-                        .get(&(g.src, g.dest, g.msg_id))
-                        .expect("grant for unknown flow");
+                    // Grants within a pair are FIFO, so the granted message
+                    // is the head of the pair's in-flight list.
+                    let pi = self.pair_idx(g.src, g.dest);
+                    debug_assert_ne!(self.pair_head[pi], 0, "grant for unknown flow");
+                    let target = (self.pair_head[pi] - 1) as usize;
+                    debug_assert_eq!(self.targets[target].msg_id, g.msg_id);
                     // Grant flies to the sender (half RTT), sender emits the
                     // chunk, chunk flies src -> switch -> dst.
                     let chunk_tx = self.cluster.link.tx_time_bytes(g.chunk_bytes as u64);
-                    let data_flight = self.cluster.pipeline_latency / 2
-                        + 2 * self.cluster.prop_delay
-                        + chunk_tx;
+                    let data_flight =
+                        self.cluster.pipeline_latency / 2 + 2 * self.cluster.prop_delay + chunk_tx;
                     let delivered = now + result.sched_latency + half + data_flight;
                     if g.is_final() {
-                        self.grant_lookup.remove(&(g.src, g.dest, g.msg_id));
+                        let next = self.targets[target].next_in_pair;
+                        self.pair_head[pi] = next;
+                        if next == 0 {
+                            self.pair_tail[pi] = 0;
+                        }
                     }
                     q.schedule(
                         delivered,
@@ -392,8 +445,13 @@ impl World for EdmWorld {
                 if let Some(t) = result.next_wakeup {
                     self.schedule_poll(t, q);
                 }
+                self.poll_scratch = result;
             }
-            EdmEv::ChunkDelivered { target, bytes, last } => {
+            EdmEv::ChunkDelivered {
+                target,
+                bytes,
+                last,
+            } => {
                 let st = &mut self.targets[target];
                 st.delivered += bytes;
                 // Sub-flows of a mega message complete in FIFO order as
@@ -427,17 +485,21 @@ impl FabricProtocol for EdmProtocol {
             max_active_per_pair: self.max_active_per_pair,
             clock: edm_sched::ASIC_CLOCK,
         };
+        let pairs = cluster.nodes * cluster.nodes;
         let world = EdmWorld {
             cluster: *cluster,
             flows: flows.to_vec(),
             scheduler: Scheduler::new(sched_cfg),
-            grant_lookup: std::collections::HashMap::new(),
-            targets: Vec::new(),
+            pair_head: vec![0; pairs],
+            pair_tail: vec![0; pairs],
+            targets: Vec::with_capacity(flows.len()),
             batch_small: self.batch_small_messages,
             backlog: std::collections::VecDeque::new(),
+            backlog_per_pair: vec![0; pairs],
             completed: vec![None; flows.len()],
             poll_at: None,
-            next_msg_id: std::collections::HashMap::new(),
+            next_msg_id: vec![0; pairs],
+            poll_scratch: PollResult::default(),
         };
         let mut engine = Engine::new(world);
         for (i, f) in flows.iter().enumerate() {
@@ -447,10 +509,12 @@ impl FabricProtocol for EdmProtocol {
                 + cluster.pipeline_latency / 2
                 + cluster.prop_delay
                 + cluster.link.tx_time_bytes(8);
-            engine.queue_mut().schedule(at, EdmEv::DemandArrives { flow_idx: i });
+            engine
+                .queue_mut()
+                .schedule(at, EdmEv::DemandArrives { flow_idx: i });
         }
         engine.run();
-        if std::env::var_os("EDM_SIM_DEBUG").is_some() {
+        if sim_debug() {
             eprintln!("[edm-sim] events dispatched: {}", engine.steps());
         }
         let world = engine.into_world();
@@ -516,7 +580,10 @@ mod tests {
         }];
         let r = EdmProtocol::default().simulate(&c, &flows);
         let norm = r.outcomes[0].mct().ratio(ideal_mct(&c, &flows[0]));
-        assert!((0.7..1.6).contains(&norm), "unloaded read normalized {norm}");
+        assert!(
+            (0.7..1.6).contains(&norm),
+            "unloaded read normalized {norm}"
+        );
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! * the switch forwards data chunks through pre-established virtual
 //!   circuits (no L2 processing), cut-through at block granularity.
 
-use crate::message::MemOp;
 use crate::latency::physical::{PMA_PMD_PASS, PROPAGATION};
+use crate::message::MemOp;
 use crate::stack;
 use edm_memory::rmw::RmwOp;
 use edm_memory::MemoryController;
@@ -110,7 +110,9 @@ impl Pkt {
     fn blocks(&self) -> u64 {
         match self {
             Pkt::Notify { .. } | Pkt::Grant { .. } => 1,
-            Pkt::Request { op } => mem_codec::blocks_for_message(op.nominal_bytes() as usize) as u64,
+            Pkt::Request { op } => {
+                mem_codec::blocks_for_message(op.nominal_bytes() as usize) as u64
+            }
             Pkt::WriteChunk { data, .. } | Pkt::ReadChunk { data, .. } => {
                 mem_codec::blocks_for_message(data.len()) as u64
             }
@@ -130,9 +132,19 @@ pub enum Ev {
         op_id: u64,
     },
     /// A packet arrives at the switch from `src`.
-    SwitchRx { src: NodeId, dst: NodeId, msg_id: u8, pkt: Pkt },
+    SwitchRx {
+        src: NodeId,
+        dst: NodeId,
+        msg_id: u8,
+        pkt: Pkt,
+    },
     /// A packet arrives at node `node`.
-    NodeRx { node: NodeId, src: NodeId, msg_id: u8, pkt: Pkt },
+    NodeRx {
+        node: NodeId,
+        src: NodeId,
+        msg_id: u8,
+        pkt: Pkt,
+    },
     /// Scheduler poll.
     SchedPoll,
 }
@@ -215,7 +227,9 @@ impl Testbed {
         };
         Testbed {
             nodes: (0..config.nodes).map(|_| Node::default()).collect(),
-            memories: (0..config.nodes).map(|_| MemoryController::ddr4()).collect(),
+            memories: (0..config.nodes)
+                .map(|_| MemoryController::ddr4())
+                .collect(),
             scheduler: Scheduler::new(sched_cfg),
             buffered_rreqs: HashMap::new(),
             egress_free_at: vec![Time::ZERO; config.nodes],
@@ -247,6 +261,7 @@ impl Testbed {
         PMA_PMD_PASS + PROPAGATION + PMA_PMD_PASS
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_to_switch(
         &mut self,
         now: Time,
@@ -262,9 +277,18 @@ impl Testbed {
         let ser = self.config.link.tx_time_bits(pkt.blocks() * 66);
         node.tx_free_at = depart + ser;
         let arrive = depart + ser + Self::hop();
-        q.schedule(arrive, Ev::SwitchRx { src, dst, msg_id, pkt });
+        q.schedule(
+            arrive,
+            Ev::SwitchRx {
+                src,
+                dst,
+                msg_id,
+                pkt,
+            },
+        );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_to_node(
         &mut self,
         now: Time,
@@ -275,12 +299,20 @@ impl Testbed {
         pkt: Pkt,
         extra_tx_cycles: u64,
     ) {
-        let depart =
-            now.max(self.egress_free_at[node as usize]) + stack::cycles(extra_tx_cycles + stack::PCS_PASS);
+        let depart = now.max(self.egress_free_at[node as usize])
+            + stack::cycles(extra_tx_cycles + stack::PCS_PASS);
         let ser = self.wire_time(pkt.blocks());
         self.egress_free_at[node as usize] = depart + ser;
         let arrive = depart + ser + Self::hop();
-        q.schedule(arrive, Ev::NodeRx { node, src, msg_id, pkt });
+        q.schedule(
+            arrive,
+            Ev::NodeRx {
+                node,
+                src,
+                msg_id,
+                pkt,
+            },
+        );
     }
 
     fn schedule_poll(&mut self, q: &mut EventQueue<Ev>, at: Time) {
@@ -405,12 +437,7 @@ impl Testbed {
         }
     }
 
-    fn deliver_grant(
-        &mut self,
-        now: Time,
-        q: &mut EventQueue<Ev>,
-        grant: edm_sched::Grant,
-    ) {
+    fn deliver_grant(&mut self, now: Time, q: &mut EventQueue<Ev>, grant: edm_sched::Grant) {
         let key = (grant.src, grant.dest, grant.msg_id);
         if let Some((orig_src, pkt)) = self.buffered_rreqs.remove(&key) {
             // First grant for an RRES: forward the buffered RREQ itself.
@@ -464,8 +491,8 @@ impl Testbed {
                 }
             }
             Pkt::Grant { chunk } => {
-                let grant_cost = rx_base
-                    + stack::cycles(stack::host::RX_GRANT + stack::host::READ_GRANT_QUEUE);
+                let grant_cost =
+                    rx_base + stack::cycles(stack::host::RX_GRANT + stack::host::READ_GRANT_QUEUE);
                 // A grant either continues an RRES (we are the memory node;
                 // keyed by the requesting peer) or a WREQ (we are the
                 // writer).
@@ -656,9 +683,12 @@ impl World for Testbed {
                 op,
                 op_id,
             } => self.handle_app(now, q, node, peer, op, op_id),
-            Ev::SwitchRx { src, dst, msg_id, pkt } => {
-                self.handle_switch_rx(now, q, src, dst, msg_id, pkt)
-            }
+            Ev::SwitchRx {
+                src,
+                dst,
+                msg_id,
+                pkt,
+            } => self.handle_switch_rx(now, q, src, dst, msg_id, pkt),
             Ev::NodeRx {
                 node,
                 src,

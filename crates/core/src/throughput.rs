@@ -84,8 +84,8 @@ impl ThroughputEstimate {
 }
 
 fn mix_time(mix: &RequestMix, read: Duration, write: Duration) -> Duration {
-    let ps = mix.read_fraction * read.as_ps() as f64
-        + (1.0 - mix.read_fraction) * write.as_ps() as f64;
+    let ps =
+        mix.read_fraction * read.as_ps() as f64 + (1.0 - mix.read_fraction) * write.as_ps() as f64;
     Duration::from_ps(ps.round() as u64)
 }
 
@@ -143,7 +143,11 @@ mod tests {
 
     #[test]
     fn edm_beats_rdma_on_every_ycsb_mix() {
-        for mix in [RequestMix::ycsb_a(), RequestMix::ycsb_b(), RequestMix::ycsb_f()] {
+        for mix in [
+            RequestMix::ycsb_a(),
+            RequestMix::ycsb_b(),
+            RequestMix::ycsb_f(),
+        ] {
             let edm = edm_throughput(LINK, &mix);
             let rdma = rdma_throughput(LINK, &mix);
             let ratio = edm.requests_per_sec / rdma.requests_per_sec;
@@ -158,12 +162,15 @@ mod tests {
     fn overall_advantage_matches_paper_factor() {
         // §4.2.2: "EDM is able to achieve around 2.7x more throughput than
         // RDMA in terms of requests per second" (averaged over workloads).
-        let mixes = [RequestMix::ycsb_a(), RequestMix::ycsb_b(), RequestMix::ycsb_f()];
+        let mixes = [
+            RequestMix::ycsb_a(),
+            RequestMix::ycsb_b(),
+            RequestMix::ycsb_f(),
+        ];
         let avg_ratio: f64 = mixes
             .iter()
             .map(|m| {
-                edm_throughput(LINK, m).requests_per_sec
-                    / rdma_throughput(LINK, m).requests_per_sec
+                edm_throughput(LINK, m).requests_per_sec / rdma_throughput(LINK, m).requests_per_sec
             })
             .sum::<f64>()
             / mixes.len() as f64;

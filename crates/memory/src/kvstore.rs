@@ -120,7 +120,11 @@ impl KvStore {
             let idx = (start + i) & (self.slots - 1);
             let addr = self.slot_addr(idx);
             let tag = u32::from_le_bytes(
-                self.mem.store().read(addr + 12, 4).try_into().expect("4 bytes"),
+                self.mem
+                    .store()
+                    .read(addr + 12, 4)
+                    .try_into()
+                    .expect("4 bytes"),
             );
             if tag != TAG_OCCUPIED {
                 return Ok((idx, false));

@@ -73,7 +73,7 @@ proptest! {
         let mut issued = Time::ZERO;
         let mut completions: Vec<(u64, Time, Time)> = Vec::new(); // (bank-ish addr, start, complete)
         for &(addr, len, gap) in &accesses {
-            issued = issued + edm_sim::Duration::from_ps(gap);
+            issued += edm_sim::Duration::from_ps(gap);
             let t = dram.access(issued, addr, len, AccessKind::Read);
             prop_assert!(t.start >= issued, "service before issue");
             prop_assert!(t.complete > t.start, "zero-time access");

@@ -136,7 +136,10 @@ impl Block {
     /// Whether this block belongs to a standard Ethernet frame body
     /// (`/S/ /D/ /T/`).
     pub fn is_frame(&self) -> bool {
-        matches!(self, Block::Start(_) | Block::Data(_) | Block::Terminate { .. })
+        matches!(
+            self,
+            Block::Start(_) | Block::Data(_) | Block::Terminate { .. }
+        )
     }
 
     /// Number of upper-layer data bytes this block carries.
@@ -163,19 +166,13 @@ impl Block {
         }
         match self {
             Block::Idle => (SyncHeader::Control, block_type::IDLE as u64),
-            Block::Start(b) => (
-                SyncHeader::Control,
-                block_type::START as u64 | pack7(b),
-            ),
+            Block::Start(b) => (SyncHeader::Control, block_type::START as u64 | pack7(b)),
             Block::Data(b) => (SyncHeader::Data, u64::from_le_bytes(*b)),
             Block::Terminate { bytes, len } => (
                 SyncHeader::Control,
                 block_type::TERMINATE[*len as usize] as u64 | pack7(bytes),
             ),
-            Block::MemStart(b) => (
-                SyncHeader::Control,
-                block_type::MEM_START as u64 | pack7(b),
-            ),
+            Block::MemStart(b) => (SyncHeader::Control, block_type::MEM_START as u64 | pack7(b)),
             Block::MemData(b) => (SyncHeader::Data, u64::from_le_bytes(*b)),
             Block::MemTerminate { bytes, len } => (
                 SyncHeader::Control,
@@ -200,7 +197,11 @@ impl Block {
                     block_type::NOTIFY as u64 | pack7(&seven),
                 )
             }
-            Block::Grant { dest, msg_id, chunk } => {
+            Block::Grant {
+                dest,
+                msg_id,
+                chunk,
+            } => {
                 let mut seven = [0u8; 7];
                 seven[0..2].copy_from_slice(&dest.to_le_bytes());
                 seven[2] = *msg_id;

@@ -1,7 +1,7 @@
 //! MAC-frame ⇄ PHY-block encoding (the PCS encoder/decoder).
 //!
-//! An Ethernet frame is encoded as `/S/` (7 bytes) + `/D/`×k (8 bytes each)
-//! + `/T_r/` (0–7 bytes). A 64 B minimum frame therefore occupies exactly
+//! An Ethernet frame is encoded as `/S/` (7 bytes) + `/D/`×k (8 bytes
+//! each) + `/T_r/` (0–7 bytes). A 64 B minimum frame therefore occupies exactly
 //! 9 blocks (`/S/` + 7 `/D/` + `/T1/`), matching §3.2 of the paper. The
 //! encoder is also responsible for the inter-frame gap: at least
 //! [`MIN_IFG_BLOCKS`] idle blocks trail every frame (the 12-byte / 96-bit
@@ -169,7 +169,10 @@ mod tests {
 
     #[test]
     fn short_frame_rejected() {
-        assert_eq!(encode_frame(&[0; 63]).unwrap_err(), FrameError::TooShort(63));
+        assert_eq!(
+            encode_frame(&[0; 63]).unwrap_err(),
+            FrameError::TooShort(63)
+        );
     }
 
     #[test]

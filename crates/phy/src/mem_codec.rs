@@ -86,7 +86,9 @@ pub enum MemCodecError {
 impl fmt::Display for MemCodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MemCodecError::MissingStart => write!(f, "memory message must start with /MS/ or /MST/"),
+            MemCodecError::MissingStart => {
+                write!(f, "memory message must start with /MS/ or /MST/")
+            }
             MemCodecError::Unterminated => write!(f, "memory message missing /MT/ terminator"),
             MemCodecError::ForeignBlock => write!(f, "non-memory block inside memory message"),
             MemCodecError::LengthMismatch { header, actual } => write!(
@@ -265,7 +267,10 @@ mod tests {
             decode_message(&[Block::Idle]).unwrap_err(),
             MemCodecError::MissingStart
         );
-        assert_eq!(decode_message(&[]).unwrap_err(), MemCodecError::MissingStart);
+        assert_eq!(
+            decode_message(&[]).unwrap_err(),
+            MemCodecError::MissingStart
+        );
     }
 
     #[test]

@@ -267,7 +267,9 @@ mod tests {
         let (mem, frames) = loopback(&mut tx, &mut rx);
         assert_eq!(decode_frame(&frames[0]).unwrap(), frame);
         // The /N/ control block and the full message both arrive.
-        assert!(mem.iter().any(|b| matches!(b, Block::Notify { size: 48, .. })));
+        assert!(mem
+            .iter()
+            .any(|b| matches!(b, Block::Notify { size: 48, .. })));
         let msg_blocks: Vec<Block> = mem
             .iter()
             .filter(|b| {
@@ -307,11 +309,12 @@ mod tests {
         let mut rx = PcsRx::assume_locked();
         tx.send_message(&MemMessage::new(0, 0, vec![9; 8]));
         let mut word = tx.tick();
-        word.payload ^= 0xFFFF; // corrupt the wire
-        // Either the block type becomes illegal or the sequence breaks —
-        // in both cases the corruption is observable, feeding the link
-        // monitor of §3.3. (A corrupted /MS/ that still parses as some
-        // legal control block may surface on a *later* block instead.)
+        // Corrupt the wire: either the block type becomes illegal or the
+        // sequence breaks — in both cases the corruption is observable,
+        // feeding the link monitor of §3.3. (A corrupted /MS/ that still
+        // parses as some legal control block may surface on a *later*
+        // block instead.)
+        word.payload ^= 0xFFFF;
         let mut saw_error = rx.receive(word).is_err();
         while !tx.is_idle() {
             saw_error |= rx.receive(tx.tick()).is_err();

@@ -64,6 +64,16 @@ impl Matching {
     }
 }
 
+/// Outcome of a [`PimRunner::run_sparse`] call, whose matched pairs are
+/// written into a caller-owned buffer instead of a fresh allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SparseOutcome {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Hardware cycles consumed (`3 × iterations`).
+    pub cycles: u64,
+}
+
 /// Runs priority PIM over demand snapshots.
 #[derive(Debug)]
 pub struct PimRunner {
@@ -75,20 +85,33 @@ pub struct PimRunner {
     proposed_srcs: Vec<usize>,
     /// Destinations still participating (avail, demand not exhausted).
     active_dests: Vec<usize>,
+    /// Double buffer for the surviving active destinations.
+    next_active: Vec<usize>,
+    /// Epoch stamps marking sources matched in the current run; comparing
+    /// against `epoch` avoids clearing an O(ports) array per run.
+    src_matched: Vec<u32>,
+    /// Epoch stamps marking destinations matched in the current run.
+    dst_matched: Vec<u32>,
+    /// Current run's epoch (stamps from older runs never compare equal).
+    epoch: u32,
 }
 
 impl PimRunner {
     /// Creates a runner for the given configuration.
     pub fn new(config: PimConfig) -> Self {
-        let encoders = (0..config.ports)
-            .map(|_| PriorityEncoder::new(config.ports))
-            .collect();
+        // Encoders start at width 0 and grow on first contention: an
+        // O(ports²)-bit up-front allocation would defeat the sparse model.
+        let encoders = (0..config.ports).map(|_| PriorityEncoder::new(0)).collect();
         PimRunner {
             config,
             encoders,
             proposals: (0..config.ports).map(|_| Vec::new()).collect(),
             proposed_srcs: Vec::new(),
             active_dests: Vec::new(),
+            next_active: Vec::new(),
+            src_matched: vec![0; config.ports],
+            dst_matched: vec![0; config.ports],
+            epoch: 0,
         }
     }
 
@@ -120,9 +143,54 @@ impl PimRunner {
         assert_eq!(src_free.len(), n);
         assert_eq!(dst_free.len(), n);
 
-        let mut src_avail = src_free.to_vec();
-        let mut dst_avail = dst_free.to_vec();
+        // Dense entry point: derive the active-destination list by scanning
+        // all ports, then defer to the sparse core. The demand-sparse
+        // scheduler skips this scan by maintaining the list incrementally.
+        let active: Vec<usize> = (0..n)
+            .filter(|&d| dst_free[d] && !demand[d].is_empty())
+            .collect();
         let mut pairs = Vec::new();
+        let outcome = self.run_sparse(&active, demand, |s| src_free[s], &mut pairs);
+        Matching {
+            pairs,
+            iterations: outcome.iterations,
+            cycles: outcome.cycles,
+        }
+    }
+
+    /// Demand-sparse PIM: forms the same matching as [`PimRunner::run`]
+    /// while touching only the destinations in `active_dests` — the
+    /// hardware behaviour, where ports without queued notifications never
+    /// participate (§3.1.2). Cost is `O(active · depth)` per iteration
+    /// instead of `O(ports)`.
+    ///
+    /// `active_dests` must list destinations that are available this round
+    /// and have a non-empty `demand` row; for bit-identical results with
+    /// the dense path it must be in ascending order. `src_free(s)` reports
+    /// initial source eligibility and is consulted only for sources that
+    /// appear in active rows. Matched pairs are appended to `pairs`
+    /// (cleared first), so steady-state runs are allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if an active row names an out-of-range source.
+    pub fn run_sparse<F: FnMut(usize) -> bool>(
+        &mut self,
+        active_dests: &[usize],
+        demand: &[Vec<(u64, usize)>],
+        mut src_free: F,
+        pairs: &mut Vec<(usize, usize)>,
+    ) -> SparseOutcome {
+        pairs.clear();
+        let n = self.config.ports;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: old stamps could collide; reset them.
+            self.src_matched.iter_mut().for_each(|e| *e = 0);
+            self.dst_matched.iter_mut().for_each(|e| *e = 0);
+            self.epoch = 1;
+        }
+        let epoch = self.epoch;
         let mut iterations = 0usize;
 
         // Only destinations that are available and have demand can ever
@@ -130,9 +198,7 @@ impl PimRunner {
         // can be dropped permanently (sources only become *less* available
         // within a run).
         self.active_dests.clear();
-        self.active_dests.extend(
-            (0..n).filter(|&d| dst_avail[d] && !demand[d].is_empty()),
-        );
+        self.active_dests.extend_from_slice(active_dests);
 
         loop {
             if let Some(cap) = self.config.max_iterations {
@@ -147,27 +213,27 @@ impl PimRunner {
                 self.proposals[s].clear();
             }
             self.proposed_srcs.clear();
-            let mut next_active = Vec::with_capacity(self.active_dests.len());
+            self.next_active.clear();
             for &d in &self.active_dests {
-                debug_assert!(dst_avail[d]);
-                match demand[d].iter().find(|&&(_, s)| {
-                    assert!(s < n, "source {s} out of range");
-                    src_avail[s]
-                }) {
-                    Some(&(prio, s)) => {
-                        if self.proposals[s].is_empty() {
-                            self.proposed_srcs.push(s);
-                        }
-                        self.proposals[s].push((prio, d));
-                        next_active.push(d);
+                debug_assert!(self.dst_matched[d] != epoch);
+                let proposal = demand[d].iter().find(|&&(_, s)| {
+                    debug_assert!(s < n, "source {s} out of range");
+                    self.src_matched[s] != epoch && src_free(s)
+                });
+                // A destination with no eligible source left is
+                // permanently out.
+                if let Some(&(prio, s)) = proposal {
+                    if self.proposals[s].is_empty() {
+                        self.proposed_srcs.push(s);
                     }
-                    None => {} // permanently out: no eligible source left
+                    self.proposals[s].push((prio, d));
+                    self.next_active.push(d);
                 }
             }
-            if next_active.is_empty() {
+            if self.next_active.is_empty() {
                 break;
             }
-            self.active_dests = next_active;
+            std::mem::swap(&mut self.active_dests, &mut self.next_active);
             iterations += 1;
 
             // --- Cycle 2: each contended source resolves by priority.
@@ -179,6 +245,9 @@ impl PimRunner {
                 let mut reqs = std::mem::take(&mut self.proposals[s]);
                 reqs.sort_unstable(); // (priority, dest): ascending = best first
                 let enc = &mut self.encoders[s];
+                if enc.width() < reqs.len() {
+                    *enc = PriorityEncoder::new(reqs.len().next_power_of_two());
+                }
                 enc.clear();
                 for (rank, _) in reqs.iter().enumerate() {
                     enc.set(rank);
@@ -188,17 +257,17 @@ impl PimRunner {
                 self.proposals[s] = reqs;
 
                 // --- Cycle 3: mark the matched pair busy.
-                debug_assert!(src_avail[s] && dst_avail[d]);
-                src_avail[s] = false;
-                dst_avail[d] = false;
+                debug_assert!(self.src_matched[s] != epoch && self.dst_matched[d] != epoch);
+                self.src_matched[s] = epoch;
+                self.dst_matched[d] = epoch;
                 pairs.push((s, d));
             }
             // Matched destinations drop out of the active set.
-            self.active_dests.retain(|&d| dst_avail[d]);
+            let dst_matched = &self.dst_matched;
+            self.active_dests.retain(|&d| dst_matched[d] != epoch);
         }
 
-        Matching {
-            pairs,
+        SparseOutcome {
             iterations,
             cycles: iterations as u64 * CYCLES_PER_ITERATION,
         }
@@ -315,8 +384,8 @@ mod tests {
         let n = 16;
         let mut pim = PimRunner::new(PimConfig::for_ports(n));
         let mut demand = vec![Vec::new(); n];
-        for d in 0..n {
-            demand[d].push((d as u64, (d + 1) % n));
+        for (d, row) in demand.iter_mut().enumerate() {
+            row.push((d as u64, (d + 1) % n));
         }
         let m = pim.run(&demand, &all_free(n), &all_free(n));
         assert_eq!(m.pairs.len(), n);

@@ -16,6 +16,8 @@
 use crate::ordered_list::OrderedList;
 use crate::pim::{self, PimConfig, PimRunner};
 use edm_sim::{Bandwidth, Duration, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Scheduling priority policy (§3.1.1, property 4).
@@ -185,8 +187,16 @@ pub struct Scheduler {
     /// queue (in-order delivery, §3.1.1 property 5: priority policies
     /// apply only *across* pairs; within a pair, messages are FIFO).
     head_in_queue: Vec<bool>,
-    /// Same-pair messages waiting behind the head, in arrival order.
-    pair_waiting: Vec<std::collections::VecDeque<QueuedMsg>>,
+    /// Head of each pair's waiting FIFO (slab index + 1; 0 = empty). The
+    /// zero sentinel keeps construction a calloc: untouched pairs cost
+    /// nothing, unlike a `Vec<VecDeque>` that writes every entry.
+    wait_head: Vec<u32>,
+    /// Tail of each pair's waiting FIFO (slab index + 1; 0 = empty).
+    wait_tail: Vec<u32>,
+    /// Same-pair messages waiting behind their head, linked per pair.
+    wait_slab: Vec<WaitNode>,
+    /// Free-list head into `wait_slab` (index + 1; 0 = none).
+    wait_free: u32,
     pim: PimRunner,
     /// Total grants issued (stats).
     grants_issued: u64,
@@ -194,6 +204,34 @@ pub struct Scheduler {
     bytes_granted: u64,
     /// Reusable demand-snapshot buffers (avoids per-poll allocation).
     demand_scratch: Vec<Vec<(u64, usize)>>,
+    /// Destinations with a non-empty notification queue, maintained
+    /// incrementally so `poll` visits only ports with live demand.
+    active_dests: Vec<u32>,
+    /// Position of each destination in `active_dests` (`NOT_ACTIVE` when
+    /// its queue is empty).
+    dest_active_pos: Vec<u32>,
+    /// Running count of queued messages (= Σ queue lengths).
+    pending: usize,
+    /// Busy-timer expiries of issued grants (src and dst share one entry);
+    /// stale entries are discarded lazily. Replaces the O(2·ports)
+    /// `next_wakeup` scan.
+    busy_expiry: BinaryHeap<Reverse<Time>>,
+    /// Scratch: destinations eligible for PIM this round.
+    pim_dests: Vec<usize>,
+    /// Scratch: matched pairs from the last PIM run.
+    pairs_scratch: Vec<(usize, usize)>,
+}
+
+/// Sentinel for "destination not in the active list".
+const NOT_ACTIVE: u32 = u32::MAX;
+
+/// A same-pair message waiting behind its pair's queued head.
+#[derive(Debug, Clone, Copy)]
+struct WaitNode {
+    msg: QueuedMsg,
+    /// Next waiter of the same pair, or next free slot when on the free
+    /// list (slab index + 1; 0 = none).
+    next: u32,
 }
 
 /// Demand-row depth offered to PIM per destination. The hardware presents
@@ -228,11 +266,18 @@ impl Scheduler {
             dst_busy_until: vec![Time::ZERO; config.ports],
             active_per_pair: vec![0; config.ports * config.ports],
             head_in_queue: vec![false; config.ports * config.ports],
-            pair_waiting: (0..config.ports * config.ports)
-                .map(|_| std::collections::VecDeque::new())
-                .collect(),
+            wait_head: vec![0; config.ports * config.ports],
+            wait_tail: vec![0; config.ports * config.ports],
+            wait_slab: Vec::new(),
+            wait_free: 0,
             pim: PimRunner::new(PimConfig::for_ports(config.ports)),
             demand_scratch: (0..config.ports).map(|_| Vec::new()).collect(),
+            active_dests: Vec::new(),
+            dest_active_pos: vec![NOT_ACTIVE; config.ports],
+            pending: 0,
+            busy_expiry: BinaryHeap::new(),
+            pim_dests: Vec::new(),
+            pairs_scratch: Vec::new(),
             config,
             grants_issued: 0,
             bytes_granted: 0,
@@ -244,9 +289,10 @@ impl Scheduler {
         &self.config
     }
 
-    /// Messages currently queued across all destinations.
+    /// Messages currently queued across all destinations. O(1): a running
+    /// counter replaces the former O(ports) sum.
     pub fn pending_messages(&self) -> usize {
-        self.queues.iter().map(|q| q.len()).sum()
+        self.pending
     }
 
     /// Total grants issued so far.
@@ -273,6 +319,69 @@ impl Scheduler {
             Policy::Fcfs => msg.notified_at.as_ps(),
             Policy::Srpt => msg.remaining as u64,
         }
+    }
+
+    /// Inserts into a destination queue, keeping the active-dest list and
+    /// the pending counter in sync.
+    fn queue_insert(&mut self, dest: usize, key: u64, msg: QueuedMsg) {
+        if self.queues[dest].is_empty() {
+            debug_assert_eq!(self.dest_active_pos[dest], NOT_ACTIVE);
+            self.dest_active_pos[dest] = self.active_dests.len() as u32;
+            self.active_dests.push(dest as u32);
+        }
+        self.queues[dest].insert(key, msg);
+        self.pending += 1;
+    }
+
+    /// Appends a message to its pair's waiting FIFO.
+    fn push_waiting(&mut self, pair: usize, msg: QueuedMsg) {
+        let node = WaitNode { msg, next: 0 };
+        let slot = if self.wait_free != 0 {
+            let i = (self.wait_free - 1) as usize;
+            self.wait_free = self.wait_slab[i].next;
+            self.wait_slab[i] = node;
+            i as u32 + 1
+        } else {
+            self.wait_slab.push(node);
+            self.wait_slab.len() as u32
+        };
+        if self.wait_head[pair] == 0 {
+            self.wait_head[pair] = slot;
+        } else {
+            self.wait_slab[(self.wait_tail[pair] - 1) as usize].next = slot;
+        }
+        self.wait_tail[pair] = slot;
+    }
+
+    /// Pops the oldest waiting message of a pair, if any.
+    fn pop_waiting(&mut self, pair: usize) -> Option<QueuedMsg> {
+        let head = self.wait_head[pair];
+        if head == 0 {
+            return None;
+        }
+        let i = (head - 1) as usize;
+        let node = self.wait_slab[i];
+        self.wait_head[pair] = node.next;
+        if node.next == 0 {
+            self.wait_tail[pair] = 0;
+        }
+        self.wait_slab[i].next = self.wait_free;
+        self.wait_free = head;
+        Some(node.msg)
+    }
+
+    /// Drops a destination from the active list once its queue drains.
+    fn deactivate_if_empty(&mut self, dest: usize) {
+        if !self.queues[dest].is_empty() {
+            return;
+        }
+        let pos = self.dest_active_pos[dest] as usize;
+        debug_assert_eq!(self.active_dests[pos], dest as u32);
+        self.active_dests.swap_remove(pos);
+        if let Some(&moved) = self.active_dests.get(pos) {
+            self.dest_active_pos[moved as usize] = pos as u32;
+        }
+        self.dest_active_pos[dest] = NOT_ACTIVE;
     }
 
     /// Registers demand for a message (§3.1.1, "Notification").
@@ -306,29 +415,46 @@ impl Scheduler {
         };
         if self.head_in_queue[idx] {
             // In-order within a pair: wait behind the current head.
-            self.pair_waiting[idx].push_back(msg);
+            self.push_waiting(idx, msg);
         } else {
             self.head_in_queue[idx] = true;
             let key = self.priority_key(&msg);
-            self.queues[n.dest as usize].insert(key, msg);
+            self.queue_insert(n.dest as usize, key, msg);
         }
         Ok(())
     }
 
     /// Runs one scheduling round at time `now` (§3.1.1, "Grant").
     pub fn poll(&mut self, now: Time) -> PollResult {
-        // Eligibility from busy timers.
-        let src_free: Vec<bool> = self.src_busy_until.iter().map(|&t| t <= now).collect();
-        let dst_free: Vec<bool> = self.dst_busy_until.iter().map(|&t| t <= now).collect();
+        let mut out = PollResult::default();
+        self.poll_into(now, &mut out);
+        out
+    }
 
-        // Snapshot demand per destination in priority order, reusing the
-        // scratch buffers and skipping busy destinations (they cannot be
-        // matched this round anyway).
-        for (d, row) in self.demand_scratch.iter_mut().enumerate() {
-            row.clear();
-            if !dst_free[d] {
-                continue;
+    /// [`Scheduler::poll`] into a caller-owned result, reusing its grant
+    /// buffer — the allocation-free form the simulator hot loop uses.
+    ///
+    /// Work is proportional to the *active* demand (destinations with
+    /// queued notifications), not the port count, mirroring the hardware:
+    /// the switch only touches ports with queued notifications (§3.1.2).
+    pub fn poll_into(&mut self, now: Time, out: &mut PollResult) {
+        out.grants.clear();
+
+        // Destinations eligible this round: live demand and a free RX
+        // port. Sorted so the matching is bit-identical to a dense scan.
+        self.pim_dests.clear();
+        for &d in &self.active_dests {
+            if self.dst_busy_until[d as usize] <= now {
+                self.pim_dests.push(d as usize);
             }
+        }
+        self.pim_dests.sort_unstable();
+
+        // Refresh demand snapshots only for the eligible destinations
+        // (rows of inactive dests are stale but never read by PIM).
+        for &d in &self.pim_dests {
+            let row = &mut self.demand_scratch[d];
+            row.clear();
             row.extend(
                 self.queues[d]
                     .iter()
@@ -336,42 +462,53 @@ impl Scheduler {
                     .take(PIM_ROW_DEPTH),
             );
         }
-        let demand = std::mem::take(&mut self.demand_scratch);
 
-        let matching = self.pim.run(&demand, &src_free, &dst_free);
-        self.demand_scratch = demand;
-        let mut grants = Vec::with_capacity(matching.pairs.len());
+        let src_busy_until = &self.src_busy_until;
+        let outcome = self.pim.run_sparse(
+            &self.pim_dests,
+            &self.demand_scratch,
+            |s| src_busy_until[s] <= now,
+            &mut self.pairs_scratch,
+        );
 
-        for &(s, d) in &matching.pairs {
+        let pairs = std::mem::take(&mut self.pairs_scratch);
+        out.grants.reserve(pairs.len());
+        for &(s, d) in &pairs {
             // Take the highest-priority message s->d from d's queue.
             let (_, mut msg) = self.queues[d]
                 .remove_first(|m| m.src as usize == s)
                 .expect("PIM matched an edge that must exist in the queue");
+            self.pending -= 1;
             let l = msg.remaining.min(self.config.chunk_bytes);
             msg.remaining -= l;
             let remaining_after = msg.remaining;
             if msg.remaining > 0 {
                 let key = self.priority_key(&msg);
                 self.queues[d].insert(key, msg);
+                self.pending += 1;
             } else {
                 let idx = self.pair_idx(msg.src, d as u16);
                 self.active_per_pair[idx] -= 1;
                 // The head finished: promote the pair's next message.
-                match self.pair_waiting[idx].pop_front() {
+                match self.pop_waiting(idx) {
                     Some(next) => {
                         let key = self.priority_key(&next);
                         self.queues[d].insert(key, next);
+                        self.pending += 1;
                     }
                     None => self.head_in_queue[idx] = false,
                 }
             }
+            self.deactivate_if_empty(d);
             // Busy for the chunk's transmission time (step 7).
             let busy = self.config.link.tx_time_bytes(l as u64);
-            self.src_busy_until[s] = now + busy;
-            self.dst_busy_until[d] = now + busy;
+            let until = now + busy;
+            self.src_busy_until[s] = until;
+            self.dst_busy_until[d] = until;
+            self.busy_expiry.push(Reverse(until));
             self.grants_issued += 1;
             self.bytes_granted += l as u64;
-            grants.push(Grant {
+            out.grants.push(Grant {
                 src: s as u16,
                 dest: d as u16,
                 msg_id: msg.msg_id,
@@ -380,26 +517,26 @@ impl Scheduler {
                 issued_at: now,
             });
         }
+        self.pairs_scratch = pairs;
 
         // Next wakeup: earliest busy expiry strictly after now, but only if
-        // demand remains.
-        let next_wakeup = if self.pending_messages() > 0 {
-            self.src_busy_until
-                .iter()
-                .chain(self.dst_busy_until.iter())
-                .filter(|&&t| t > now)
-                .min()
-                .copied()
+        // demand remains. Expired entries are discarded lazily; an entry
+        // still in the future always equals its port's live busy-until,
+        // because a port is only re-granted after its previous expiry.
+        while let Some(&Reverse(t)) = self.busy_expiry.peek() {
+            if t <= now {
+                self.busy_expiry.pop();
+            } else {
+                break;
+            }
+        }
+        out.next_wakeup = if self.pending > 0 {
+            self.busy_expiry.peek().map(|&Reverse(t)| t)
         } else {
             None
         };
-
-        PollResult {
-            grants,
-            pim_iterations: matching.iterations,
-            sched_latency: Duration::from_ps(matching.cycles * self.config.clock.as_ps()),
-            next_wakeup,
-        }
+        out.pim_iterations = outcome.iterations;
+        out.sched_latency = Duration::from_ps(outcome.cycles * self.config.clock.as_ps());
     }
 
     /// The average-case matching latency for this configuration (§3.1.3).
@@ -426,7 +563,8 @@ mod tests {
     #[test]
     fn single_message_single_chunk() {
         let mut s = sched(4, 256, Policy::Srpt);
-        s.notify(Time::ZERO, Notification::new(0, 1, 7, 200)).unwrap();
+        s.notify(Time::ZERO, Notification::new(0, 1, 7, 200))
+            .unwrap();
         let r = s.poll(Time::ZERO);
         assert_eq!(r.grants.len(), 1);
         let g = r.grants[0];
@@ -439,7 +577,8 @@ mod tests {
     #[test]
     fn multi_chunk_message_conserves_bytes() {
         let mut s = sched(4, 256, Policy::Srpt);
-        s.notify(Time::ZERO, Notification::new(0, 1, 0, 1000)).unwrap();
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 1000))
+            .unwrap();
         let mut granted = 0u64;
         let mut now = Time::ZERO;
         let mut polls = 0;
@@ -466,7 +605,8 @@ mod tests {
     fn busy_release_is_back_to_back() {
         // Grants for consecutive chunks must be spaced exactly l/B apart.
         let mut s = sched(2, 256, Policy::Fcfs);
-        s.notify(Time::ZERO, Notification::new(0, 1, 0, 512)).unwrap();
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 512))
+            .unwrap();
         let r1 = s.poll(Time::ZERO);
         assert_eq!(r1.grants.len(), 1);
         let gap = s.config().link.tx_time_bytes(256);
@@ -483,8 +623,10 @@ mod tests {
     fn no_receiver_sharing() {
         // Two sources to one destination: only one granted per round.
         let mut s = sched(4, 64, Policy::Fcfs);
-        s.notify(Time::from_ns(1), Notification::new(0, 2, 0, 64)).unwrap();
-        s.notify(Time::from_ns(2), Notification::new(1, 2, 0, 64)).unwrap();
+        s.notify(Time::from_ns(1), Notification::new(0, 2, 0, 64))
+            .unwrap();
+        s.notify(Time::from_ns(2), Notification::new(1, 2, 0, 64))
+            .unwrap();
         let r = s.poll(Time::from_ns(2));
         assert_eq!(r.grants.len(), 1);
         // FCFS: the earlier notification wins.
@@ -494,8 +636,10 @@ mod tests {
     #[test]
     fn srpt_prefers_short_messages() {
         let mut s = sched(4, 64, Policy::Srpt);
-        s.notify(Time::ZERO, Notification::new(0, 2, 0, 4096)).unwrap();
-        s.notify(Time::ZERO, Notification::new(1, 2, 0, 64)).unwrap();
+        s.notify(Time::ZERO, Notification::new(0, 2, 0, 4096))
+            .unwrap();
+        s.notify(Time::ZERO, Notification::new(1, 2, 0, 64))
+            .unwrap();
         let r = s.poll(Time::ZERO);
         assert_eq!(r.grants.len(), 1);
         assert_eq!(r.grants[0].src, 1, "SRPT must pick the 64 B message");
@@ -504,8 +648,10 @@ mod tests {
     #[test]
     fn fcfs_is_arrival_ordered() {
         let mut s = sched(4, 64, Policy::Fcfs);
-        s.notify(Time::from_ns(5), Notification::new(0, 2, 0, 4096)).unwrap();
-        s.notify(Time::from_ns(9), Notification::new(1, 2, 0, 64)).unwrap();
+        s.notify(Time::from_ns(5), Notification::new(0, 2, 0, 4096))
+            .unwrap();
+        s.notify(Time::from_ns(9), Notification::new(1, 2, 0, 64))
+            .unwrap();
         let r = s.poll(Time::from_ns(10));
         assert_eq!(r.grants[0].src, 0, "FCFS must pick the earlier arrival");
     }
@@ -513,8 +659,10 @@ mod tests {
     #[test]
     fn parallel_pairs_granted_together() {
         let mut s = sched(4, 256, Policy::Srpt);
-        s.notify(Time::ZERO, Notification::new(0, 1, 0, 100)).unwrap();
-        s.notify(Time::ZERO, Notification::new(2, 3, 0, 100)).unwrap();
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 100))
+            .unwrap();
+        s.notify(Time::ZERO, Notification::new(2, 3, 0, 100))
+            .unwrap();
         let r = s.poll(Time::ZERO);
         assert_eq!(r.grants.len(), 2, "disjoint pairs must match in parallel");
     }
@@ -523,14 +671,16 @@ mod tests {
     fn pair_limit_enforced() {
         let mut s = sched(4, 256, Policy::Srpt);
         for i in 0..3 {
-            s.notify(Time::ZERO, Notification::new(0, 1, i, 64)).unwrap();
+            s.notify(Time::ZERO, Notification::new(0, 1, i, 64))
+                .unwrap();
         }
         assert_eq!(
             s.notify(Time::ZERO, Notification::new(0, 1, 3, 64)),
             Err(NotifyError::PairLimitReached { limit: 3 })
         );
         // Other pairs unaffected.
-        s.notify(Time::ZERO, Notification::new(0, 2, 0, 64)).unwrap();
+        s.notify(Time::ZERO, Notification::new(0, 2, 0, 64))
+            .unwrap();
         assert_eq!(s.active_for_pair(0, 1), 3);
         assert_eq!(s.active_for_pair(0, 2), 1);
     }
@@ -539,7 +689,8 @@ mod tests {
     fn pair_slot_freed_on_completion() {
         let mut s = sched(4, 256, Policy::Srpt);
         for i in 0..3 {
-            s.notify(Time::ZERO, Notification::new(0, 1, i, 64)).unwrap();
+            s.notify(Time::ZERO, Notification::new(0, 1, i, 64))
+                .unwrap();
         }
         let mut now = Time::ZERO;
         for _ in 0..3 {
@@ -579,8 +730,10 @@ mod tests {
         // because only one message per pair can be in flight per round and
         // the smaller one is only preferred across different pairs.
         let mut s = sched(4, 64, Policy::Srpt);
-        s.notify(Time::ZERO, Notification::new(0, 1, 0, 64)).unwrap();
-        s.notify(Time::ZERO, Notification::new(0, 1, 1, 32)).unwrap();
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 64))
+            .unwrap();
+        s.notify(Time::ZERO, Notification::new(0, 1, 1, 32))
+            .unwrap();
         let r = s.poll(Time::ZERO);
         assert_eq!(r.grants.len(), 1);
         // Both candidates are from the same pair; grant must not starve
@@ -610,7 +763,8 @@ mod tests {
     #[test]
     fn poll_reports_pim_cost() {
         let mut s = sched(8, 256, Policy::Srpt);
-        s.notify(Time::ZERO, Notification::new(0, 1, 0, 64)).unwrap();
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 64))
+            .unwrap();
         let r = s.poll(Time::ZERO);
         assert!(r.pim_iterations >= 1);
         assert_eq!(

@@ -289,7 +289,13 @@ impl Zipf {
             let x = cap_h(2.5) - (2.0f64).powf(-theta);
             (x * (1.0 - theta)).powf(1.0 / (1.0 - theta))
         };
-        Zipf { n, theta, h_x1, h_n, s }
+        Zipf {
+            n,
+            theta,
+            h_x1,
+            h_n,
+            s,
+        }
     }
 
     /// Draws a rank in `[0, n)`; rank 0 is the most popular.

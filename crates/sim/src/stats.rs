@@ -71,7 +71,11 @@ impl Summary {
 
     /// Minimum sample. Zero if empty.
     pub fn min(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
             .pipe_if_empty(self.samples.is_empty())
     }
 
@@ -80,7 +84,10 @@ impl Summary {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// The `p`-th percentile (nearest-rank), `p` in `[0, 100]`. Zero if empty.

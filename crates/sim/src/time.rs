@@ -362,8 +362,8 @@ mod tests {
 
     #[test]
     fn tx_time_rounds_up() {
-        let bw = Bandwidth::from_bps(3); // 3 bits per second
-        // 1 bit takes ceil(1e12/3) ps.
+        // At 3 bits per second, 1 bit takes ceil(1e12/3) ps.
+        let bw = Bandwidth::from_bps(3);
         assert_eq!(bw.tx_time_bits(1).as_ps(), 333_333_333_334);
     }
 

@@ -70,7 +70,10 @@ impl SyntheticWorkload {
     /// Panics if the cluster has fewer than 2 nodes or `load` is out of
     /// range.
     pub fn generate(&self, seed: u64) -> Vec<Flow> {
-        assert!(self.nodes >= 2, "need at least one compute and one memory node");
+        assert!(
+            self.nodes >= 2,
+            "need at least one compute and one memory node"
+        );
         let mut rng = Rng::seed_from(seed);
         let computes = self.compute_nodes();
         let memories = self.memory_nodes();

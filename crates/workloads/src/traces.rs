@@ -196,7 +196,10 @@ mod tests {
         let means: Vec<f64> = apps.iter().map(|a| a.cdf().mean()).collect();
         let memcached = means[4];
         let hadoop = means[0];
-        assert!(memcached < hadoop, "memcached {memcached} vs hadoop {hadoop}");
+        assert!(
+            memcached < hadoop,
+            "memcached {memcached} vs hadoop {hadoop}"
+        );
     }
 
     #[test]

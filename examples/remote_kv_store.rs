@@ -42,7 +42,10 @@ fn main() {
         match *op {
             YcsbOp::Read { .. } => issued.push(("read", fabric.read(t, 0, 1, addr, 1024))),
             YcsbOp::Update { bytes, .. } => {
-                issued.push(("update", fabric.write(t, 0, 1, addr, vec![0xEE; bytes as usize])));
+                issued.push((
+                    "update",
+                    fabric.write(t, 0, 1, addr, vec![0xEE; bytes as usize]),
+                ));
             }
         }
     }

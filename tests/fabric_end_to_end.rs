@@ -45,7 +45,9 @@ fn disaggregated_working_set_via_shim() {
     // Local half:
     assert_eq!(ld.data, record[..128].to_vec());
     // Remote half arrives through the fabric:
-    let remote = fabric.completion(ld.remote_ops[0]).expect("remote read done");
+    let remote = fabric
+        .completion(ld.remote_ops[0])
+        .expect("remote read done");
     assert_eq!(remote.data, record[128..].to_vec());
 }
 
@@ -73,8 +75,24 @@ fn distributed_lock_with_remote_cas() {
     let a = cas(&mut fabric, Time::ZERO, 0);
     let b = cas(&mut fabric, Time::from_ns(50), 1);
     fabric.run();
-    let ra = u64::from_le_bytes(fabric.completion(a).unwrap().data.clone().try_into().unwrap());
-    let rb = u64::from_le_bytes(fabric.completion(b).unwrap().data.clone().try_into().unwrap());
+    let ra = u64::from_le_bytes(
+        fabric
+            .completion(a)
+            .unwrap()
+            .data
+            .clone()
+            .try_into()
+            .unwrap(),
+    );
+    let rb = u64::from_le_bytes(
+        fabric
+            .completion(b)
+            .unwrap()
+            .data
+            .clone()
+            .try_into()
+            .unwrap(),
+    );
     assert!(
         (ra == 0) ^ (rb == 0),
         "exactly one CAS must win: a saw {ra}, b saw {rb}"
@@ -113,7 +131,7 @@ fn sustained_alternating_traffic_keeps_latency_bounded() {
     let mut ops = Vec::new();
     let mut t = Time::ZERO;
     for i in 0..50u64 {
-        t = t + Duration::from_us(2);
+        t += Duration::from_us(2);
         if i % 2 == 0 {
             ops.push(fabric.write(t, 0, 1, 0x8000 + i * 64, vec![i as u8; 64]));
         } else {

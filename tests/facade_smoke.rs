@@ -29,7 +29,10 @@ fn quickstart_write_then_read() {
 
     let r = fabric.read(Time::from_us(1), 0, 1, 0x40, 9);
     fabric.run();
-    assert_eq!(fabric.completion(r).expect("read completes").data, b"persisted");
+    assert_eq!(
+        fabric.completion(r).expect("read completes").data,
+        b"persisted"
+    );
 }
 
 #[test]

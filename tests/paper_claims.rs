@@ -33,10 +33,22 @@ fn headline_speedups_match_section_4_2_1() {
     let er = edm_read().total().as_ps() as f64;
     let ew = edm_write().total().as_ps() as f64;
     let close = |got: f64, want: f64| (got - want).abs() / want < 0.05;
-    assert!(close(stacks::raw_ethernet_read().total().as_ps() as f64 / er, 3.7));
-    assert!(close(stacks::raw_ethernet_write().total().as_ps() as f64 / ew, 1.9));
-    assert!(close(stacks::rocev2_read().total().as_ps() as f64 / er, 6.8));
-    assert!(close(stacks::rocev2_write().total().as_ps() as f64 / ew, 3.4));
+    assert!(close(
+        stacks::raw_ethernet_read().total().as_ps() as f64 / er,
+        3.7
+    ));
+    assert!(close(
+        stacks::raw_ethernet_write().total().as_ps() as f64 / ew,
+        1.9
+    ));
+    assert!(close(
+        stacks::rocev2_read().total().as_ps() as f64 / er,
+        6.8
+    ));
+    assert!(close(
+        stacks::rocev2_write().total().as_ps() as f64 / ew,
+        3.4
+    ));
     assert!(close(stacks::tcp_read().total().as_ps() as f64 / er, 12.7));
     assert!(close(stacks::tcp_write().total().as_ps() as f64 / ew, 6.4));
 }
@@ -71,7 +83,11 @@ fn figure6_throughput_advantage() {
     // every YCSB mix (paper: ~2.7x average).
     let link = Bandwidth::from_gbps(25);
     let mut ratios = Vec::new();
-    for mix in [RequestMix::ycsb_a(), RequestMix::ycsb_b(), RequestMix::ycsb_f()] {
+    for mix in [
+        RequestMix::ycsb_a(),
+        RequestMix::ycsb_b(),
+        RequestMix::ycsb_f(),
+    ] {
         let ratio = edm_throughput(link, &mix).requests_per_sec
             / rdma_throughput(link, &mix).requests_per_sec;
         assert!(ratio > 1.3, "ratio {ratio:.2}");
@@ -85,8 +101,7 @@ fn figure6_throughput_advantage() {
 fn figure7_ordering() {
     // §4.2.2: EDM within ~1.3x of CXL unloaded; RDMA far behind both.
     let edm = (edm_read().total().as_ns_f64() + edm_write().total().as_ns_f64()) / 2.0;
-    let cxl =
-        (stacks::cxl::READ.as_ns_f64() + stacks::cxl::WRITE.as_ns_f64()) / 2.0;
+    let cxl = (stacks::cxl::READ.as_ns_f64() + stacks::cxl::WRITE.as_ns_f64()) / 2.0;
     let rdma = (stacks::rocev2_read().total().as_ns_f64()
         + stacks::rocev2_write().total().as_ns_f64())
         / 2.0;

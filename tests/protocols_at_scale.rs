@@ -37,8 +37,22 @@ fn edm_stays_near_unloaded_at_high_load() {
     let c = cluster();
     let mut edm = edm_core::sim::EdmProtocol::default();
     let probe = flows[0];
-    let solo_w = solo_mct(&mut edm, &c, &Flow { kind: FlowKind::Write, ..probe });
-    let solo_r = solo_mct(&mut edm, &c, &Flow { kind: FlowKind::Read, ..probe });
+    let solo_w = solo_mct(
+        &mut edm,
+        &c,
+        &Flow {
+            kind: FlowKind::Write,
+            ..probe
+        },
+    );
+    let solo_r = solo_mct(
+        &mut edm,
+        &c,
+        &Flow {
+            kind: FlowKind::Read,
+            ..probe
+        },
+    );
     let r = edm.simulate(&c, &flows);
     let mean = r
         .normalized_mct(|f| match f.kind {
@@ -58,8 +72,22 @@ fn edm_beats_every_baseline_at_high_load() {
     let c = cluster();
     let norm_mean = |p: &mut dyn FabricProtocol| {
         let probe = flows[0];
-        let solo_w = solo_mct(p, &c, &Flow { kind: FlowKind::Write, ..probe });
-        let solo_r = solo_mct(p, &c, &Flow { kind: FlowKind::Read, ..probe });
+        let solo_w = solo_mct(
+            p,
+            &c,
+            &Flow {
+                kind: FlowKind::Write,
+                ..probe
+            },
+        );
+        let solo_r = solo_mct(
+            p,
+            &c,
+            &Flow {
+                kind: FlowKind::Read,
+                ..probe
+            },
+        );
         let r = p.simulate(&c, &flows);
         r.normalized_mct(|f| match f.kind {
             FlowKind::Write => solo_w,
@@ -148,12 +176,7 @@ fn deterministic_simulation_across_runs() {
         let a = p.simulate(&c, &flows);
         let b = p.simulate(&c, &flows);
         for (x, y) in a.outcomes.iter().zip(b.outcomes.iter()) {
-            assert_eq!(
-                x.completed,
-                y.completed,
-                "{} is nondeterministic",
-                p.name()
-            );
+            assert_eq!(x.completed, y.completed, "{} is nondeterministic", p.name());
         }
     }
 }

@@ -252,7 +252,11 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
         };
         f(&mut b);
-        report(&format!("{}/{}", self.name, id.id), &b.samples, self.throughput);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &b.samples,
+            self.throughput,
+        );
         self
     }
 
@@ -272,7 +276,11 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
         };
         f(&mut b, input);
-        report(&format!("{}/{}", self.name, id.id), &b.samples, self.throughput);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            &b.samples,
+            self.throughput,
+        );
         self
     }
 
