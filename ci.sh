@@ -30,6 +30,7 @@ echo "==> fast harness bins run end-to-end"
 for bin in table1 fig5 sched_scaling; do
     cargo run -q --release -p edm-bench --bin "$bin" > /dev/null
 done
+EDM_FLOWS=500 cargo run -q --release -p edm-bench --bin topo_sweep > /dev/null
 
 echo "==> bench_json emits machine-readable baselines"
 EDM_BENCH_ITERS=2 cargo run -q --release -p edm-bench --bin bench_json -- \
@@ -37,7 +38,7 @@ EDM_BENCH_ITERS=2 cargo run -q --release -p edm-bench --bin bench_json -- \
 
 echo "==> property suites at ${PROPTEST_CASES:=1024} cases"
 PROPTEST_CASES="$PROPTEST_CASES" cargo test -q --release \
-    -p edm-core -p edm-phy -p edm-sched -p edm-memory -p edm-sim \
+    -p edm-core -p edm-phy -p edm-sched -p edm-memory -p edm-sim -p edm-topo \
     --test "prop_*"
 
 echo "ci.sh: all green"

@@ -16,6 +16,7 @@ use edm_bench::scenarios;
 use edm_core::sim::{ClusterConfig, EdmProtocol, FabricProtocol};
 use edm_sched::scheduler::{Scheduler, SchedulerConfig};
 use edm_sim::{Duration, Time};
+use edm_topo::{IpTraffic, TopoEdm, TopoEdmConfig};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -152,6 +153,48 @@ fn sched_group(iters: usize) -> Vec<Entry> {
     out
 }
 
+fn topo_group(iters: usize) -> Vec<Entry> {
+    let mut out = Vec::new();
+    // Degenerate 1-switch fabric on the fig8 scenario: the framework
+    // overhead against `fig8/simulate_500_flows/EDM` (bit-identical
+    // results, pinned by proptest).
+    let cluster = ClusterConfig::default();
+    let one = edm_topo::cluster_topology(&cluster);
+    let w500 = scenarios::fig8_flows(500);
+    out.push(measure("topo/single_switch_144/500_flows", iters, || {
+        timed(|| TopoEdm::default().simulate(&one, &w500).delivered())
+    }));
+    // 288 nodes as 4 leaves × 72 with 2 spines, rack-aware traffic at
+    // load 0.6 with 50% rack-local requests.
+    let flows = scenarios::rack_flows_288(0.6, 0.5, 500);
+    for (name, oversub, ip) in [
+        ("topo/leaf_spine_288/500_flows", 1usize, 0.0),
+        ("topo/leaf_spine_288_oversub4/500_flows", 4, 0.0),
+        ("topo/leaf_spine_288_ip25/500_flows", 1, 0.25),
+    ] {
+        let topo = scenarios::leaf_spine_288(oversub);
+        let proto = TopoEdm::new(TopoEdmConfig {
+            ip: IpTraffic::load(ip),
+            ..TopoEdmConfig::default()
+        });
+        out.push(measure(name, iters, || {
+            timed(|| proto.simulate(&topo, &flows).delivered())
+        }));
+    }
+    // The acceptance comparison's denominator: the single-switch path on
+    // the same 288-node workload (leaf-spine must stay within 2×).
+    let big = ClusterConfig {
+        nodes: 288,
+        ..ClusterConfig::default()
+    };
+    out.push(measure(
+        "topo/single_switch_288_same_workload/500_flows",
+        iters,
+        || timed(|| EdmProtocol::default().simulate(&big, &flows).outcomes.len()),
+    ));
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_dir = args
@@ -168,4 +211,5 @@ fn main() {
 
     write_group(&out_dir, "fig8", &fig8_group(iters));
     write_group(&out_dir, "sched", &sched_group(iters));
+    write_group(&out_dir, "topo", &topo_group(iters));
 }

@@ -18,7 +18,9 @@ fn main() {
     );
     let small = SyntheticWorkload::paper_default(0.8, 0.5, 3000).generate(42);
     let heavy = AppTrace::hadoop().generate(cluster.nodes, cluster.link, 0.8, 1500, 42);
-    for chunk in [64u32, 128, 256, 512, 1024] {
+    // One thread per chunk size: independent simulations fan out via
+    // par_sweep, printed in input order.
+    let rows = edm_bench::par_sweep(vec![64u32, 128, 256, 512, 1024], |chunk| {
         let mut p = EdmProtocol {
             chunk_bytes: chunk,
             ..EdmProtocol::default()
@@ -51,10 +53,13 @@ fn main() {
         // keep the comparison one-dimensional.
         let r_heavy = p.simulate(&cluster, &heavy);
         let heavy_mean_us = r_heavy.mean_mct().as_us_f64();
-        println!(
+        format!(
             "{:<5} B {:>16.3} {:>13.2} us",
             chunk, small_mean, heavy_mean_us
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!();
     println!(

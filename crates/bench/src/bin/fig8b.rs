@@ -34,27 +34,39 @@ fn main() {
         "application", "EDM", "IRD", "pFabric", "PFC", "DCTCP", "CXL", "Fastpass"
     );
 
-    for app in AppTrace::all() {
+    // One thread per (application, protocol) point: each point is an
+    // independent simulation, so they fan out across cores. Each app's
+    // trace is generated once and shared by its seven protocol points.
+    let apps = AppTrace::all();
+    let n_protocols = all_protocols().len();
+    let traces: Vec<_> = apps
+        .iter()
+        .map(|app| app.generate(cluster.nodes, link, load, count, seed))
+        .collect();
+    let points: Vec<(usize, usize)> = (0..apps.len())
+        .flat_map(|ai| (0..n_protocols).map(move |pi| (ai, pi)))
+        .collect();
+    let cells = edm_bench::par_sweep(points, |(ai, pi)| {
+        let app = &apps[ai];
+        let flows = &traces[ai];
         let max_size = app.cdf().max_value() as u32;
-        let flows = app.generate(cluster.nodes, link, load, count, seed);
-        let mut cells = Vec::new();
-        for mut protocol in all_protocols() {
-            let write_curve =
-                SoloCurve::measure(protocol.as_mut(), &cluster, FlowKind::Write, max_size);
-            let read_curve =
-                SoloCurve::measure(protocol.as_mut(), &cluster, FlowKind::Read, max_size);
-            let result = protocol.simulate(&cluster, &flows);
-            let norm = result.normalized_mct(|f| {
-                let solo = match f.kind {
-                    FlowKind::Write => write_curve.solo_ns(f.size),
-                    FlowKind::Read => read_curve.solo_ns(f.size),
-                };
-                edm_sim::Duration::from_ns_f64(solo)
-            });
-            cells.push(format!("{:.2}", norm.mean()));
-        }
+        let mut protocol = all_protocols().swap_remove(pi);
+        let protocol = protocol.as_mut();
+        let write_curve = SoloCurve::measure(protocol, &cluster, FlowKind::Write, max_size);
+        let read_curve = SoloCurve::measure(protocol, &cluster, FlowKind::Read, max_size);
+        let result = protocol.simulate(&cluster, flows);
+        let norm = result.normalized_mct(|f| {
+            let solo = match f.kind {
+                FlowKind::Write => write_curve.solo_ns(f.size),
+                FlowKind::Read => read_curve.solo_ns(f.size),
+            };
+            edm_sim::Duration::from_ns_f64(solo)
+        });
+        format!("{:.2}", norm.mean())
+    });
+    for (ai, app) in apps.iter().enumerate() {
         print!("{:<22}", app.name());
-        for c in cells {
+        for c in &cells[ai * n_protocols..(ai + 1) * n_protocols] {
             print!(" {c:>9}");
         }
         println!();

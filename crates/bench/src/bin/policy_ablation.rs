@@ -45,27 +45,28 @@ fn main() {
         "workload / policy", "norm. mean", "norm. p99"
     );
 
+    // One thread per (workload, policy) point: the four simulations are
+    // independent, so they fan out via par_sweep, printed in input order.
     let light = SyntheticWorkload::paper_default(0.8, 0.5, 4000).generate(42);
-    for (name, policy) in [("FCFS", Policy::Fcfs), ("SRPT", Policy::Srpt)] {
-        let (mean, p99) = norm_stats(policy, &cluster, &light, 64);
-        println!(
-            "{:<28} {:>14.3} {:>14.3}",
-            format!("light-tailed 64 B / {name}"),
-            mean,
-            p99
-        );
-    }
-
     let heavy = AppTrace::hadoop().generate(cluster.nodes, cluster.link, 0.8, 3000, 42);
     let max = AppTrace::hadoop().cdf().max_value() as u32;
-    for (name, policy) in [("FCFS", Policy::Fcfs), ("SRPT", Policy::Srpt)] {
-        let (mean, p99) = norm_stats(policy, &cluster, &heavy, max);
-        println!(
+    let points: Vec<(&str, &str, Policy, &[Flow], u32)> = vec![
+        ("light-tailed 64 B", "FCFS", Policy::Fcfs, &light, 64),
+        ("light-tailed 64 B", "SRPT", Policy::Srpt, &light, 64),
+        ("heavy-tailed Hadoop", "FCFS", Policy::Fcfs, &heavy, max),
+        ("heavy-tailed Hadoop", "SRPT", Policy::Srpt, &heavy, max),
+    ];
+    let rows = edm_bench::par_sweep(points, |(workload, name, policy, flows, max_size)| {
+        let (mean, p99) = norm_stats(policy, &cluster, flows, max_size);
+        format!(
             "{:<28} {:>14.3} {:>14.3}",
-            format!("heavy-tailed Hadoop / {name}"),
+            format!("{workload} / {name}"),
             mean,
             p99
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!();
     println!(

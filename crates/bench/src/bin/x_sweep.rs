@@ -34,7 +34,9 @@ fn main() {
         "{:<4} {:>12} {:>12} {:>18}",
         "X", "norm. mean", "norm. p99", "queue bound/port"
     );
-    for x in [1usize, 2, 3, 4, 6, 8] {
+    // One thread per X value: independent simulations fan out via
+    // par_sweep, printed in input order.
+    let rows = edm_bench::par_sweep(vec![1usize, 2, 3, 4, 6, 8], |x| {
         let mut p = EdmProtocol {
             max_active_per_pair: x,
             ..EdmProtocol::default()
@@ -64,13 +66,16 @@ fn main() {
         // §3.1.2: queue bound X*N entries; §4.1: K*N^2 bytes total SRAM
         // (K = notification length ≈ 8 B including metadata).
         let entries = x * cluster.nodes;
-        println!(
+        format!(
             "{:<4} {:>12.3} {:>12.3} {:>13} ents",
             x,
             norm.mean(),
             norm.percentile(99.0),
             entries
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
     println!();
     println!(

@@ -11,9 +11,11 @@
 //! | `fig8b` | Figure 8b — normalized MCT on application traces |
 //! | `preemption` | §4.2.1 ablation — interference from IP traffic |
 //! | `sched_scaling` | §3.1.3 ablation — scheduling latency vs port count |
+//! | `topo_sweep` | Multi-switch leaf–spine × oversubscription × IP sweep |
+//! | `bench_json` | Machine-readable `BENCH_*.json` perf baselines |
 //!
-//! Each binary prints a self-describing table; `EXPERIMENTS.md` records
-//! paper-vs-measured values.
+//! Each binary prints a self-describing table; every multi-point sweep
+//! fans out one thread per point via [`par_sweep`].
 
 #![forbid(unsafe_code)]
 
@@ -67,6 +69,37 @@ pub mod scenarios {
             s.notify(now, Notification::new(src, dst, 0, 256)).unwrap();
         }
         s.poll(now).grants.len()
+    }
+
+    /// The topo benchmark fabric's shape: 288 nodes as 4 leaves × 72
+    /// hosts with 2 spines. `oversub` divides the uplink capacity (1 =
+    /// non-blocking 36 uplinks per spine per leaf, 2 = 2:1, 4 = 4:1).
+    /// Normalization probes must use this same spec (see `topo_sweep`).
+    pub fn leaf_spine_288_spec(oversub: usize) -> edm_topo::LeafSpine {
+        assert!(36 % oversub == 0, "oversub must divide 36");
+        edm_topo::LeafSpine::symmetric(4, 2, 72, 36 / oversub)
+    }
+
+    /// The topo benchmark fabric built from [`leaf_spine_288_spec`].
+    pub fn leaf_spine_288(oversub: usize) -> edm_topo::Topology {
+        edm_topo::Topology::leaf_spine(leaf_spine_288_spec(oversub))
+    }
+
+    /// Rack-aware traffic for [`leaf_spine_288`]: `local` of each compute
+    /// node's requests stay in-rack, the rest cross the spines. 64 B
+    /// messages, 50:50 read/write, seed 42.
+    pub fn rack_flows_288(load: f64, local: f64, count: usize) -> Vec<Flow> {
+        edm_workloads::RackAwareWorkload {
+            nodes: 288,
+            racks: 4,
+            link: edm_sim::Bandwidth::from_gbps(100),
+            load,
+            size: 64,
+            write_fraction: 0.5,
+            local_fraction: local,
+            count,
+        }
+        .generate(42)
     }
 }
 

@@ -11,8 +11,7 @@
 //! by its *ideal* completion time (what it would take alone in the
 //! network), so 1.0 is optimal and "within 1.3× of unloaded" means ≤ 1.3.
 
-use edm_sched::scheduler::PollResult;
-use edm_sched::{Notification, Policy, Scheduler, SchedulerConfig};
+use edm_sched::{Notification, NotifyError, Policy, PollResult, Scheduler, SchedulerConfig};
 use edm_sim::{Bandwidth, Duration, Engine, EventQueue, Summary, Time, World};
 use std::sync::OnceLock;
 
@@ -76,6 +75,17 @@ pub struct Flow {
     pub arrival: Time,
     /// Read or write.
     pub kind: FlowKind,
+}
+
+impl Flow {
+    /// The (data source, data destination) node pair of this flow's *data*
+    /// direction: writes send src→dst; reads send the RRES dst→src.
+    pub fn data_direction(&self) -> (u16, u16) {
+        match self.kind {
+            FlowKind::Write => (self.src as u16, self.dst as u16),
+            FlowKind::Read => (self.dst as u16, self.src as u16),
+        }
+    }
 }
 
 /// Per-flow outcome.
@@ -222,21 +232,443 @@ impl Default for EdmProtocol {
     }
 }
 
-/// A (possibly mega-batched) scheduled message: the flows it carries in
-/// FIFO order and their cumulative byte boundaries.
+// ---------------------------------------------------------------------
+// Switch scheduling domain — the per-switch half of the simulator,
+// shared between the single-switch world here and `edm-topo`'s
+// multi-switch fabrics.
+// ---------------------------------------------------------------------
+
+/// An offer of demand to a [`SwitchDomain`]: one simulation-level message
+/// between two ports of that switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainOffer {
+    /// Source port on this switch.
+    pub src: u16,
+    /// Destination port on this switch.
+    pub dst: u16,
+    /// Message size in bytes.
+    pub bytes: u32,
+    /// Per-pair X bound applied to this offer. Access pairs keep the
+    /// paper's X; multi-switch worlds provision aggregated trunk pairs
+    /// with a larger share (via [`edm_sched::Scheduler::notify_with_limit`]).
+    pub limit: usize,
+    /// Offers fold into one mega message (§3.1.2 batching) only when they
+    /// share the port pair *and* this key. Multi-hop worlds key it by the
+    /// end-to-end route so a batched message never spans two destinations;
+    /// the single-switch world uses a constant (pair-only batching).
+    pub batch_key: u64,
+    /// Opaque caller tag, reported by [`SwitchDomain::deliver`] when this
+    /// offer's bytes have fully arrived.
+    pub token: u64,
+}
+
+/// A grant from [`SwitchDomain::poll`], resolved to its domain message.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainGrant {
+    /// Slot of the granted message; hand back to [`SwitchDomain::deliver`]
+    /// when the chunk reaches its next element.
+    pub slot: u32,
+    /// Granted source port.
+    pub src: u16,
+    /// Granted destination port.
+    pub dst: u16,
+    /// Bytes granted in this chunk.
+    pub chunk_bytes: u32,
+    /// Whether this chunk completes the message.
+    pub last: bool,
+    /// Token of the message's first (oldest) constituent offer — for
+    /// mega messages every constituent shares the batch key, so this is
+    /// representative for routing purposes.
+    pub token: u64,
+}
+
+/// The offers a scheduled message carries. The overwhelmingly common
+/// unbatched case stays allocation-free; only §3.1.2 mega messages pay
+/// for the boundary vectors.
+#[derive(Debug)]
+enum MsgBody {
+    /// One offer.
+    Single { token: u64, bytes: u32 },
+    /// A mega-batched message: constituent tokens in FIFO order and their
+    /// cumulative byte boundaries (`prefix[i]` = bytes after offer i).
+    Batch { tokens: Vec<u64>, prefix: Vec<u32> },
+}
+
+/// A (possibly mega-batched) scheduled message.
 #[derive(Debug)]
 struct MsgState {
-    flows: Vec<usize>,
-    /// prefix[i] = cumulative bytes after flow i.
-    prefix: Vec<u32>,
+    body: MsgBody,
     delivered: u32,
-    next_flow: usize,
+    next_sub: u32,
     /// Scheduler msg_id this message was notified under (sanity checks).
     msg_id: u8,
     /// Next in-flight message of the same pair — the pair's grant FIFO as
-    /// an intrusive list through the slab (target index + 1; 0 = last).
+    /// an intrusive list through the slab (slot index + 1; 0 = last).
     /// The zero sentinel keeps the per-pair slabs calloc-cheap.
     next_in_pair: u32,
+}
+
+impl MsgState {
+    fn first_token(&self) -> u64 {
+        match &self.body {
+            MsgBody::Single { token, .. } => *token,
+            MsgBody::Batch { tokens, .. } => tokens[0],
+        }
+    }
+
+    fn sub_count(&self) -> u32 {
+        match &self.body {
+            MsgBody::Single { .. } => 1,
+            MsgBody::Batch { tokens, .. } => tokens.len() as u32,
+        }
+    }
+}
+
+/// Per-pair in-flight FIFO endpoints, packed head (low 32) / tail
+/// (high 32) into one word (`targets` index + 1; 0 = empty). Grants
+/// within a pair are strictly FIFO (§3.1.1 property 5), so the head *is*
+/// the granted message. `vec![0u64]` stays a calloc: untouched pairs
+/// cost nothing at any port count.
+type PairFifo = u64;
+
+/// One EDM switch's scheduling state as seen by an event-driven world: a
+/// demand-sparse [`Scheduler`] plus the bookkeeping that maps its grants
+/// back to simulation-level messages — per-pair in-flight FIFOs, the
+/// X-limit backlog with §3.1.2 mega-batching, msg-id allocation, and
+/// poll-event deduplication.
+///
+/// The domain is event-queue agnostic: methods return whether the caller
+/// should (de-duplicate and) schedule a poll event, so the same state
+/// machine drives both the single-switch [`EdmProtocol`] world and
+/// `edm-topo`'s multi-switch fabrics (one domain per switch).
+#[derive(Debug)]
+pub struct SwitchDomain {
+    ports: usize,
+    batch_small: bool,
+    scheduler: Scheduler,
+    /// Per-pair in-flight FIFO words, keyed by flat pair index.
+    pair_fifo: Vec<PairFifo>,
+    /// Per-pair backlog count (low 32, O(1) same-pair waiter checks) and
+    /// msg-id allocator (bits 32..40, wraps at 256).
+    pair_meta: Vec<u64>,
+    targets: Vec<MsgState>,
+    /// Pending offers blocked on the per-pair X limit.
+    backlog: std::collections::VecDeque<DomainOffer>,
+    poll_at: Option<Time>,
+    /// Times of poll events currently in the caller's queue (tiny; one
+    /// live plus at most a few superseded). A superseded event whose time
+    /// matches a *later* wake-up request is recycled instead of firing
+    /// stale next to a freshly scheduled duplicate.
+    scheduled_polls: Vec<Time>,
+    /// Reused scheduler poll result (grant buffer survives across polls).
+    poll_scratch: PollResult,
+    /// Reused resolved-grant buffer.
+    grants_scratch: Vec<DomainGrant>,
+}
+
+impl SwitchDomain {
+    /// Creates a domain for one switch.
+    pub fn new(config: SchedulerConfig, batch_small_messages: bool) -> Self {
+        let pairs = config.ports * config.ports;
+        SwitchDomain {
+            ports: config.ports,
+            batch_small: batch_small_messages,
+            scheduler: Scheduler::new(config),
+            pair_fifo: vec![0; pairs],
+            pair_meta: vec![0; pairs],
+            targets: Vec::new(),
+            backlog: std::collections::VecDeque::new(),
+            poll_at: None,
+            scheduled_polls: Vec::new(),
+            poll_scratch: PollResult::default(),
+            grants_scratch: Vec::new(),
+        }
+    }
+
+    /// The underlying scheduler (stats, configuration).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Whether the scheduler holds queued demand. A poll without demand
+    /// is a no-op, so callers skip scheduling one (saves a heap event per
+    /// completed message — outcomes are unaffected).
+    pub fn has_demand(&self) -> bool {
+        self.scheduler.pending_messages() > 0
+    }
+
+    /// Whether a just-admitted (src, dst) message is trivially the next
+    /// grant: it is the *only* queued demand and both its ports are free,
+    /// so a scheduling round at `now` must grant exactly it. Multi-switch
+    /// worlds use this to run the round inline instead of paying a poll
+    /// event for an uncontended store-and-forward hop.
+    pub fn sole_eligible_demand(&self, now: Time, src: u16, dst: u16) -> bool {
+        self.scheduler.pending_messages() == 1
+            && self.scheduler.src_port_free(src, now)
+            && self.scheduler.dst_port_free(dst, now)
+    }
+
+    /// Flat index of a (src port, dst port) pair.
+    fn pair_idx(&self, src: u16, dst: u16) -> usize {
+        src as usize * self.ports + dst as usize
+    }
+
+    /// Offers one message's demand. Returns `true` if the demand was
+    /// admitted to the scheduler (the caller should poll at `now`);
+    /// `false` means it joined the per-pair backlog.
+    pub fn offer(&mut self, now: Time, offer: DomainOffer) -> bool {
+        // Host message-queue FIFO: a new message may not overtake older
+        // same-pair messages already waiting in the backlog.
+        let pi = self.pair_idx(offer.src, offer.dst);
+        if self.pair_meta[pi] as u32 > 0 {
+            self.pair_meta[pi] += 1;
+            self.backlog.push_back(offer);
+            false
+        } else {
+            self.notify_one(now, offer)
+        }
+    }
+
+    /// Links a freshly admitted message into its pair's grant FIFO.
+    fn push_msg(&mut self, pi: usize, msg_id: u8, body: MsgBody) {
+        let meta = self.pair_meta[pi];
+        self.pair_meta[pi] = (meta & !0xFF_0000_0000) | (msg_id.wrapping_add(1) as u64) << 32;
+        self.targets.push(MsgState {
+            body,
+            delivered: 0,
+            next_sub: 0,
+            msg_id,
+            next_in_pair: 0,
+        });
+        // Append to the pair's grant FIFO (index + 1 encoding).
+        let slot = self.targets.len() as u32;
+        let fifo = self.pair_fifo[pi];
+        let (head, tail) = (fifo as u32, (fifo >> 32) as u32);
+        if head == 0 {
+            self.pair_fifo[pi] = slot as u64 | (slot as u64) << 32;
+        } else {
+            self.targets[(tail - 1) as usize].next_in_pair = slot;
+            self.pair_fifo[pi] = head as u64 | (slot as u64) << 32;
+        }
+    }
+
+    /// Announces one unbatched message to the scheduler (the common,
+    /// allocation-free path). Returns `true` on admission.
+    fn notify_one(&mut self, now: Time, offer: DomainOffer) -> bool {
+        let pi = self.pair_idx(offer.src, offer.dst);
+        let msg_id = (self.pair_meta[pi] >> 32) as u8;
+        match self.scheduler.notify_with_limit(
+            now,
+            Notification::new(offer.src, offer.dst, msg_id, offer.bytes),
+            offer.limit,
+        ) {
+            Ok(()) => {
+                self.push_msg(
+                    pi,
+                    msg_id,
+                    MsgBody::Single {
+                        token: offer.token,
+                        bytes: offer.bytes,
+                    },
+                );
+                true
+            }
+            Err(NotifyError::PairLimitReached { .. }) => {
+                // Sender rate-limiting: retry when a grant frees a slot.
+                self.pair_meta[pi] += 1;
+                self.backlog.push_back(offer);
+                false
+            }
+            Err(e) => panic!("unexpected notify error: {e}"),
+        }
+    }
+
+    /// Announces one mega message carrying several batched same-pair
+    /// offers (§3.1.2). Returns `true` on admission.
+    fn notify_batch(&mut self, now: Time, offers: Vec<DomainOffer>) -> bool {
+        debug_assert!(offers.len() > 1);
+        let (s, d, limit) = (offers[0].src, offers[0].dst, offers[0].limit);
+        let mut tokens = Vec::with_capacity(offers.len());
+        let mut prefix = Vec::with_capacity(offers.len());
+        let mut total = 0u32;
+        for o in &offers {
+            debug_assert_eq!((o.src, o.dst), (s, d), "mega is one pair");
+            total += o.bytes;
+            prefix.push(total);
+            tokens.push(o.token);
+        }
+        let pi = self.pair_idx(s, d);
+        let msg_id = (self.pair_meta[pi] >> 32) as u8;
+        match self
+            .scheduler
+            .notify_with_limit(now, Notification::new(s, d, msg_id, total), limit)
+        {
+            Ok(()) => {
+                self.push_msg(pi, msg_id, MsgBody::Batch { tokens, prefix });
+                true
+            }
+            Err(NotifyError::PairLimitReached { .. }) => {
+                self.pair_meta[pi] += offers.len() as u64;
+                self.backlog.extend(offers);
+                false
+            }
+            Err(e) => panic!("unexpected notify error: {e}"),
+        }
+    }
+
+    /// Admits backlogged offers after a pair slot frees: one offer, or —
+    /// with batching — every backlogged offer of the same (pair, batch
+    /// key) folded into a single mega message (bounded by the 16-bit size
+    /// field, §3.1.4).
+    fn admit_from_backlog(&mut self, now: Time) {
+        let Some(first) = self.backlog.pop_front() else {
+            return;
+        };
+        let pi = self.pair_idx(first.src, first.dst);
+        self.pair_meta[pi] -= 1;
+        if !self.batch_small {
+            self.notify_one(now, first);
+            return;
+        }
+        let key = (first.src, first.dst, first.batch_key);
+        let mut total = first.bytes;
+        let mut batch = vec![first];
+        self.backlog.retain(|o| {
+            if (o.src, o.dst, o.batch_key) == key
+                && total as u64 + o.bytes as u64 <= u16::MAX as u64
+            {
+                total += o.bytes;
+                batch.push(*o);
+                false
+            } else {
+                true
+            }
+        });
+        self.pair_meta[pi] -= (batch.len() - 1) as u64;
+        if batch.len() == 1 {
+            self.notify_one(now, first);
+        } else {
+            self.notify_batch(now, batch);
+        }
+    }
+
+    /// Records that a poll is wanted at `at`. Returns `true` when the
+    /// caller must schedule the poll event; duplicate/later requests are
+    /// absorbed, and a superseded event already queued for exactly `at`
+    /// is recycled instead of duplicated.
+    pub fn note_poll_wanted(&mut self, at: Time) -> bool {
+        if self.poll_at.is_none_or(|t| at < t) {
+            self.poll_at = Some(at);
+            if self.scheduled_polls.contains(&at) {
+                false
+            } else {
+                self.scheduled_polls.push(at);
+                true
+            }
+        } else {
+            false
+        }
+    }
+
+    /// Whether a poll event firing at `now` is the live wake-up (and
+    /// consumes it). Superseded (stale) poll events must be dropped,
+    /// otherwise each stale event would spawn its own wake-up chain.
+    pub fn poll_due(&mut self, now: Time) -> bool {
+        if let Some(pos) = self.scheduled_polls.iter().position(|&t| t == now) {
+            self.scheduled_polls.swap_remove(pos);
+        }
+        if self.poll_at == Some(now) {
+            self.poll_at = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs one scheduling round, resolving each grant to its in-flight
+    /// message slot. Returns the grants, the round's matching latency,
+    /// and the next wake-up (pass to [`SwitchDomain::note_poll_wanted`]).
+    pub fn poll(&mut self, now: Time) -> (&[DomainGrant], Duration, Option<Time>) {
+        let mut result = std::mem::take(&mut self.poll_scratch);
+        self.scheduler.poll_into(now, &mut result);
+        self.grants_scratch.clear();
+        for g in &result.grants {
+            // Grants within a pair are FIFO, so the granted message is
+            // the head of the pair's in-flight list.
+            let pi = self.pair_idx(g.src, g.dest);
+            let fifo = self.pair_fifo[pi];
+            let head = fifo as u32;
+            debug_assert_ne!(head, 0, "grant for unknown message");
+            let slot = (head - 1) as usize;
+            debug_assert_eq!(self.targets[slot].msg_id, g.msg_id);
+            if g.is_final() {
+                let next = self.targets[slot].next_in_pair;
+                self.pair_fifo[pi] = if next == 0 {
+                    0
+                } else {
+                    next as u64 | (fifo & 0xFFFF_FFFF_0000_0000)
+                };
+            }
+            self.grants_scratch.push(DomainGrant {
+                slot: slot as u32,
+                src: g.src,
+                dst: g.dest,
+                chunk_bytes: g.chunk_bytes,
+                last: g.is_final(),
+                token: self.targets[slot].first_token(),
+            });
+        }
+        let sched_latency = result.sched_latency;
+        let next_wakeup = result.next_wakeup;
+        self.poll_scratch = result;
+        (&self.grants_scratch, sched_latency, next_wakeup)
+    }
+
+    /// Records a granted chunk's arrival at its next element. Sub-offers
+    /// of a mega message complete in FIFO order as their cumulative bytes
+    /// arrive; `on_complete(token, bytes)` fires once per completed offer.
+    /// Returns `true` when the message finished (a pair slot freed and
+    /// backlogged demand was admitted — the caller should poll at `now`).
+    pub fn deliver(
+        &mut self,
+        now: Time,
+        slot: u32,
+        bytes: u32,
+        last: bool,
+        mut on_complete: impl FnMut(u64, u32),
+    ) -> bool {
+        let st = &mut self.targets[slot as usize];
+        st.delivered += bytes;
+        match &st.body {
+            MsgBody::Single {
+                token,
+                bytes: total,
+            } => {
+                if st.next_sub == 0 && *total <= st.delivered {
+                    on_complete(*token, *total);
+                    st.next_sub = 1;
+                }
+            }
+            MsgBody::Batch { tokens, prefix } => {
+                while (st.next_sub as usize) < tokens.len()
+                    && prefix[st.next_sub as usize] <= st.delivered
+                {
+                    let i = st.next_sub as usize;
+                    let start = if i == 0 { 0 } else { prefix[i - 1] };
+                    on_complete(tokens[i], prefix[i] - start);
+                    st.next_sub += 1;
+                }
+            }
+        }
+        if last {
+            debug_assert_eq!(st.next_sub, st.sub_count(), "all sub-offers done");
+            // A pair slot freed: admit backlogged demand.
+            self.admit_from_backlog(now);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -246,141 +678,15 @@ enum EdmEv {
     /// Scheduler poll.
     Poll,
     /// A chunk's last byte reaches the flow's data destination.
-    ChunkDelivered {
-        target: usize,
-        bytes: u32,
-        last: bool,
-    },
+    ChunkDelivered { slot: u32, bytes: u32, last: bool },
 }
 
 struct EdmWorld {
     cluster: ClusterConfig,
     flows: Vec<Flow>,
-    scheduler: Scheduler,
-    /// Head of each pair's in-flight message FIFO (`targets` index + 1;
-    /// 0 = empty), keyed by pair index — a flat slab replacing the former
-    /// `HashMap<(u16, u16, u8), usize>` grant lookup. Grants within a pair
-    /// are strictly FIFO (§3.1.1 property 5), so the head *is* the
-    /// granted message.
-    pair_head: Vec<u32>,
-    /// Tail of each pair's in-flight message FIFO (`targets` index + 1).
-    pair_tail: Vec<u32>,
-    targets: Vec<MsgState>,
-    batch_small: bool,
-    /// Pending notifications blocked on the per-pair X limit.
-    backlog: std::collections::VecDeque<usize>,
-    /// Backlogged flow count per pair index: O(1) same-pair waiter checks
-    /// instead of an O(backlog) scan per demand arrival.
-    backlog_per_pair: Vec<u32>,
+    domain: SwitchDomain,
+    max_active_per_pair: usize,
     completed: Vec<Option<Time>>,
-    poll_at: Option<Time>,
-    /// msg_id allocator per pair index (flat slab, wraps at 256).
-    next_msg_id: Vec<u8>,
-    /// Reused scheduler poll result (grant buffer survives across polls).
-    poll_scratch: PollResult,
-}
-
-impl EdmWorld {
-    /// The scheduler's (src, dest) for a flow's *data* direction: writes
-    /// send src→dst; reads send the RRES dst→src.
-    fn data_dir(flow: &Flow) -> (u16, u16) {
-        match flow.kind {
-            FlowKind::Write => (flow.src as u16, flow.dst as u16),
-            FlowKind::Read => (flow.dst as u16, flow.src as u16),
-        }
-    }
-
-    /// Flat index of a (data src, data dst) pair.
-    fn pair_idx(&self, src: u16, dst: u16) -> usize {
-        src as usize * self.cluster.nodes + dst as usize
-    }
-
-    /// Announces one message (possibly carrying several batched same-pair
-    /// flows, §3.1.2) to the scheduler.
-    fn try_notify(&mut self, now: Time, flow_idxs: Vec<usize>, q: &mut EventQueue<EdmEv>) {
-        debug_assert!(!flow_idxs.is_empty());
-        let (s, d) = Self::data_dir(&self.flows[flow_idxs[0]]);
-        let mut prefix = Vec::with_capacity(flow_idxs.len());
-        let mut total = 0u32;
-        for &fi in &flow_idxs {
-            debug_assert_eq!(Self::data_dir(&self.flows[fi]), (s, d), "mega is one pair");
-            total += self.flows[fi].size;
-            prefix.push(total);
-        }
-        let pi = self.pair_idx(s, d);
-        let msg_id = self.next_msg_id[pi];
-        match self
-            .scheduler
-            .notify(now, Notification::new(s, d, msg_id, total))
-        {
-            Ok(()) => {
-                self.next_msg_id[pi] = msg_id.wrapping_add(1);
-                self.targets.push(MsgState {
-                    flows: flow_idxs,
-                    prefix,
-                    delivered: 0,
-                    next_flow: 0,
-                    msg_id,
-                    next_in_pair: 0,
-                });
-                // Append to the pair's grant FIFO (index + 1 encoding).
-                let slot = self.targets.len() as u32;
-                if self.pair_head[pi] == 0 {
-                    self.pair_head[pi] = slot;
-                } else {
-                    self.targets[(self.pair_tail[pi] - 1) as usize].next_in_pair = slot;
-                }
-                self.pair_tail[pi] = slot;
-                self.schedule_poll(now, q);
-            }
-            Err(edm_sched::scheduler::NotifyError::PairLimitReached { .. }) => {
-                // Sender rate-limiting: retry when a grant frees a slot.
-                self.backlog_per_pair[pi] += flow_idxs.len() as u32;
-                self.backlog.extend(flow_idxs);
-            }
-            Err(e) => panic!("unexpected notify error: {e}"),
-        }
-    }
-
-    /// Admits backlogged flows after a pair slot frees: one flow, or — with
-    /// batching — every backlogged flow of that same pair folded into a
-    /// single mega message (bounded by the 16-bit size field, §3.1.4).
-    fn admit_from_backlog(&mut self, now: Time, q: &mut EventQueue<EdmEv>) {
-        let Some(first) = self.backlog.pop_front() else {
-            return;
-        };
-        let (s, d) = Self::data_dir(&self.flows[first]);
-        let pi = self.pair_idx(s, d);
-        self.backlog_per_pair[pi] -= 1;
-        if !self.batch_small {
-            self.try_notify(now, vec![first], q);
-            return;
-        }
-        let pair = (s, d);
-        let mut batch = vec![first];
-        let mut total = self.flows[first].size;
-        let flows = &self.flows;
-        self.backlog.retain(|&fi| {
-            if Self::data_dir(&flows[fi]) == pair
-                && total as u64 + flows[fi].size as u64 <= u16::MAX as u64
-            {
-                total += flows[fi].size;
-                batch.push(fi);
-                false
-            } else {
-                true
-            }
-        });
-        self.backlog_per_pair[pi] -= (batch.len() - 1) as u32;
-        self.try_notify(now, batch, q);
-    }
-
-    fn schedule_poll(&mut self, at: Time, q: &mut EventQueue<EdmEv>) {
-        if self.poll_at.is_none_or(|t| at < t) {
-            self.poll_at = Some(at);
-            q.schedule(at, EdmEv::Poll);
-        }
-    }
 }
 
 impl World for EdmWorld {
@@ -389,82 +695,59 @@ impl World for EdmWorld {
     fn handle(&mut self, now: Time, ev: EdmEv, q: &mut EventQueue<EdmEv>) {
         match ev {
             EdmEv::DemandArrives { flow_idx } => {
-                // Host message-queue FIFO: a new message may not overtake
-                // older same-pair messages already waiting in the backlog.
-                let (s, d) = Self::data_dir(&self.flows[flow_idx]);
-                let pi = self.pair_idx(s, d);
-                if self.backlog_per_pair[pi] > 0 {
-                    self.backlog_per_pair[pi] += 1;
-                    self.backlog.push_back(flow_idx);
-                } else {
-                    self.try_notify(now, vec![flow_idx], q);
+                let flow = &self.flows[flow_idx];
+                let (s, d) = flow.data_direction();
+                let offer = DomainOffer {
+                    src: s,
+                    dst: d,
+                    bytes: flow.size,
+                    limit: self.max_active_per_pair,
+                    batch_key: 0,
+                    token: flow_idx as u64,
+                };
+                if self.domain.offer(now, offer) && self.domain.note_poll_wanted(now) {
+                    q.schedule(now, EdmEv::Poll);
                 }
             }
             EdmEv::Poll => {
-                // Only the event matching the recorded wake-up runs; any
-                // superseded (stale) poll event is dropped, otherwise each
-                // stale event would spawn its own chain of wake-up polls.
-                if self.poll_at != Some(now) {
+                if !self.domain.poll_due(now) {
                     return;
                 }
-                self.poll_at = None;
-                let mut result = std::mem::take(&mut self.poll_scratch);
-                self.scheduler.poll_into(now, &mut result);
                 let half = self.cluster.pipeline_latency / 2
                     + self.cluster.prop_delay
                     + self.cluster.link.tx_time_bytes(8); // grant block flight
-                for g in &result.grants {
-                    // Grants within a pair are FIFO, so the granted message
-                    // is the head of the pair's in-flight list.
-                    let pi = self.pair_idx(g.src, g.dest);
-                    debug_assert_ne!(self.pair_head[pi], 0, "grant for unknown flow");
-                    let target = (self.pair_head[pi] - 1) as usize;
-                    debug_assert_eq!(self.targets[target].msg_id, g.msg_id);
+                let (grants, sched_latency, next_wakeup) = self.domain.poll(now);
+                for g in grants {
                     // Grant flies to the sender (half RTT), sender emits the
                     // chunk, chunk flies src -> switch -> dst.
                     let chunk_tx = self.cluster.link.tx_time_bytes(g.chunk_bytes as u64);
                     let data_flight =
                         self.cluster.pipeline_latency / 2 + 2 * self.cluster.prop_delay + chunk_tx;
-                    let delivered = now + result.sched_latency + half + data_flight;
-                    if g.is_final() {
-                        let next = self.targets[target].next_in_pair;
-                        self.pair_head[pi] = next;
-                        if next == 0 {
-                            self.pair_tail[pi] = 0;
-                        }
-                    }
+                    let delivered = now + sched_latency + half + data_flight;
                     q.schedule(
                         delivered,
                         EdmEv::ChunkDelivered {
-                            target,
+                            slot: g.slot,
                             bytes: g.chunk_bytes,
-                            last: g.is_final(),
+                            last: g.last,
                         },
                     );
                 }
-                if let Some(t) = result.next_wakeup {
-                    self.schedule_poll(t, q);
+                if let Some(t) = next_wakeup {
+                    if self.domain.note_poll_wanted(t) {
+                        q.schedule(t, EdmEv::Poll);
+                    }
                 }
-                self.poll_scratch = result;
             }
-            EdmEv::ChunkDelivered {
-                target,
-                bytes,
-                last,
-            } => {
-                let st = &mut self.targets[target];
-                st.delivered += bytes;
-                // Sub-flows of a mega message complete in FIFO order as
-                // their cumulative bytes arrive.
-                while st.next_flow < st.flows.len() && st.prefix[st.next_flow] <= st.delivered {
-                    self.completed[st.flows[st.next_flow]] = Some(now);
-                    st.next_flow += 1;
-                }
-                if last {
-                    debug_assert_eq!(st.next_flow, st.flows.len(), "all sub-flows done");
-                    // A pair slot freed: admit backlogged demand.
-                    self.admit_from_backlog(now, q);
-                    self.schedule_poll(now, q);
+            EdmEv::ChunkDelivered { slot, bytes, last } => {
+                let completed = &mut self.completed;
+                let want_poll = self
+                    .domain
+                    .deliver(now, slot, bytes, last, |token, _bytes| {
+                        completed[token as usize] = Some(now);
+                    });
+                if want_poll && self.domain.has_demand() && self.domain.note_poll_wanted(now) {
+                    q.schedule(now, EdmEv::Poll);
                 }
             }
         }
@@ -485,21 +768,12 @@ impl FabricProtocol for EdmProtocol {
             max_active_per_pair: self.max_active_per_pair,
             clock: edm_sched::ASIC_CLOCK,
         };
-        let pairs = cluster.nodes * cluster.nodes;
         let world = EdmWorld {
             cluster: *cluster,
             flows: flows.to_vec(),
-            scheduler: Scheduler::new(sched_cfg),
-            pair_head: vec![0; pairs],
-            pair_tail: vec![0; pairs],
-            targets: Vec::with_capacity(flows.len()),
-            batch_small: self.batch_small_messages,
-            backlog: std::collections::VecDeque::new(),
-            backlog_per_pair: vec![0; pairs],
+            domain: SwitchDomain::new(sched_cfg, self.batch_small_messages),
+            max_active_per_pair: self.max_active_per_pair,
             completed: vec![None; flows.len()],
-            poll_at: None,
-            next_msg_id: vec![0; pairs],
-            poll_scratch: PollResult::default(),
         };
         let mut engine = Engine::new(world);
         for (i, f) in flows.iter().enumerate() {

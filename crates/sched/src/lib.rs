@@ -48,7 +48,9 @@ pub mod scheduler;
 pub use ordered_list::OrderedList;
 pub use pim::{Matching, PimConfig, PimRunner, SparseOutcome};
 pub use priority_encoder::PriorityEncoder;
-pub use scheduler::{Grant, Notification, Policy, Scheduler, SchedulerConfig};
+pub use scheduler::{
+    Grant, Notification, NotifyError, Policy, PollResult, Scheduler, SchedulerConfig,
+};
 
 /// The scheduler pipeline's clock period on the projected ASIC: 3 GHz
 /// (§4.1), i.e. one cycle every 1/3 ns. We round to exact picoseconds.

@@ -181,18 +181,15 @@ pub struct Scheduler {
     src_busy_until: Vec<Time>,
     /// Per-port RX busy-until (destination role; host downlink).
     dst_busy_until: Vec<Time>,
-    /// Active notification count per (src, dest) pair, for the X bound.
-    active_per_pair: Vec<u32>,
-    /// Whether a pair currently has its head message in a notification
-    /// queue (in-order delivery, §3.1.1 property 5: priority policies
-    /// apply only *across* pairs; within a pair, messages are FIFO).
-    head_in_queue: Vec<bool>,
-    /// Head of each pair's waiting FIFO (slab index + 1; 0 = empty). The
-    /// zero sentinel keeps construction a calloc: untouched pairs cost
-    /// nothing, unlike a `Vec<VecDeque>` that writes every entry.
-    wait_head: Vec<u32>,
-    /// Tail of each pair's waiting FIFO (slab index + 1; 0 = empty).
-    wait_tail: Vec<u32>,
+    /// Per-pair admission state, packed into one word per pair: bits
+    /// 0..32 the active-notification count (X bound), bit 32 whether the
+    /// pair's head message is in a notification queue (in-order delivery,
+    /// §3.1.1 property 5). `vec![0u64]` stays a calloc, so untouched
+    /// pairs cost nothing at any port count.
+    pair_adm: Vec<u64>,
+    /// Per-pair waiting-FIFO endpoints, packed head (low 32) / tail
+    /// (high 32), both wait-slab index + 1 with 0 = empty.
+    pair_wait: Vec<u64>,
     /// Same-pair messages waiting behind their head, linked per pair.
     wait_slab: Vec<WaitNode>,
     /// Free-list head into `wait_slab` (index + 1; 0 = none).
@@ -204,6 +201,10 @@ pub struct Scheduler {
     bytes_granted: u64,
     /// Reusable demand-snapshot buffers (avoids per-poll allocation).
     demand_scratch: Vec<Vec<(u64, usize)>>,
+    /// Whether a destination's queue changed since its snapshot was last
+    /// rebuilt. Wake-up polls mostly observe unchanged queues, so the
+    /// snapshot survives across rounds instead of being re-walked.
+    row_dirty: Vec<bool>,
     /// Destinations with a non-empty notification queue, maintained
     /// incrementally so `poll` visits only ports with live demand.
     active_dests: Vec<u32>,
@@ -224,6 +225,9 @@ pub struct Scheduler {
 
 /// Sentinel for "destination not in the active list".
 const NOT_ACTIVE: u32 = u32::MAX;
+
+/// Bit 32 of a `pair_adm` word: the pair's head message is queued.
+const HEAD_IN_QUEUE: u64 = 1 << 32;
 
 /// A same-pair message waiting behind its pair's queued head.
 #[derive(Debug, Clone, Copy)]
@@ -264,14 +268,13 @@ impl Scheduler {
             queues: (0..config.ports).map(|_| OrderedList::new()).collect(),
             src_busy_until: vec![Time::ZERO; config.ports],
             dst_busy_until: vec![Time::ZERO; config.ports],
-            active_per_pair: vec![0; config.ports * config.ports],
-            head_in_queue: vec![false; config.ports * config.ports],
-            wait_head: vec![0; config.ports * config.ports],
-            wait_tail: vec![0; config.ports * config.ports],
+            pair_adm: vec![0; config.ports * config.ports],
+            pair_wait: vec![0; config.ports * config.ports],
             wait_slab: Vec::new(),
             wait_free: 0,
             pim: PimRunner::new(PimConfig::for_ports(config.ports)),
             demand_scratch: (0..config.ports).map(|_| Vec::new()).collect(),
+            row_dirty: vec![false; config.ports],
             active_dests: Vec::new(),
             dest_active_pos: vec![NOT_ACTIVE; config.ports],
             pending: 0,
@@ -307,7 +310,17 @@ impl Scheduler {
 
     /// Active notifications for a (src, dest) pair.
     pub fn active_for_pair(&self, src: u16, dest: u16) -> usize {
-        self.active_per_pair[self.pair_idx(src, dest)] as usize
+        (self.pair_adm[self.pair_idx(src, dest)] as u32) as usize
+    }
+
+    /// Whether a port's TX (source role) is free at `now`.
+    pub fn src_port_free(&self, port: u16, now: Time) -> bool {
+        self.src_busy_until[port as usize] <= now
+    }
+
+    /// Whether a port's RX (destination role) is free at `now`.
+    pub fn dst_port_free(&self, port: u16, now: Time) -> bool {
+        self.dst_busy_until[port as usize] <= now
     }
 
     fn pair_idx(&self, src: u16, dest: u16) -> usize {
@@ -330,6 +343,7 @@ impl Scheduler {
             self.active_dests.push(dest as u32);
         }
         self.queues[dest].insert(key, msg);
+        self.row_dirty[dest] = true;
         self.pending += 1;
     }
 
@@ -345,26 +359,30 @@ impl Scheduler {
             self.wait_slab.push(node);
             self.wait_slab.len() as u32
         };
-        if self.wait_head[pair] == 0 {
-            self.wait_head[pair] = slot;
+        let w = self.pair_wait[pair];
+        let (head, tail) = (w as u32, (w >> 32) as u32);
+        if head == 0 {
+            self.pair_wait[pair] = slot as u64 | (slot as u64) << 32;
         } else {
-            self.wait_slab[(self.wait_tail[pair] - 1) as usize].next = slot;
+            self.wait_slab[(tail - 1) as usize].next = slot;
+            self.pair_wait[pair] = head as u64 | (slot as u64) << 32;
         }
-        self.wait_tail[pair] = slot;
     }
 
     /// Pops the oldest waiting message of a pair, if any.
     fn pop_waiting(&mut self, pair: usize) -> Option<QueuedMsg> {
-        let head = self.wait_head[pair];
+        let w = self.pair_wait[pair];
+        let head = w as u32;
         if head == 0 {
             return None;
         }
         let i = (head - 1) as usize;
         let node = self.wait_slab[i];
-        self.wait_head[pair] = node.next;
-        if node.next == 0 {
-            self.wait_tail[pair] = 0;
-        }
+        self.pair_wait[pair] = if node.next == 0 {
+            0
+        } else {
+            node.next as u64 | (w & 0xFFFF_FFFF_0000_0000)
+        };
         self.wait_slab[i].next = self.wait_free;
         self.wait_free = head;
         Some(node.msg)
@@ -391,6 +409,26 @@ impl Scheduler {
     /// Rejects out-of-range ports, zero-size messages, and notifications
     /// beyond the per-pair X bound.
     pub fn notify(&mut self, now: Time, n: Notification) -> Result<(), NotifyError> {
+        self.notify_with_limit(now, n, self.config.max_active_per_pair)
+    }
+
+    /// [`Scheduler::notify`] with an explicit per-pair X bound for *this*
+    /// pair, overriding `config.max_active_per_pair`.
+    ///
+    /// Multi-switch fabrics need this: an inter-switch trunk pair
+    /// aggregates many end-to-end flows, so it is provisioned with a
+    /// larger notification-queue share than a single host pair (the
+    /// queue bound stays X·N entries — the caller picks how X is split).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::notify`], with `limit` as the X bound.
+    pub fn notify_with_limit(
+        &mut self,
+        now: Time,
+        n: Notification,
+        limit: usize,
+    ) -> Result<(), NotifyError> {
         if n.src as usize >= self.config.ports {
             return Err(NotifyError::BadPort { port: n.src });
         }
@@ -401,23 +439,21 @@ impl Scheduler {
             return Err(NotifyError::EmptyMessage);
         }
         let idx = self.pair_idx(n.src, n.dest);
-        if self.active_per_pair[idx] as usize >= self.config.max_active_per_pair {
-            return Err(NotifyError::PairLimitReached {
-                limit: self.config.max_active_per_pair,
-            });
+        if (self.pair_adm[idx] as u32) as usize >= limit {
+            return Err(NotifyError::PairLimitReached { limit });
         }
-        self.active_per_pair[idx] += 1;
+        self.pair_adm[idx] += 1;
         let msg = QueuedMsg {
             src: n.src,
             msg_id: n.msg_id,
             remaining: n.size_bytes,
             notified_at: now,
         };
-        if self.head_in_queue[idx] {
+        if self.pair_adm[idx] & HEAD_IN_QUEUE != 0 {
             // In-order within a pair: wait behind the current head.
             self.push_waiting(idx, msg);
         } else {
-            self.head_in_queue[idx] = true;
+            self.pair_adm[idx] |= HEAD_IN_QUEUE;
             let key = self.priority_key(&msg);
             self.queue_insert(n.dest as usize, key, msg);
         }
@@ -450,9 +486,15 @@ impl Scheduler {
         }
         self.pim_dests.sort_unstable();
 
-        // Refresh demand snapshots only for the eligible destinations
-        // (rows of inactive dests are stale but never read by PIM).
+        // Refresh demand snapshots only for eligible destinations whose
+        // queue changed since the last rebuild (rows of inactive dests are
+        // stale but never read by PIM; clean rows are byte-identical to a
+        // fresh walk).
         for &d in &self.pim_dests {
+            if !self.row_dirty[d] {
+                continue;
+            }
+            self.row_dirty[d] = false;
             let row = &mut self.demand_scratch[d];
             row.clear();
             row.extend(
@@ -478,6 +520,7 @@ impl Scheduler {
             let (_, mut msg) = self.queues[d]
                 .remove_first(|m| m.src as usize == s)
                 .expect("PIM matched an edge that must exist in the queue");
+            self.row_dirty[d] = true;
             self.pending -= 1;
             let l = msg.remaining.min(self.config.chunk_bytes);
             msg.remaining -= l;
@@ -488,7 +531,7 @@ impl Scheduler {
                 self.pending += 1;
             } else {
                 let idx = self.pair_idx(msg.src, d as u16);
-                self.active_per_pair[idx] -= 1;
+                self.pair_adm[idx] -= 1;
                 // The head finished: promote the pair's next message.
                 match self.pop_waiting(idx) {
                     Some(next) => {
@@ -496,7 +539,7 @@ impl Scheduler {
                         self.queues[d].insert(key, next);
                         self.pending += 1;
                     }
-                    None => self.head_in_queue[idx] = false,
+                    None => self.pair_adm[idx] &= !HEAD_IN_QUEUE,
                 }
             }
             self.deactivate_if_empty(d);
@@ -701,6 +744,30 @@ mod tests {
         }
         assert!(s.active_for_pair(0, 1) < 3);
         assert!(s.notify(now, Notification::new(0, 1, 9, 64)).is_ok());
+    }
+
+    #[test]
+    fn per_pair_limit_override() {
+        // A trunk pair provisioned with X=5 admits past the config's X=3;
+        // pairs using the plain entry point keep the configured bound.
+        let mut s = sched(4, 256, Policy::Srpt);
+        for i in 0..5 {
+            s.notify_with_limit(Time::ZERO, Notification::new(0, 1, i, 64), 5)
+                .unwrap();
+        }
+        assert_eq!(
+            s.notify_with_limit(Time::ZERO, Notification::new(0, 1, 5, 64), 5),
+            Err(NotifyError::PairLimitReached { limit: 5 })
+        );
+        for i in 0..3 {
+            s.notify(Time::ZERO, Notification::new(2, 3, i, 64))
+                .unwrap();
+        }
+        assert_eq!(
+            s.notify(Time::ZERO, Notification::new(2, 3, 3, 64)),
+            Err(NotifyError::PairLimitReached { limit: 3 })
+        );
+        assert_eq!(s.active_for_pair(0, 1), 5);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! `edm-topo` — multi-switch fabric topologies for EDM.
+//!
+//! The paper evaluates EDM behind a single switch (144 nodes, §4.3); this
+//! crate grows the simulator to datacenter shape, where remote-memory
+//! traffic crosses multiple switch hops and competes with regular IP
+//! traffic — the regime in-network memory management (MIND, SOSP '21) and
+//! CXL-over-Ethernet target:
+//!
+//! * [`topology`] — the fabric graph: single-switch, leaf–spine with
+//!   configurable oversubscription ([`Topology::leaf_spine`]), or
+//!   arbitrary adjacency ([`Topology::from_adjacency`]); per-link
+//!   bandwidth/latency, deterministic salted ECMP over equal-cost paths,
+//!   and mutable element state (links/switches down, degraded links).
+//! * [`world`] — the multi-switch event-driven world: one demand-sparse
+//!   EDM scheduler (`edm_core::sim::SwitchDomain`, the PR 2 sparse PIM
+//!   core) per switch, with inter-switch grant coordination by chunk
+//!   arrival, failure injection with deterministic reroute-or-fail
+//!   semantics, and a mixed-traffic mode where background IP flows share
+//!   egress ports with memory traffic ([`ip`]).
+//!
+//! A 1-switch [`Topology`] is the *degenerate* case: [`TopoEdm`] on
+//! [`cluster_topology`] is bit-identical to the legacy single-switch
+//! `EdmProtocol`, pinned by proptest.
+//!
+//! # Example
+//!
+//! ```
+//! use edm_topo::{LeafSpine, Topology, TopoEdm};
+//! use edm_core::sim::{Flow, FlowKind};
+//! use edm_sim::Time;
+//!
+//! // 4 racks × 4 hosts, 2 spines, non-blocking.
+//! let topo = Topology::leaf_spine(LeafSpine::symmetric(4, 2, 4, 2));
+//! let flow = Flow {
+//!     id: 0, src: 0, dst: 12, size: 256,
+//!     arrival: Time::ZERO, kind: FlowKind::Write,
+//! };
+//! let result = TopoEdm::default().simulate(&topo, &[flow]);
+//! assert_eq!(result.delivered(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ip;
+pub mod topology;
+pub mod world;
+
+pub use ip::IpTraffic;
+pub use topology::{Endpoint, Hop, LeafSpine, Link, LinkParams, Route, SwitchRole, Topology};
+pub use world::{
+    FaultEvent, FaultKind, FlowStatus, TopoEdm, TopoEdmConfig, TopoOutcome, TopoResult,
+};
+
+use edm_core::sim::ClusterConfig;
+
+/// The 1-switch [`Topology`] equivalent to a legacy [`ClusterConfig`]:
+/// `nodes` hosts on `cluster.link` access links with `cluster.prop_delay`
+/// propagation. `TopoEdm` on this topology (with
+/// [`TopoEdmConfig::matching`]) reproduces `EdmProtocol` bit-for-bit.
+pub fn cluster_topology(cluster: &ClusterConfig) -> Topology {
+    Topology::single_switch(
+        cluster.nodes,
+        LinkParams {
+            bandwidth: cluster.link,
+            propagation: cluster.prop_delay,
+        },
+    )
+}

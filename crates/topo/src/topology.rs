@@ -1,0 +1,723 @@
+//! The fabric graph: switches, links, node attachment, ECMP routing, and
+//! failure state.
+//!
+//! A [`Topology`] is a static port-level description of the fabric plus
+//! mutable element state (links and switches can be taken down, links can
+//! be latency-degraded). Routing is recomputed whenever element state
+//! changes: a BFS hop-distance matrix over the live inter-switch graph
+//! drives a deterministic ECMP walk — at every switch, the next hop is
+//! chosen among all live minimal-distance trunks by a caller-supplied
+//! salt, so equal-cost paths (spines, parallel trunks) spread by flow id.
+
+use edm_sim::{Bandwidth, Duration};
+
+/// Physical parameters of one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkParams {
+    /// Link bandwidth.
+    pub bandwidth: Bandwidth,
+    /// One-way propagation delay.
+    pub propagation: Duration,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        // The paper's §4.3 scale: 100 Gb/s links, 10 ns propagation.
+        LinkParams {
+            bandwidth: Bandwidth::from_gbps(100),
+            propagation: Duration::from_ns(10),
+        }
+    }
+}
+
+/// Role of a switch in the fabric. Routing is role-agnostic; roles drive
+/// construction, reporting, and tier-structure assertions in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchRole {
+    /// Hosts attach here (also the single switch of a 1-switch fabric).
+    Leaf,
+    /// Interconnects leaves; no hosts.
+    Spine,
+}
+
+/// What one end of a link connects to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A host node.
+    Node(u32),
+    /// A switch port.
+    Port {
+        /// The switch.
+        switch: u32,
+        /// The port on that switch.
+        port: u16,
+    },
+}
+
+/// One link: a host access link (node ↔ leaf port) or an inter-switch
+/// trunk (port ↔ port).
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// One end (the node for access links).
+    pub a: Endpoint,
+    /// The other end (always a switch port).
+    pub b: Endpoint,
+    /// Physical parameters.
+    pub params: LinkParams,
+    up: bool,
+    extra_latency: Duration,
+}
+
+impl Link {
+    /// Whether the link is administratively up.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Effective one-way latency: propagation plus any degradation.
+    pub fn latency(&self) -> Duration {
+        self.params.propagation + self.extra_latency
+    }
+
+    /// The degradation currently applied.
+    pub fn extra_latency(&self) -> Duration {
+        self.extra_latency
+    }
+
+    /// Whether this is an inter-switch trunk.
+    pub fn is_trunk(&self) -> bool {
+        matches!(self.a, Endpoint::Port { .. })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Switch {
+    role: SwitchRole,
+    ports: usize,
+    up: bool,
+}
+
+/// A trunk adjacency entry: `(neighbor switch, link id, local port, far
+/// port)`, kept sorted by link id for deterministic candidate ordering.
+type TrunkEdge = (u32, u32, u16, u16);
+
+/// One hop of a route: the switch that schedules it and the ingress/egress
+/// ports the message crosses there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hop {
+    /// The switch.
+    pub switch: u32,
+    /// Ingress port (the data source's access port at hop 0).
+    pub in_port: u16,
+    /// Egress port.
+    pub out_port: u16,
+    /// The link crossed when leaving this switch.
+    pub out_link: u32,
+}
+
+/// A routed path for one flow's data direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// Hops in order; the last hop's out link reaches the destination
+    /// node.
+    pub hops: Vec<Hop>,
+    /// The data-source node's access link (crossed before hop 0).
+    pub src_link: u32,
+}
+
+impl Route {
+    /// Whether the path crosses `link` (including both access links).
+    pub fn uses_link(&self, link: u32) -> bool {
+        self.src_link == link || self.hops.iter().any(|h| h.out_link == link)
+    }
+
+    /// Whether the path is scheduled by `switch`.
+    pub fn uses_switch(&self, switch: u32) -> bool {
+        self.hops.iter().any(|h| h.switch == switch)
+    }
+}
+
+/// Hop distance marking "unreachable".
+const UNREACH: u16 = u16::MAX;
+
+/// A multi-switch fabric graph with mutable failure state.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    switches: Vec<Switch>,
+    /// node → (switch, port).
+    node_attach: Vec<(u32, u16)>,
+    /// node → access link id.
+    node_link: Vec<u32>,
+    links: Vec<Link>,
+    /// Per switch: trunk adjacency, sorted by link id.
+    trunks: Vec<Vec<TrunkEdge>>,
+    /// Switch-to-switch hop distance over live elements (row-major).
+    dist: Vec<u16>,
+}
+
+/// A leaf–spine fabric description.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafSpine {
+    /// Number of leaf switches.
+    pub leaves: usize,
+    /// Number of spine switches.
+    pub spines: usize,
+    /// Hosts per leaf.
+    pub nodes_per_leaf: usize,
+    /// Parallel trunks from each leaf to each spine. Oversubscription is
+    /// `nodes_per_leaf / (spines × uplinks_per_spine)` at equal link
+    /// speeds.
+    pub uplinks_per_spine: usize,
+    /// Host access-link parameters.
+    pub host: LinkParams,
+    /// Trunk parameters.
+    pub trunk: LinkParams,
+}
+
+impl LeafSpine {
+    /// Evaluation-scale defaults for the given shape: 100 G links, 10 ns
+    /// propagation everywhere.
+    pub fn symmetric(leaves: usize, spines: usize, nodes_per_leaf: usize, uplinks: usize) -> Self {
+        LeafSpine {
+            leaves,
+            spines,
+            nodes_per_leaf,
+            uplinks_per_spine: uplinks,
+            host: LinkParams::default(),
+            trunk: LinkParams::default(),
+        }
+    }
+
+    /// Host-to-uplink capacity ratio per leaf (1.0 = non-blocking).
+    pub fn oversubscription(&self) -> f64 {
+        let host = self.nodes_per_leaf as f64 * self.host.bandwidth.as_bps() as f64;
+        let up =
+            (self.spines * self.uplinks_per_spine) as f64 * self.trunk.bandwidth.as_bps() as f64;
+        host / up
+    }
+
+    /// Total host count.
+    pub fn nodes(&self) -> usize {
+        self.leaves * self.nodes_per_leaf
+    }
+}
+
+impl Topology {
+    /// The degenerate 1-switch fabric: `nodes` hosts behind one switch —
+    /// exactly the legacy `EdmWorld` cluster shape.
+    pub fn single_switch(nodes: usize, host: LinkParams) -> Self {
+        assert!(nodes >= 2, "need at least two nodes");
+        let mut t = Topology {
+            switches: vec![Switch {
+                role: SwitchRole::Leaf,
+                ports: nodes,
+                up: true,
+            }],
+            node_attach: Vec::with_capacity(nodes),
+            node_link: Vec::with_capacity(nodes),
+            links: Vec::with_capacity(nodes),
+            trunks: vec![Vec::new()],
+            dist: Vec::new(),
+        };
+        for n in 0..nodes {
+            t.node_attach.push((0, n as u16));
+            t.node_link.push(n as u32);
+            t.links.push(Link {
+                a: Endpoint::Node(n as u32),
+                b: Endpoint::Port {
+                    switch: 0,
+                    port: n as u16,
+                },
+                params: host,
+                up: true,
+                extra_latency: Duration::ZERO,
+            });
+        }
+        t.recompute_routes();
+        t
+    }
+
+    /// A two-tier leaf–spine fabric. Hosts are attached contiguously:
+    /// node `n` sits on leaf `n / nodes_per_leaf`. Leaf ports are hosts
+    /// first, then uplinks grouped by spine; spine `s` is switch
+    /// `leaves + s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate shape (zero leaves/spines/hosts/uplinks).
+    pub fn leaf_spine(spec: LeafSpine) -> Self {
+        assert!(
+            spec.leaves >= 1 && spec.spines >= 1,
+            "need at least one leaf and one spine"
+        );
+        assert!(
+            spec.nodes_per_leaf >= 1 && spec.uplinks_per_spine >= 1,
+            "need hosts and uplinks"
+        );
+        let uplinks = spec.spines * spec.uplinks_per_spine;
+        let mut switches = Vec::with_capacity(spec.leaves + spec.spines);
+        for _ in 0..spec.leaves {
+            switches.push(Switch {
+                role: SwitchRole::Leaf,
+                ports: spec.nodes_per_leaf + uplinks,
+                up: true,
+            });
+        }
+        for _ in 0..spec.spines {
+            switches.push(Switch {
+                role: SwitchRole::Spine,
+                ports: spec.leaves * spec.uplinks_per_spine,
+                up: true,
+            });
+        }
+        let mut t = Topology {
+            switches,
+            node_attach: Vec::new(),
+            node_link: Vec::new(),
+            links: Vec::new(),
+            trunks: vec![Vec::new(); spec.leaves + spec.spines],
+            dist: Vec::new(),
+        };
+        for n in 0..spec.nodes() {
+            let leaf = (n / spec.nodes_per_leaf) as u32;
+            let port = (n % spec.nodes_per_leaf) as u16;
+            t.node_attach.push((leaf, port));
+            t.node_link.push(t.links.len() as u32);
+            t.links.push(Link {
+                a: Endpoint::Node(n as u32),
+                b: Endpoint::Port { switch: leaf, port },
+                params: spec.host,
+                up: true,
+                extra_latency: Duration::ZERO,
+            });
+        }
+        for l in 0..spec.leaves {
+            for s in 0..spec.spines {
+                for k in 0..spec.uplinks_per_spine {
+                    let leaf_port = (spec.nodes_per_leaf + s * spec.uplinks_per_spine + k) as u16;
+                    let spine_port = (l * spec.uplinks_per_spine + k) as u16;
+                    t.add_trunk(
+                        l as u32,
+                        leaf_port,
+                        (spec.leaves + s) as u32,
+                        spine_port,
+                        spec.trunk,
+                    );
+                }
+            }
+        }
+        t.recompute_routes();
+        t
+    }
+
+    /// An arbitrary-adjacency fabric: `attach[n]` names node `n`'s switch,
+    /// `trunk_pairs` the inter-switch links. Ports are assigned hosts
+    /// first, then trunk endpoints in `trunk_pairs` order. Switches with
+    /// hosts are leaves; the rest are spines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attachment or trunk endpoint is out of range.
+    pub fn from_adjacency(
+        switch_count: usize,
+        attach: &[u32],
+        trunk_pairs: &[(u32, u32)],
+        host: LinkParams,
+        trunk: LinkParams,
+    ) -> Self {
+        assert!(switch_count >= 1, "need a switch");
+        let mut host_counts = vec![0usize; switch_count];
+        for &sw in attach {
+            host_counts[sw as usize] += 1;
+        }
+        let mut switches: Vec<Switch> = host_counts
+            .iter()
+            .map(|&hosts| Switch {
+                role: if hosts > 0 {
+                    SwitchRole::Leaf
+                } else {
+                    SwitchRole::Spine
+                },
+                ports: hosts,
+                up: true,
+            })
+            .collect();
+        let mut t = Topology {
+            node_attach: Vec::new(),
+            node_link: Vec::new(),
+            links: Vec::new(),
+            trunks: vec![Vec::new(); switch_count],
+            dist: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut next_port = vec![0u16; switch_count];
+        for (n, &sw) in attach.iter().enumerate() {
+            let port = next_port[sw as usize];
+            next_port[sw as usize] += 1;
+            t.node_attach.push((sw, port));
+            t.node_link.push(t.links.len() as u32);
+            t.links.push(Link {
+                a: Endpoint::Node(n as u32),
+                b: Endpoint::Port { switch: sw, port },
+                params: host,
+                up: true,
+                extra_latency: Duration::ZERO,
+            });
+        }
+        for &(x, y) in trunk_pairs {
+            assert!(
+                (x as usize) < switch_count && (y as usize) < switch_count && x != y,
+                "bad trunk ({x}, {y})"
+            );
+            let px = next_port[x as usize];
+            next_port[x as usize] += 1;
+            let py = next_port[y as usize];
+            next_port[y as usize] += 1;
+            switches[x as usize].ports += 1;
+            switches[y as usize].ports += 1;
+            t.add_trunk(x, px, y, py, trunk);
+        }
+        for (sw, used) in switches.iter_mut().zip(&next_port) {
+            sw.ports = sw.ports.max(*used as usize);
+        }
+        t.switches = switches;
+        t.recompute_routes();
+        t
+    }
+
+    fn add_trunk(&mut self, x: u32, px: u16, y: u32, py: u16, params: LinkParams) {
+        let id = self.links.len() as u32;
+        self.links.push(Link {
+            a: Endpoint::Port {
+                switch: x,
+                port: px,
+            },
+            b: Endpoint::Port {
+                switch: y,
+                port: py,
+            },
+            params,
+            up: true,
+            extra_latency: Duration::ZERO,
+        });
+        self.trunks[x as usize].push((y, id, px, py));
+        self.trunks[y as usize].push((x, id, py, px));
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Port count of a switch.
+    pub fn switch_ports(&self, switch: u32) -> usize {
+        self.switches[switch as usize].ports
+    }
+
+    /// Role of a switch.
+    pub fn switch_role(&self, switch: u32) -> SwitchRole {
+        self.switches[switch as usize].role
+    }
+
+    /// Whether a switch is up.
+    pub fn switch_up(&self, switch: u32) -> bool {
+        self.switches[switch as usize].up
+    }
+
+    /// Number of host nodes.
+    pub fn nodes(&self) -> usize {
+        self.node_attach.len()
+    }
+
+    /// Node `n`'s (switch, port) attachment.
+    pub fn attach(&self, node: usize) -> (u32, u16) {
+        self.node_attach[node]
+    }
+
+    /// Node `n`'s access link.
+    pub fn node_link(&self, node: usize) -> u32 {
+        self.node_link[node]
+    }
+
+    /// The links, by id.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// One link by id.
+    pub fn link(&self, id: u32) -> &Link {
+        &self.links[id as usize]
+    }
+
+    /// The far end of `link` as seen from `from_switch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from_switch` is not an endpoint of the link.
+    pub fn link_far_end(&self, link: u32, from_switch: u32) -> Endpoint {
+        let l = &self.links[link as usize];
+        match (l.a, l.b) {
+            (a, Endpoint::Port { switch, .. }) if switch == from_switch => a,
+            (Endpoint::Port { switch, .. }, b) if switch == from_switch => b,
+            _ => panic!("switch {from_switch} is not an endpoint of link {link}"),
+        }
+    }
+
+    /// The reference bandwidth for a switch's scheduler busy-release
+    /// timer: the bandwidth of its lowest-id attached link (all links of
+    /// one tier are homogeneous in the fabrics modeled here).
+    pub fn reference_bandwidth(&self, switch: u32) -> Bandwidth {
+        self.links
+            .iter()
+            .find_map(|l| match (l.a, l.b) {
+                (Endpoint::Port { switch: s, .. }, _) | (_, Endpoint::Port { switch: s, .. })
+                    if s == switch =>
+                {
+                    Some(l.params.bandwidth)
+                }
+                _ => None,
+            })
+            .expect("switch has at least one link")
+    }
+
+    /// Takes a switch up or down and recomputes routing.
+    pub fn set_switch_up(&mut self, switch: u32, up: bool) {
+        self.switches[switch as usize].up = up;
+        self.recompute_routes();
+    }
+
+    /// Takes a link up or down and recomputes routing.
+    pub fn set_link_up(&mut self, link: u32, up: bool) {
+        self.links[link as usize].up = up;
+        self.recompute_routes();
+    }
+
+    /// Adds `extra` one-way latency to a link (persistent physical
+    /// degradation; stacks with previous degradation).
+    pub fn degrade_link(&mut self, link: u32, extra: Duration) {
+        let l = &mut self.links[link as usize];
+        l.extra_latency += extra;
+    }
+
+    /// Recomputes the live-element BFS distance matrix. Called by the
+    /// failure setters; only needed directly after manual state edits.
+    pub fn recompute_routes(&mut self) {
+        let n = self.switches.len();
+        self.dist = vec![UNREACH; n * n];
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if !self.switches[start].up {
+                continue;
+            }
+            let row = start * n;
+            self.dist[row + start] = 0;
+            queue.clear();
+            queue.push_back(start as u32);
+            while let Some(cur) = queue.pop_front() {
+                let d = self.dist[row + cur as usize];
+                for &(nb, link, _, _) in &self.trunks[cur as usize] {
+                    if !self.links[link as usize].up || !self.switches[nb as usize].up {
+                        continue;
+                    }
+                    if self.dist[row + nb as usize] == UNREACH {
+                        self.dist[row + nb as usize] = d + 1;
+                        queue.push_back(nb);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Live hop distance between two switches.
+    pub fn switch_distance(&self, a: u32, b: u32) -> Option<usize> {
+        let d = self.dist[a as usize * self.switches.len() + b as usize];
+        (d != UNREACH).then_some(d as usize)
+    }
+
+    /// Routes `src` → `dst` (data direction), spreading equal-cost
+    /// choices by `salt`. `None` when no live path exists (failed access
+    /// link, dead attach switch, or partitioned fabric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst` or either node is out of range.
+    pub fn route(&self, src: usize, dst: usize, salt: u64) -> Option<Route> {
+        assert_ne!(src, dst, "a flow needs two distinct nodes");
+        let (s_sw, s_port) = self.node_attach[src];
+        let (d_sw, d_port) = self.node_attach[dst];
+        let src_link = self.node_link[src];
+        let dst_link = self.node_link[dst];
+        if !self.switches[s_sw as usize].up
+            || !self.switches[d_sw as usize].up
+            || !self.links[src_link as usize].up
+            || !self.links[dst_link as usize].up
+        {
+            return None;
+        }
+        let n = self.switches.len();
+        let mut hops = Vec::with_capacity(3);
+        let mut cur = s_sw;
+        let mut in_port = s_port;
+        loop {
+            if cur == d_sw {
+                hops.push(Hop {
+                    switch: cur,
+                    in_port,
+                    out_port: d_port,
+                    out_link: dst_link,
+                });
+                return Some(Route { hops, src_link });
+            }
+            let d_here = self.dist[cur as usize * n + d_sw as usize];
+            if d_here == UNREACH {
+                return None;
+            }
+            // ECMP: all live minimal-distance trunks are equal candidates;
+            // the salt picks one. Adjacency is link-id sorted, so the
+            // candidate order — and thus the pick — is deterministic.
+            // Two passes (count, then select) keep the walk allocation-free
+            // — this runs once per flow on the simulator hot path.
+            let eligible = |&&(nb, link, _, _): &&TrunkEdge| {
+                self.links[link as usize].up
+                    && self.switches[nb as usize].up
+                    && self.dist[nb as usize * n + d_sw as usize] + 1 == d_here
+            };
+            let count = self.trunks[cur as usize].iter().filter(eligible).count();
+            if count == 0 {
+                return None;
+            }
+            let &(nb, link, local, far) = self.trunks[cur as usize]
+                .iter()
+                .filter(eligible)
+                .nth((salt % count as u64) as usize)
+                .expect("pick is within the candidate count");
+            hops.push(Hop {
+                switch: cur,
+                in_port,
+                out_port: local,
+                out_link: link,
+            });
+            cur = nb;
+            in_port = far;
+            debug_assert!(hops.len() <= n, "routing walked a loop");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_routes_one_hop() {
+        let t = Topology::single_switch(8, LinkParams::default());
+        let r = t.route(0, 7, 0).expect("route exists");
+        assert_eq!(r.hops.len(), 1);
+        assert_eq!(
+            r.hops[0],
+            Hop {
+                switch: 0,
+                in_port: 0,
+                out_port: 7,
+                out_link: 7,
+            }
+        );
+        assert_eq!(r.src_link, 0);
+    }
+
+    #[test]
+    fn leaf_spine_shape() {
+        let spec = LeafSpine::symmetric(4, 2, 8, 2);
+        assert_eq!(spec.nodes(), 32);
+        assert!((spec.oversubscription() - 2.0).abs() < 1e-9);
+        let t = Topology::leaf_spine(spec);
+        assert_eq!(t.switch_count(), 6);
+        assert_eq!(t.switch_role(0), SwitchRole::Leaf);
+        assert_eq!(t.switch_role(4), SwitchRole::Spine);
+        assert_eq!(t.switch_ports(0), 8 + 4);
+        assert_eq!(t.switch_ports(4), 8);
+        // Same-leaf: one hop; cross-leaf: leaf → spine → leaf.
+        assert_eq!(t.route(0, 7, 0).unwrap().hops.len(), 1);
+        assert_eq!(t.route(0, 8, 0).unwrap().hops.len(), 3);
+        assert_eq!(t.switch_distance(0, 1), Some(2));
+        assert_eq!(t.switch_distance(0, 4), Some(1));
+    }
+
+    #[test]
+    fn ecmp_salt_spreads_across_spines() {
+        let t = Topology::leaf_spine(LeafSpine::symmetric(2, 2, 4, 1));
+        let spines: std::collections::BTreeSet<u32> = (0..16)
+            .map(|salt| t.route(0, 4, salt).unwrap().hops[1].switch)
+            .collect();
+        assert_eq!(spines.len(), 2, "both spines must carry traffic");
+    }
+
+    #[test]
+    fn spine_down_removes_candidates() {
+        let mut t = Topology::leaf_spine(LeafSpine::symmetric(2, 2, 4, 1));
+        t.set_switch_up(2, false); // spine 0 (switches: leaves 0..2, spines 2..4)
+        for salt in 0..8 {
+            let r = t.route(0, 4, salt).unwrap();
+            assert_eq!(r.hops[1].switch, 3, "all routes must use spine 1");
+        }
+        t.set_switch_up(3, false);
+        assert!(t.route(0, 4, 0).is_none(), "partitioned");
+        assert!(t.route(0, 3, 0).is_some(), "same-leaf unaffected");
+    }
+
+    #[test]
+    fn access_link_down_kills_routes() {
+        let mut t = Topology::single_switch(4, LinkParams::default());
+        t.set_link_up(2, false);
+        assert!(t.route(0, 2, 0).is_none());
+        assert!(t.route(2, 1, 0).is_none());
+        assert!(t.route(0, 1, 0).is_some());
+    }
+
+    #[test]
+    fn degrade_accumulates_latency() {
+        let mut t = Topology::single_switch(4, LinkParams::default());
+        t.degrade_link(1, Duration::from_ns(100));
+        t.degrade_link(1, Duration::from_ns(50));
+        assert_eq!(t.link(1).latency(), Duration::from_ns(160));
+        assert_eq!(t.link(0).latency(), Duration::from_ns(10));
+    }
+
+    #[test]
+    fn adjacency_builder_routes_a_line() {
+        // 3 switches in a line, one node on each end switch.
+        let t = Topology::from_adjacency(
+            3,
+            &[0, 2],
+            &[(0, 1), (1, 2)],
+            LinkParams::default(),
+            LinkParams::default(),
+        );
+        assert_eq!(t.switch_role(1), SwitchRole::Spine);
+        let r = t.route(0, 1, 9).unwrap();
+        assert_eq!(r.hops.len(), 3);
+        assert_eq!(
+            r.hops.iter().map(|h| h.switch).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn far_end_resolution() {
+        let t = Topology::leaf_spine(LeafSpine::symmetric(2, 1, 2, 1));
+        let r = t.route(0, 2, 0).unwrap();
+        // Hop 0 leaves leaf 0 over a trunk toward the spine.
+        match t.link_far_end(r.hops[0].out_link, 0) {
+            Endpoint::Port { switch, port } => {
+                assert_eq!(switch, 2);
+                assert_eq!(port, r.hops[1].in_port);
+            }
+            other => panic!("expected trunk far end, got {other:?}"),
+        }
+        // The last hop's out link reaches the destination node.
+        match t.link_far_end(r.hops[2].out_link, 1) {
+            Endpoint::Node(n) => assert_eq!(n, 2),
+            other => panic!("expected node, got {other:?}"),
+        }
+    }
+}

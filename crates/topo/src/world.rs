@@ -1,0 +1,997 @@
+//! The multi-switch event-driven fabric: one demand-sparse EDM scheduler
+//! per switch, hop-by-hop grant coordination, failure injection, and
+//! mixed IP+memory traffic.
+//!
+//! # Model
+//!
+//! Each switch runs its own [`SwitchDomain`] (the PR 2 sparse-PIM
+//! scheduler plus grant bookkeeping, shared with the single-switch
+//! simulator). A flow's data path is a [`Route`] of hops; grants are
+//! coordinated *between* switches by chunk arrival — the paper's implicit
+//! notification generalized to trunks:
+//!
+//! * **Hop 0** (the data source's leaf) is the paper's single-switch
+//!   protocol verbatim: the demand flight, the grant flight back to the
+//!   host, and the chunk's two link crossings cost exactly what
+//!   `EdmWorld` charges, so a 1-switch topology is bit-identical to the
+//!   legacy path (pinned by proptest).
+//! * **Hops ≥ 1**: a chunk arriving on a trunk *is* its own demand
+//!   notification at that switch (as an RREQ is at the paper's switch).
+//!   The switch schedules it like any message — at most one sender per
+//!   egress port, so trunks stay contention-free virtual circuits — and
+//!   forwards it after its matching latency plus a store-and-forward
+//!   turnaround ([`TopoEdmConfig::forward_latency`]).
+//!
+//! Trunk-facing pairs aggregate many end-to-end flows, so multi-hop
+//! routes are provisioned a larger per-pair X than single-hop access
+//! pairs ([`TopoEdmConfig::trunk_max_active_per_pair`], via the
+//! scheduler's `notify_with_limit` entry point).
+//!
+//! # Failures
+//!
+//! [`FaultEvent`]s take links or switches down (or degrade link latency)
+//! mid-run. A failure bumps the *epoch* of every incomplete flow whose
+//! route crosses the failed element; chunks of older epochs drain as
+//! blackholed traffic — they consume the bandwidth they were granted but
+//! are dropped at their next element. After
+//! [`TopoEdmConfig::reroute_delay`], the flow's remaining bytes re-enter
+//! on a freshly computed route, or the flow fails deterministically when
+//! the fabric is partitioned.
+//!
+//! One deliberate pessimism: a bumped flow's stale message stays in its
+//! hop-0 scheduler (there is no sender-side cancel yet), so the *whole*
+//! undelivered remainder — not just chunks already in flight — keeps
+//! draining into the dead path, contending with the retransmission on
+//! the source's access port. This models a sender that never revokes
+//! its announced demand; a `Scheduler::cancel` entry point is the
+//! ROADMAP follow-on that would tighten recovery to the detection
+//! window.
+
+use crate::ip::{IpModel, IpTraffic};
+use crate::topology::{Endpoint, Route, Topology};
+use edm_core::sim::{
+    ClusterConfig, DomainOffer, EdmProtocol, Flow, FlowKind, FlowOutcome, SimResult, SwitchDomain,
+};
+use edm_sched::{Policy, SchedulerConfig};
+use edm_sim::{Duration, Engine, EventQueue, Summary, Time, World};
+
+/// A failure (or degradation) injected at a point in simulated time.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultEvent {
+    /// When the fault strikes.
+    pub at: Time,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// The kinds of injectable faults.
+#[derive(Debug, Clone, Copy)]
+pub enum FaultKind {
+    /// A link (access or trunk) goes down.
+    LinkDown(u32),
+    /// A whole switch goes down, with all queued scheduler state.
+    SwitchDown(u32),
+    /// A link stays up but gains one-way latency (damaged fiber, FEC
+    /// retries); no reroute is triggered.
+    DegradeLink {
+        /// The link.
+        link: u32,
+        /// Added one-way latency.
+        extra: Duration,
+    },
+}
+
+/// Configuration of the multi-switch EDM protocol.
+#[derive(Debug, Clone)]
+pub struct TopoEdmConfig {
+    /// Fixed per-direction fabric pipeline latency (host stacks + switch,
+    /// the Table 1 model) — same semantics as `ClusterConfig`.
+    pub pipeline_latency: Duration,
+    /// Store-and-forward turnaround at an intermediate switch (the egress
+    /// half of the pipeline).
+    pub forward_latency: Duration,
+    /// Scheduler chunk size.
+    pub chunk_bytes: u32,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// X for single-hop (host↔host) pairs — the paper's X=3.
+    pub max_active_per_pair: usize,
+    /// X for pairs on multi-hop routes: those touch trunk ports, which
+    /// aggregate many concurrent end-to-end flows, so they get a larger
+    /// share of the notification queue.
+    pub trunk_max_active_per_pair: usize,
+    /// §3.1.2 mega-batching of same-route backlogged messages.
+    pub batch_small_messages: bool,
+    /// Detection + recovery time before a failed flow's remaining bytes
+    /// re-enter on a new route.
+    pub reroute_delay: Duration,
+    /// Background IP traffic sharing the links.
+    pub ip: IpTraffic,
+    /// Fault injection plan.
+    pub faults: Vec<FaultEvent>,
+}
+
+impl Default for TopoEdmConfig {
+    fn default() -> Self {
+        let pipeline = Duration::from_ns(54); // ClusterConfig's default
+        TopoEdmConfig {
+            pipeline_latency: pipeline,
+            forward_latency: pipeline / 2,
+            chunk_bytes: 256,
+            policy: Policy::Srpt,
+            max_active_per_pair: 3,
+            trunk_max_active_per_pair: 16,
+            batch_small_messages: false,
+            reroute_delay: Duration::from_us(10),
+            ip: IpTraffic::default(),
+            faults: Vec::new(),
+        }
+    }
+}
+
+impl TopoEdmConfig {
+    /// A configuration matching a legacy (`ClusterConfig`,
+    /// [`EdmProtocol`]) pair — the 1-switch equivalence tests and benches
+    /// pin `TopoEdm` on [`crate::cluster_topology`] against exactly this.
+    pub fn matching(cluster: &ClusterConfig, p: &EdmProtocol) -> Self {
+        TopoEdmConfig {
+            pipeline_latency: cluster.pipeline_latency,
+            forward_latency: cluster.pipeline_latency / 2,
+            chunk_bytes: p.chunk_bytes,
+            policy: p.policy,
+            max_active_per_pair: p.max_active_per_pair,
+            batch_small_messages: p.batch_small_messages,
+            ..TopoEdmConfig::default()
+        }
+    }
+}
+
+/// Terminal state of one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowStatus {
+    /// All bytes reached the destination at this time.
+    Delivered(Time),
+    /// The flow could not complete (fabric partition); decided at this
+    /// time.
+    Failed(Time),
+}
+
+/// Per-flow outcome of a topology run.
+#[derive(Debug, Clone, Copy)]
+pub struct TopoOutcome {
+    /// The flow.
+    pub flow: Flow,
+    /// How it ended.
+    pub status: FlowStatus,
+}
+
+impl TopoOutcome {
+    /// Message completion time, if delivered.
+    pub fn mct(&self) -> Option<Duration> {
+        match self.status {
+            FlowStatus::Delivered(t) => Some(t.saturating_since(self.flow.arrival)),
+            FlowStatus::Failed(_) => None,
+        }
+    }
+}
+
+/// Result of one multi-switch simulation.
+#[derive(Debug, Clone)]
+pub struct TopoResult {
+    /// Per-flow outcomes, in input order.
+    pub outcomes: Vec<TopoOutcome>,
+    /// Successful re-routes after faults.
+    pub reroutes: u64,
+    /// Background IP frames generated on crossed links.
+    pub ip_frames: u64,
+    /// Memory-chunk link crossings that hit an in-flight IP frame.
+    pub ip_delayed: u64,
+    /// Simulation events dispatched (cost proxy).
+    pub events: u64,
+}
+
+impl TopoResult {
+    /// Number of delivered flows.
+    pub fn delivered(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, FlowStatus::Delivered(_)))
+            .count()
+    }
+
+    /// Number of failed flows.
+    pub fn failed(&self) -> usize {
+        self.outcomes.len() - self.delivered()
+    }
+
+    /// Mean completion time over delivered flows.
+    pub fn mean_mct(&self) -> Duration {
+        let (mut total, mut n) = (Duration::ZERO, 0u64);
+        for o in &self.outcomes {
+            if let Some(mct) = o.mct() {
+                total += mct;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            Duration::ZERO
+        } else {
+            total / n
+        }
+    }
+
+    /// Summary of delivered-flow MCTs normalized by `ideal(flow)`.
+    pub fn normalized_mct<F: Fn(&Flow) -> Duration>(&self, ideal: F) -> Summary {
+        let mut s = Summary::new();
+        for o in &self.outcomes {
+            if let Some(mct) = o.mct() {
+                s.record(mct.ratio(ideal(&o.flow)));
+            }
+        }
+        s
+    }
+
+    /// Converts to the shared [`SimResult`] shape; `None` if any flow
+    /// failed.
+    pub fn to_sim_result(&self, protocol: &'static str) -> Option<SimResult> {
+        let mut outcomes = Vec::with_capacity(self.outcomes.len());
+        for o in &self.outcomes {
+            match o.status {
+                FlowStatus::Delivered(t) => outcomes.push(FlowOutcome {
+                    flow: o.flow,
+                    completed: t,
+                }),
+                FlowStatus::Failed(_) => return None,
+            }
+        }
+        Some(SimResult { protocol, outcomes })
+    }
+}
+
+/// The multi-switch EDM protocol.
+#[derive(Debug, Clone, Default)]
+pub struct TopoEdm {
+    /// Configuration.
+    pub config: TopoEdmConfig,
+}
+
+impl TopoEdm {
+    /// Creates the protocol from a configuration.
+    pub fn new(config: TopoEdmConfig) -> Self {
+        TopoEdm { config }
+    }
+
+    /// Simulates `flows` over `topo` (a private copy — fault injection
+    /// never mutates the caller's topology).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed flows (src == dst, out-of-range nodes,
+    /// zero-size messages) and if a flow stalls without a terminal state
+    /// (a model invariant violation).
+    pub fn simulate(&self, topo: &Topology, flows: &[Flow]) -> TopoResult {
+        let topo = topo.clone();
+        let link_count = topo.links().len();
+        let domains = (0..topo.switch_count() as u32)
+            .map(|sw| {
+                SwitchDomain::new(
+                    SchedulerConfig {
+                        ports: topo.switch_ports(sw),
+                        chunk_bytes: self.config.chunk_bytes,
+                        link: topo.reference_bandwidth(sw),
+                        policy: self.config.policy,
+                        max_active_per_pair: self.config.max_active_per_pair,
+                        clock: edm_sched::ASIC_CLOCK,
+                    },
+                    self.config.batch_small_messages,
+                )
+            })
+            .collect();
+        let mut world = TopoWorld {
+            ip: IpModel::new(self.config.ip, link_count),
+            cfg: self.config.clone(),
+            topo,
+            flows: flows.to_vec(),
+            rt: flows
+                .iter()
+                .map(|_| FlowRt {
+                    routes: Vec::with_capacity(1),
+                    epoch: 0,
+                    delivered: 0,
+                    inject_bytes: 0,
+                    status: RtStatus::Active,
+                })
+                .collect(),
+            domains,
+            reroutes: 0,
+        };
+        // Seed faults before demands so a fault at time T precedes any
+        // same-instant demand (deterministic FIFO tie-break).
+        let mut seeds: Vec<(Time, TopoEv)> = self
+            .config
+            .faults
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.at, TopoEv::Fault { idx: i as u32 }))
+            .collect();
+        for (i, f) in flows.iter().enumerate() {
+            let (ds, dd) = f.data_direction();
+            match world.topo.route(ds as usize, dd as usize, f.id as u64) {
+                Some(r) => {
+                    world.rt[i].routes.push(Some(r));
+                    world.rt[i].inject_bytes = f.size;
+                    let t = world.demand_time(i, f.arrival);
+                    seeds.push((
+                        t,
+                        TopoEv::Demand {
+                            flow: i as u32,
+                            epoch: 0,
+                        },
+                    ));
+                }
+                None => {
+                    world.rt[i].routes.push(None);
+                    world.rt[i].status = RtStatus::Failed(f.arrival);
+                }
+            }
+        }
+        let mut engine = Engine::new(world);
+        for (t, ev) in seeds {
+            engine.queue_mut().schedule(t, ev);
+        }
+        engine.run();
+        let events = engine.steps();
+        let world = engine.into_world();
+        let outcomes = flows
+            .iter()
+            .enumerate()
+            .map(|(i, &flow)| TopoOutcome {
+                flow,
+                status: match world.rt[i].status {
+                    RtStatus::Done(t) => FlowStatus::Delivered(t),
+                    RtStatus::Failed(t) => FlowStatus::Failed(t),
+                    RtStatus::Active => {
+                        panic!("flow {i} stalled without a terminal state")
+                    }
+                },
+            })
+            .collect();
+        TopoResult {
+            outcomes,
+            reroutes: world.reroutes,
+            ip_frames: world.ip.frames(),
+            ip_delayed: world.ip.delayed(),
+            events,
+        }
+    }
+
+    /// The flow's *unloaded* completion time on this topology: the flow
+    /// alone, no faults, no background IP — the normalization baseline
+    /// (`None` if the pristine topology cannot route it).
+    pub fn solo_mct(&self, topo: &Topology, flow: &Flow) -> Option<Duration> {
+        let mut cfg = self.config.clone();
+        cfg.faults.clear();
+        cfg.ip.fraction = 0.0;
+        let solo = Flow {
+            arrival: Time::ZERO,
+            ..*flow
+        };
+        let (ds, dd) = solo.data_direction();
+        topo.route(ds as usize, dd as usize, solo.id as u64)?;
+        TopoEdm::new(cfg).simulate(topo, &[solo]).outcomes[0].mct()
+    }
+}
+
+/// Runtime status of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RtStatus {
+    Active,
+    Done(Time),
+    Failed(Time),
+}
+
+/// Per-flow runtime state.
+#[derive(Debug)]
+struct FlowRt {
+    /// Route per epoch; `routes[epoch]` is the live one (`None` while a
+    /// reroute is pending). Old epochs stay resident so in-flight zombie
+    /// chunks can still resolve their path context.
+    routes: Vec<Option<Route>>,
+    epoch: u32,
+    /// Bytes that reached the destination node (current epoch only;
+    /// stale-epoch arrivals are retransmitted, never double-counted).
+    delivered: u32,
+    /// Bytes offered in the current epoch.
+    inject_bytes: u32,
+    status: RtStatus,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TopoEv {
+    /// A flow's demand reaches its hop-0 switch.
+    Demand { flow: u32, epoch: u32 },
+    /// One switch's scheduler poll.
+    Poll { switch: u32 },
+    /// A granted chunk's last byte reaches its next element (derived from
+    /// the flow's route at arrival, keeping the event small).
+    Chunk {
+        token: u64,
+        from_switch: u16,
+        slot: u32,
+        bytes: u32,
+        last: bool,
+    },
+    /// A planned fault strikes.
+    Fault { idx: u32 },
+    /// A bumped flow re-enters on a fresh route (or fails).
+    Reroute { flow: u32, epoch: u32 },
+}
+
+fn pack(flow: u32, epoch: u32) -> u64 {
+    flow as u64 | (epoch as u64) << 32
+}
+
+fn unpack(token: u64) -> (usize, u32) {
+    (token as u32 as usize, (token >> 32) as u32)
+}
+
+/// Batching key: flows fold into one mega message only when they share
+/// the end-to-end pair and epoch, so a batched chunk never spans two
+/// routes.
+fn batch_key(flow: &Flow, epoch: u32) -> u64 {
+    let (s, d) = flow.data_direction();
+    (s as u64) << 48 | (d as u64) << 32 | epoch as u64
+}
+
+/// Per-pair X for a route: single-hop host pairs keep the paper's X;
+/// multi-hop routes touch aggregated trunk ports.
+fn route_limit(cfg: &TopoEdmConfig, route: &Route) -> usize {
+    if route.hops.len() == 1 {
+        cfg.max_active_per_pair
+    } else {
+        cfg.trunk_max_active_per_pair
+    }
+}
+
+/// One-way latency of a link (propagation + degradation).
+fn link_lat(topo: &Topology, link: u32) -> Duration {
+    topo.link(link).latency()
+}
+
+/// Control-block (8 B) serialization on a link.
+fn tx8(topo: &Topology, link: u32) -> Duration {
+    topo.link(link).params.bandwidth.tx_time_bytes(8)
+}
+
+/// Half-RTT of a control block over an access link: half the pipeline,
+/// the link flight, and the block's serialization — identical to the
+/// legacy world's `half`.
+fn access_half(cfg: &TopoEdmConfig, topo: &Topology, link: u32) -> Duration {
+    cfg.pipeline_latency / 2 + link_lat(topo, link) + tx8(topo, link)
+}
+
+struct TopoWorld {
+    cfg: TopoEdmConfig,
+    topo: Topology,
+    flows: Vec<Flow>,
+    rt: Vec<FlowRt>,
+    domains: Vec<SwitchDomain>,
+    ip: IpModel,
+    reroutes: u64,
+}
+
+impl TopoWorld {
+    /// When a flow's demand reaches its hop-0 switch, issuing at `base`:
+    /// one access flight for the write `/N/` or read RREQ, plus — for
+    /// reads — the RREQ's forwarding across the trunk path to the
+    /// data-source leaf (control blocks ride repurposed IFG slots, §3.2,
+    /// so they pay latency but no scheduling).
+    fn demand_time(&self, fi: usize, base: Time) -> Time {
+        let f = &self.flows[fi];
+        let rt = &self.rt[fi];
+        let route = rt.routes[rt.epoch as usize].as_ref().expect("route set");
+        let origin_link = self.topo.node_link(f.src);
+        let mut t = base + access_half(&self.cfg, &self.topo, origin_link);
+        if f.kind == FlowKind::Read {
+            for h in &route.hops[..route.hops.len() - 1] {
+                t = t
+                    + self.cfg.forward_latency
+                    + link_lat(&self.topo, h.out_link)
+                    + tx8(&self.topo, h.out_link);
+            }
+        }
+        t
+    }
+
+    /// Runs one scheduling round at `switch`, translating each grant into
+    /// its chunk-flight event. Shared by the Poll event handler and the
+    /// uncontended-hop cut-through path.
+    fn run_poll(&mut self, switch: u32, now: Time, q: &mut EventQueue<TopoEv>) {
+        let TopoWorld {
+            domains,
+            topo,
+            rt,
+            cfg,
+            ip,
+            ..
+        } = self;
+        let dom = &mut domains[switch as usize];
+        let (grants, sched_latency, next_wakeup) = dom.poll(now);
+        for g in grants {
+            let (fi, ep) = unpack(g.token);
+            // Zombie (stale-epoch) grants still consume their ports: the
+            // chunk flies and is dropped downstream.
+            let route = rt[fi].routes[ep as usize]
+                .as_ref()
+                .expect("grant for an offered epoch");
+            let hop_pos = route
+                .hops
+                .iter()
+                .position(|h| h.switch == switch)
+                .expect("grant on the route");
+            let h = route.hops[hop_pos];
+            debug_assert_eq!(h.out_port, g.dst);
+            let turnaround = if hop_pos == 0 {
+                // Grant flight to the data source, then the chunk's
+                // flight back to the switch — the legacy half + ingress
+                // composition.
+                access_half(cfg, topo, route.src_link)
+                    + cfg.pipeline_latency / 2
+                    + link_lat(topo, route.src_link)
+            } else {
+                cfg.forward_latency
+            };
+            let emit = now + sched_latency + turnaround;
+            let out_bw = topo.link(h.out_link).params.bandwidth;
+            let mut extra = Duration::ZERO;
+            if hop_pos == 0 {
+                let src_bw = topo.link(route.src_link).params.bandwidth;
+                extra += ip.crossing_delay(route.src_link, emit, src_bw);
+            }
+            extra += ip.crossing_delay(h.out_link, emit, out_bw);
+            let arrival = emit
+                + extra
+                + link_lat(topo, h.out_link)
+                + out_bw.tx_time_bytes(g.chunk_bytes as u64);
+            q.schedule(
+                arrival,
+                TopoEv::Chunk {
+                    token: g.token,
+                    from_switch: switch as u16,
+                    slot: g.slot,
+                    bytes: g.chunk_bytes,
+                    last: g.last,
+                },
+            );
+        }
+        if let Some(t) = next_wakeup {
+            if dom.note_poll_wanted(t) {
+                q.schedule(t, TopoEv::Poll { switch });
+            }
+        }
+    }
+
+    /// Bumps the epoch of every incomplete flow whose live route
+    /// satisfies `pred`, scheduling its recovery.
+    fn bump_affected(
+        &mut self,
+        now: Time,
+        q: &mut EventQueue<TopoEv>,
+        pred: impl Fn(&Route) -> bool,
+    ) {
+        let reroute_at = now + self.cfg.reroute_delay;
+        for (fi, r) in self.rt.iter_mut().enumerate() {
+            if r.status != RtStatus::Active {
+                continue;
+            }
+            let affected = r.routes[r.epoch as usize].as_ref().is_some_and(&pred);
+            if !affected {
+                continue;
+            }
+            r.epoch += 1;
+            r.routes.push(None);
+            q.schedule(
+                reroute_at,
+                TopoEv::Reroute {
+                    flow: fi as u32,
+                    epoch: r.epoch,
+                },
+            );
+        }
+    }
+}
+
+impl World for TopoWorld {
+    type Event = TopoEv;
+
+    fn handle(&mut self, now: Time, ev: TopoEv, q: &mut EventQueue<TopoEv>) {
+        match ev {
+            TopoEv::Demand { flow, epoch } => {
+                let fi = flow as usize;
+                let token = pack(flow, epoch);
+                let (h0, bytes, limit, bk) = {
+                    let r = &self.rt[fi];
+                    if r.epoch != epoch || r.status != RtStatus::Active {
+                        return;
+                    }
+                    let route = r.routes[epoch as usize].as_ref().expect("active route");
+                    // Single-hop messages batch by end-to-end pair (the
+                    // legacy §3.1.2 behavior — the whole path delivers
+                    // the mega's per-offer boundaries). Multi-hop
+                    // messages must never fold with another flow: the
+                    // forwarded chunks carry one token each.
+                    let bk = if route.hops.len() == 1 {
+                        batch_key(&self.flows[fi], epoch)
+                    } else {
+                        token
+                    };
+                    (
+                        route.hops[0],
+                        r.inject_bytes,
+                        route_limit(&self.cfg, route),
+                        bk,
+                    )
+                };
+                if !self.topo.switch_up(h0.switch) {
+                    return; // covered by the epoch bump; defensive
+                }
+                let offer = DomainOffer {
+                    src: h0.in_port,
+                    dst: h0.out_port,
+                    bytes,
+                    limit,
+                    batch_key: bk,
+                    token,
+                };
+                let dom = &mut self.domains[h0.switch as usize];
+                if dom.offer(now, offer) && dom.note_poll_wanted(now) {
+                    q.schedule(now, TopoEv::Poll { switch: h0.switch });
+                }
+            }
+            TopoEv::Poll { switch } => {
+                if !self.topo.switch_up(switch) {
+                    return;
+                }
+                if !self.domains[switch as usize].poll_due(now) {
+                    return;
+                }
+                self.run_poll(switch, now, q);
+            }
+            TopoEv::Chunk {
+                token,
+                from_switch,
+                slot,
+                bytes,
+                last,
+            } => {
+                let from_switch = from_switch as u32;
+                let (fi, ep) = unpack(token);
+                // The next element comes from the flow's route (resident
+                // also for stale epochs), keeping the event itself small.
+                let next = {
+                    let route = self.rt[fi].routes[ep as usize]
+                        .as_ref()
+                        .expect("chunk of an offered epoch");
+                    let h = route
+                        .hops
+                        .iter()
+                        .find(|h| h.switch == from_switch)
+                        .expect("chunk granted on its route");
+                    self.topo.link_far_end(h.out_link, from_switch)
+                };
+                let is_final = matches!(next, Endpoint::Node(_));
+                // 1. Bookkeeping at the granting switch: its egress port
+                //    really carried the chunk, so the message state
+                //    advances and backlogged demand is admitted — also for
+                //    zombie chunks (blackholed bandwidth is still spent).
+                if self.topo.switch_up(from_switch) {
+                    let TopoWorld {
+                        domains, rt, flows, ..
+                    } = self;
+                    let dom = &mut domains[from_switch as usize];
+                    let want_poll = dom.deliver(now, slot, bytes, last, |tok, sub_bytes| {
+                        if !is_final {
+                            return;
+                        }
+                        let (cfi, cep) = unpack(tok);
+                        let r = &mut rt[cfi];
+                        // Late bytes of a pre-fault epoch were already
+                        // re-sent; crediting them would double-count.
+                        if r.epoch != cep || r.status != RtStatus::Active {
+                            return;
+                        }
+                        r.delivered += sub_bytes;
+                        if r.delivered >= flows[cfi].size {
+                            debug_assert_eq!(r.delivered, flows[cfi].size);
+                            r.status = RtStatus::Done(now);
+                        }
+                    });
+                    if want_poll && dom.has_demand() && dom.note_poll_wanted(now) {
+                        q.schedule(
+                            now,
+                            TopoEv::Poll {
+                                switch: from_switch,
+                            },
+                        );
+                    }
+                }
+                // 2. Forward to the next switch (arrival = implicit
+                //    notification), unless the chunk is stale or the
+                //    switch is gone.
+                if let Endpoint::Port { switch: sw2, .. } = next {
+                    let (h, limit) = {
+                        let r = &self.rt[fi];
+                        if r.epoch != ep || r.status != RtStatus::Active {
+                            return;
+                        }
+                        if !self.topo.switch_up(sw2) {
+                            return;
+                        }
+                        let route = r.routes[ep as usize]
+                            .as_ref()
+                            .expect("route for the offered epoch");
+                        let h = *route
+                            .hops
+                            .iter()
+                            .find(|h| h.switch == sw2)
+                            .expect("chunk follows its route");
+                        (h, route_limit(&self.cfg, route))
+                    };
+                    let offer = DomainOffer {
+                        src: h.in_port,
+                        dst: h.out_port,
+                        bytes,
+                        limit,
+                        // Forwarded chunks carry a single token, so only
+                        // same-flow chunks may fold into one message —
+                        // a cross-flow mega would credit every byte to
+                        // its head flow at the destination.
+                        batch_key: token,
+                        token,
+                    };
+                    let dom = &mut self.domains[sw2 as usize];
+                    if dom.offer(now, offer) {
+                        // Uncontended store-and-forward hop: the chunk is
+                        // the switch's only demand and its ports are free,
+                        // so the round's outcome is forced — run it inline
+                        // instead of paying a poll event. (Never taken at
+                        // hop 0, preserving 1-switch bit-identity.)
+                        if dom.sole_eligible_demand(now, h.in_port, h.out_port) {
+                            self.run_poll(sw2, now, q);
+                        } else if dom.note_poll_wanted(now) {
+                            q.schedule(now, TopoEv::Poll { switch: sw2 });
+                        }
+                    }
+                }
+            }
+            TopoEv::Fault { idx } => {
+                let fault = self.cfg.faults[idx as usize];
+                match fault.kind {
+                    FaultKind::LinkDown(l) => {
+                        self.topo.set_link_up(l, false);
+                        self.bump_affected(now, q, |route| route.uses_link(l));
+                    }
+                    FaultKind::SwitchDown(s) => {
+                        self.topo.set_switch_up(s, false);
+                        self.bump_affected(now, q, |route| route.uses_switch(s));
+                    }
+                    FaultKind::DegradeLink { link, extra } => {
+                        // Latency-only: routes keep flowing, slower.
+                        self.topo.degrade_link(link, extra);
+                    }
+                }
+            }
+            TopoEv::Reroute { flow, epoch } => {
+                let fi = flow as usize;
+                if self.rt[fi].epoch != epoch || self.rt[fi].status != RtStatus::Active {
+                    return;
+                }
+                let f = self.flows[fi];
+                let (ds, dd) = f.data_direction();
+                match self.topo.route(ds as usize, dd as usize, f.id as u64) {
+                    Some(route) => {
+                        let r = &mut self.rt[fi];
+                        r.routes[epoch as usize] = Some(route);
+                        debug_assert!(f.size > r.delivered, "completed flows are never bumped");
+                        r.inject_bytes = f.size - r.delivered;
+                        self.reroutes += 1;
+                        let base = now.max(f.arrival);
+                        let t = self.demand_time(fi, base);
+                        q.schedule(t, TopoEv::Demand { flow, epoch });
+                    }
+                    None => self.rt[fi].status = RtStatus::Failed(now),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_topology;
+    use crate::topology::{LeafSpine, LinkParams};
+    use edm_core::sim::FabricProtocol;
+
+    fn write_flow(id: usize, src: usize, dst: usize, size: u32, at_ns: u64) -> Flow {
+        Flow {
+            id,
+            src,
+            dst,
+            size,
+            arrival: Time::from_ns(at_ns),
+            kind: FlowKind::Write,
+        }
+    }
+
+    #[test]
+    fn single_switch_matches_legacy_exactly() {
+        let cluster = ClusterConfig {
+            nodes: 8,
+            ..ClusterConfig::default()
+        };
+        let mut legacy = EdmProtocol::default();
+        let flows: Vec<Flow> = (0..6)
+            .map(|i| write_flow(i, i % 4, 4 + (i % 4), 64 + 100 * i as u32, 10 * i as u64))
+            .collect();
+        let expect = legacy.simulate(&cluster, &flows);
+        let topo = cluster_topology(&cluster);
+        let cfg = TopoEdmConfig::matching(&cluster, &legacy);
+        let got = TopoEdm::new(cfg).simulate(&topo, &flows);
+        for (a, b) in expect.outcomes.iter().zip(&got.outcomes) {
+            assert_eq!(FlowStatus::Delivered(a.completed), b.status, "{:?}", a.flow);
+        }
+        assert_eq!(got.reroutes, 0);
+    }
+
+    #[test]
+    fn cross_leaf_flow_pays_the_extra_hops() {
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 2, 4, 2));
+        let proto = TopoEdm::default();
+        let local = proto.solo_mct(&topo, &write_flow(0, 0, 1, 256, 0)).unwrap();
+        let remote = proto.solo_mct(&topo, &write_flow(0, 0, 5, 256, 0)).unwrap();
+        assert!(
+            remote > local,
+            "cross-leaf {remote} must exceed same-leaf {local}"
+        );
+        // Two extra store-and-forward hops: bounded, not a blowup.
+        assert!(remote < 3 * local, "remote {remote} vs local {local}");
+    }
+
+    #[test]
+    fn reads_cross_the_fabric_too() {
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 1, 4, 1));
+        let proto = TopoEdm::default();
+        let flows = vec![Flow {
+            id: 0,
+            src: 0,
+            dst: 6,
+            size: 256,
+            arrival: Time::ZERO,
+            kind: FlowKind::Read,
+        }];
+        let r = proto.simulate(&topo, &flows);
+        assert_eq!(r.delivered(), 1);
+        let mct = r.outcomes[0].mct().unwrap();
+        let write_mct = proto.solo_mct(&topo, &write_flow(0, 0, 6, 256, 0)).unwrap();
+        // The read pays the RREQ's extra trunk forwarding on top of the
+        // write shape.
+        assert!(mct > write_mct, "read {mct} vs write {write_mct}");
+    }
+
+    #[test]
+    fn trunk_contention_serializes_but_completes() {
+        // 8 cross-leaf flows share one uplink (1 spine, 1 uplink): the
+        // trunk pair aggregates them; everything must drain.
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 1, 8, 1));
+        let flows: Vec<Flow> = (0..8).map(|i| write_flow(i, i, 8 + i, 4096, 0)).collect();
+        let r = TopoEdm::default().simulate(&topo, &flows);
+        assert_eq!(r.delivered(), 8);
+    }
+
+    #[test]
+    fn mixed_ip_traffic_adds_latency_but_everything_completes() {
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(4, 2, 8, 4));
+        let flows: Vec<Flow> = (0..64)
+            .map(|i| write_flow(i, i % 16, 16 + (i % 16), 256, 50 * i as u64))
+            .collect();
+        let clean = TopoEdm::default().simulate(&topo, &flows);
+        let mut cfg = TopoEdmConfig {
+            ip: IpTraffic {
+                fraction: 0.6,
+                preemption: false,
+                ..IpTraffic::default()
+            },
+            ..TopoEdmConfig::default()
+        };
+        let loaded = TopoEdm::new(cfg.clone()).simulate(&topo, &flows);
+        assert_eq!(loaded.delivered(), 64);
+        assert!(loaded.ip_frames > 0);
+        assert!(
+            loaded.mean_mct() > clean.mean_mct(),
+            "IP interference must cost latency: {} vs {}",
+            loaded.mean_mct(),
+            clean.mean_mct()
+        );
+        // Preemption caps the interference far below frame waits.
+        cfg.ip.preemption = true;
+        let preempt = TopoEdm::new(cfg).simulate(&topo, &flows);
+        assert_eq!(preempt.delivered(), 64);
+        assert!(
+            preempt.mean_mct() < loaded.mean_mct(),
+            "preemption {} must beat store-and-wait {}",
+            preempt.mean_mct(),
+            loaded.mean_mct()
+        );
+    }
+
+    #[test]
+    fn degraded_trunk_slows_exactly_by_the_added_latency() {
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 1, 2, 1));
+        let flow = write_flow(0, 0, 2, 64, 0); // one chunk, cross-leaf
+        let proto = TopoEdm::default();
+        let clean = proto.simulate(&topo, &[flow]).outcomes[0].mct().unwrap();
+        let route = topo.route(0, 2, 0).unwrap();
+        let extra = Duration::from_ns(500);
+        let cfg = TopoEdmConfig {
+            faults: vec![FaultEvent {
+                at: Time::ZERO,
+                kind: FaultKind::DegradeLink {
+                    link: route.hops[0].out_link,
+                    extra,
+                },
+            }],
+            ..TopoEdmConfig::default()
+        };
+        let slow = TopoEdm::new(cfg).simulate(&topo, &[flow]).outcomes[0]
+            .mct()
+            .unwrap();
+        // The single chunk crosses the degraded leaf→spine trunk once.
+        assert_eq!(slow, clean + extra);
+    }
+
+    #[test]
+    fn batching_with_cross_leaf_hot_pair_delivers_every_flow() {
+        // Regression: X=1 everywhere forces §3.1.2 mega-batching of a hot
+        // cross-leaf pair's backlog. Multi-hop messages must not fold
+        // distinct flows into one message (the forwarded chunks carry a
+        // single token), or every byte is credited to the head flow and
+        // the rest stall.
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 1, 4, 1));
+        let cfg = TopoEdmConfig {
+            batch_small_messages: true,
+            max_active_per_pair: 1,
+            trunk_max_active_per_pair: 1,
+            ..TopoEdmConfig::default()
+        };
+        let flows: Vec<Flow> = (0..5)
+            .map(|i| write_flow(i, 0, 4, 4096, i as u64))
+            .collect();
+        let r = TopoEdm::new(cfg.clone()).simulate(&topo, &flows);
+        assert_eq!(r.delivered(), 5, "every batched cross-leaf flow delivers");
+        // Same-pair order still holds end-to-end.
+        let done = |o: &TopoOutcome| match o.status {
+            FlowStatus::Delivered(t) => t,
+            FlowStatus::Failed(t) => panic!("unexpected failure at {t}"),
+        };
+        for w in r.outcomes.windows(2) {
+            assert!(done(&w[0]) <= done(&w[1]), "pair order violated");
+        }
+        // Same-leaf hot pair with batching still folds and delivers too.
+        let local: Vec<Flow> = (0..5)
+            .map(|i| write_flow(i, 0, 2, 4096, i as u64))
+            .collect();
+        let r = TopoEdm::new(cfg).simulate(&topo, &local);
+        assert_eq!(r.delivered(), 5);
+    }
+
+    #[test]
+    fn isolated_destination_fails_deterministically() {
+        let mut topo = Topology::single_switch(4, LinkParams::default());
+        topo.set_link_up(3, false);
+        let flows = vec![write_flow(0, 0, 3, 64, 0), write_flow(1, 0, 1, 64, 0)];
+        let r = TopoEdm::default().simulate(&topo, &flows);
+        assert_eq!(r.outcomes[0].status, FlowStatus::Failed(Time::ZERO));
+        assert!(matches!(r.outcomes[1].status, FlowStatus::Delivered(_)));
+    }
+}

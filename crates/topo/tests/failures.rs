@@ -1,0 +1,164 @@
+//! Failure injection at scale: spine/link kills mid-run must reroute or
+//! fail affected flows deterministically while leaving disjoint flows'
+//! latencies bit-identical to a fault-free run.
+
+use edm_core::sim::{Flow, FlowKind};
+use edm_sim::{Duration, Time};
+use edm_topo::{FaultEvent, FaultKind, FlowStatus, LeafSpine, TopoEdm, TopoEdmConfig, Topology};
+use edm_workloads::SyntheticWorkload;
+
+fn write_flow(id: usize, src: usize, dst: usize, size: u32, at_ns: u64) -> Flow {
+    Flow {
+        id,
+        src,
+        dst,
+        size,
+        arrival: Time::from_ns(at_ns),
+        kind: FlowKind::Write,
+    }
+}
+
+/// 4 leaves × 4 hosts, 2 spines (switches 4 and 5), one uplink each.
+/// ECMP salt is the flow id: even ids ride spine 4, odd ids spine 5.
+fn fabric() -> Topology {
+    Topology::leaf_spine(LeafSpine::symmetric(4, 2, 4, 1))
+}
+
+/// The three probes: A crosses spine 4 (leaves 0→1), B crosses spine 5
+/// (leaves 2→3), C stays inside leaf 3 — A is disjoint from B and C in
+/// every switch and link it touches.
+fn probes() -> Vec<Flow> {
+    vec![
+        write_flow(0, 0, 4, 2_000_000, 0),  // A: via spine 4, long-lived
+        write_flow(1, 8, 12, 2_000_000, 0), // B: via spine 5, long-lived
+        write_flow(3, 13, 14, 4096, 5_000), // C: same-leaf mouse
+    ]
+}
+
+#[test]
+fn spine_kill_reroutes_affected_and_leaves_others_bit_identical() {
+    let topo = fabric();
+    let flows = probes();
+    let base = TopoEdm::default().simulate(&topo, &flows);
+    assert_eq!(base.delivered(), 3);
+
+    let cfg = TopoEdmConfig {
+        faults: vec![FaultEvent {
+            at: Time::from_us(20),
+            kind: FaultKind::SwitchDown(4),
+        }],
+        ..TopoEdmConfig::default()
+    };
+    let hit = TopoEdm::new(cfg).simulate(&topo, &flows);
+    assert_eq!(hit.delivered(), 3, "spine 5 remains: everything reroutes");
+    assert_eq!(hit.reroutes, 1, "only flow A crossed spine 4");
+
+    // A is mid-flight at the kill: it must finish later than fault-free.
+    let (base_a, hit_a) = (
+        base.outcomes[0].mct().unwrap(),
+        hit.outcomes[0].mct().unwrap(),
+    );
+    assert!(
+        hit_a > base_a,
+        "rerouted flow must pay for the failure: {hit_a} vs {base_a}"
+    );
+
+    // B and C share no switch or link with A: their completion times are
+    // bit-identical to the fault-free run.
+    for i in [1, 2] {
+        assert_eq!(
+            base.outcomes[i].status, hit.outcomes[i].status,
+            "disjoint flow {i} must be unaffected"
+        );
+    }
+}
+
+#[test]
+fn fabric_partition_fails_deterministically() {
+    let topo = fabric();
+    let flows = probes();
+    let fault_at = Time::from_us(20);
+    let cfg = TopoEdmConfig {
+        faults: vec![
+            FaultEvent {
+                at: fault_at,
+                kind: FaultKind::SwitchDown(4),
+            },
+            FaultEvent {
+                at: fault_at,
+                kind: FaultKind::SwitchDown(5),
+            },
+        ],
+        ..TopoEdmConfig::default()
+    };
+    let base = TopoEdm::default().simulate(&topo, &flows);
+    let hit = TopoEdm::new(cfg.clone()).simulate(&topo, &flows);
+    // Both cross-leaf flows are cut mid-flight; the exact failure instant
+    // is the fault plus the detection delay.
+    let expect_fail = FlowStatus::Failed(fault_at + cfg.reroute_delay);
+    assert_eq!(hit.outcomes[0].status, expect_fail);
+    assert_eq!(hit.outcomes[1].status, expect_fail);
+    // The same-leaf mouse never touches a spine.
+    assert_eq!(hit.outcomes[2].status, base.outcomes[2].status);
+    assert_eq!(hit.reroutes, 0);
+}
+
+#[test]
+fn trunk_link_down_reroutes_over_the_parallel_trunk() {
+    // Two parallel uplinks per spine: killing one trunk leaves a
+    // same-spine alternative.
+    let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 1, 4, 2));
+    let flow = write_flow(0, 0, 4, 2_000_000, 0);
+    let base = TopoEdm::default().simulate(&topo, &[flow]);
+    let used = topo.route(0, 4, 0).unwrap().hops[0].out_link;
+    let cfg = TopoEdmConfig {
+        faults: vec![FaultEvent {
+            at: Time::from_us(20),
+            kind: FaultKind::LinkDown(used),
+        }],
+        ..TopoEdmConfig::default()
+    };
+    let hit = TopoEdm::new(cfg).simulate(&topo, &[flow]);
+    assert_eq!(hit.delivered(), 1);
+    assert_eq!(hit.reroutes, 1);
+    assert!(hit.outcomes[0].mct().unwrap() > base.outcomes[0].mct().unwrap());
+}
+
+#[test]
+fn spine_kill_at_scale_is_deterministic_and_total() {
+    // 72 nodes across 4 leaves, 2 spines — a loaded fabric with hundreds
+    // of concurrent flows when spine 4 dies mid-run. Every flow must
+    // reach a terminal state (spine 5 absorbs everything reroutable) and
+    // the whole run must be bit-reproducible.
+    let topo = Topology::leaf_spine(LeafSpine::symmetric(4, 2, 18, 9));
+    let flows = SyntheticWorkload {
+        nodes: 72,
+        link: edm_sim::Bandwidth::from_gbps(100),
+        load: 0.5,
+        size: 1024,
+        write_fraction: 0.5,
+        count: 600,
+    }
+    .generate(42);
+    let span = flows.last().unwrap().arrival;
+    let cfg = TopoEdmConfig {
+        faults: vec![FaultEvent {
+            at: Time::ZERO + span.saturating_since(Time::ZERO) / 3,
+            kind: FaultKind::SwitchDown(4),
+        }],
+        reroute_delay: Duration::from_us(2),
+        ..TopoEdmConfig::default()
+    };
+    let a = TopoEdm::new(cfg.clone()).simulate(&topo, &flows);
+    assert_eq!(
+        a.delivered(),
+        600,
+        "one live spine still connects all leaves"
+    );
+    assert!(a.reroutes > 0, "the kill must land mid-run");
+    let b = TopoEdm::new(cfg).simulate(&topo, &flows);
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.status, y.status, "simulation must be deterministic");
+    }
+    assert_eq!(a.reroutes, b.reroutes);
+}

@@ -1,0 +1,179 @@
+//! Property-based tests for the topology subsystem: every (src, dst)
+//! pair routes over a valid path, hop counts match the tier structure,
+//! and the 1-switch topology is bit-identical to the legacy single-switch
+//! `EdmWorld` path.
+
+use edm_core::sim::{ClusterConfig, EdmProtocol, FabricProtocol, Flow, FlowKind};
+use edm_sim::Time;
+use edm_topo::world::FlowStatus;
+use edm_topo::{cluster_topology, Endpoint, LeafSpine, Route, TopoEdm, TopoEdmConfig, Topology};
+use proptest::prelude::*;
+
+/// Structural validity of one route: every hop's ports are in range, the
+/// out link really connects hop k to hop k+1 (matching ports), the first
+/// hop starts at the source's attachment, and the last hop's out link
+/// reaches the destination node.
+fn assert_route_valid(t: &Topology, src: usize, dst: usize, r: &Route) {
+    assert_eq!(r.src_link, t.node_link(src), "hop 0 starts at the source");
+    let (s_sw, s_port) = t.attach(src);
+    assert_eq!((r.hops[0].switch, r.hops[0].in_port), (s_sw, s_port));
+    for h in &r.hops {
+        assert!(t.switch_up(h.switch), "route crosses a live switch");
+        assert!((h.in_port as usize) < t.switch_ports(h.switch));
+        assert!((h.out_port as usize) < t.switch_ports(h.switch));
+        assert!(t.link(h.out_link).is_up(), "route crosses live links");
+    }
+    for w in r.hops.windows(2) {
+        match t.link_far_end(w[0].out_link, w[0].switch) {
+            Endpoint::Port { switch, port } => {
+                assert_eq!(switch, w[1].switch, "links connect consecutive hops");
+                assert_eq!(port, w[1].in_port, "far port is the next in_port");
+            }
+            Endpoint::Node(n) => panic!("mid-route link ends at node {n}"),
+        }
+    }
+    let last = r.hops.last().unwrap();
+    match t.link_far_end(last.out_link, last.switch) {
+        Endpoint::Node(n) => assert_eq!(n as usize, dst, "route reaches dst"),
+        other => panic!("route ends at {other:?}, not node {dst}"),
+    }
+}
+
+proptest! {
+    /// Leaf–spine fabrics of random shape: every ordered pair routes,
+    /// same-leaf pairs in one hop, cross-leaf pairs in exactly three
+    /// (leaf → spine → leaf), and every route is structurally valid.
+    #[test]
+    fn leaf_spine_routing_matches_tiers(
+        leaves in 2usize..6,
+        spines in 1usize..4,
+        npl in 2usize..6,
+        uplinks in 1usize..3,
+        salt in any::<u64>(),
+    ) {
+        let t = Topology::leaf_spine(LeafSpine::symmetric(leaves, spines, npl, uplinks));
+        let nodes = leaves * npl;
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                if src == dst {
+                    continue;
+                }
+                let r = t.route(src, dst, salt).expect("healthy fabric routes all pairs");
+                let same_leaf = src / npl == dst / npl;
+                prop_assert_eq!(r.hops.len(), if same_leaf { 1 } else { 3 });
+                assert_route_valid(&t, src, dst, &r);
+            }
+        }
+    }
+
+    /// Arbitrary connected adjacency: a random spanning path plus random
+    /// extra trunks; all pairs must route over valid paths no longer than
+    /// the switch count.
+    #[test]
+    fn arbitrary_adjacency_routes_all_pairs(
+        switches in 2usize..7,
+        attach_seed in any::<u64>(),
+        extra in proptest::collection::vec((0u32..7, 0u32..7), 0..6),
+        salt in any::<u64>(),
+    ) {
+        // One node per switch guarantees every switch is a leaf; a
+        // spanning path guarantees connectivity.
+        let attach: Vec<u32> = (0..switches as u32).collect();
+        let mut trunks: Vec<(u32, u32)> = (1..switches as u32).map(|s| {
+            // Each switch links to a pseudo-random earlier one: a tree.
+            let parent = (attach_seed.wrapping_mul(0x9E37_79B9).wrapping_add(s as u64 * 7) % s as u64) as u32;
+            (parent, s)
+        }).collect();
+        for &(a, b) in &extra {
+            let (a, b) = (a % switches as u32, b % switches as u32);
+            if a != b {
+                trunks.push((a.min(b), a.max(b)));
+            }
+        }
+        let t = Topology::from_adjacency(
+            switches,
+            &attach,
+            &trunks,
+            Default::default(),
+            Default::default(),
+        );
+        for src in 0..switches {
+            for dst in 0..switches {
+                if src == dst {
+                    continue;
+                }
+                let r = t.route(src, dst, salt).expect("connected graph routes all pairs");
+                prop_assert!(r.hops.len() <= switches, "no loops");
+                let expect_hops = t.switch_distance(attach[src], attach[dst]).unwrap() + 1;
+                prop_assert_eq!(r.hops.len(), expect_hops, "route follows shortest paths");
+                assert_route_valid(&t, src, dst, &r);
+            }
+        }
+    }
+
+    /// The degenerate 1-switch topology is bit-identical to the legacy
+    /// single-switch simulator: same flows, exactly equal per-flow
+    /// completion times — including the X-limit backlog and §3.1.2
+    /// mega-batching paths.
+    #[test]
+    fn single_switch_bit_identical_to_legacy(
+        specs in proptest::collection::vec(
+            (0usize..8, 8usize..16, 1u32..4096, 0u64..10_000, any::<bool>()),
+            1..40,
+        ),
+        batching in any::<bool>(),
+        x in 1usize..5,
+    ) {
+        let cluster = ClusterConfig { nodes: 16, ..ClusterConfig::default() };
+        let flows: Vec<Flow> = specs
+            .iter()
+            .enumerate()
+            .map(|(id, &(src, dst, size, at, is_write))| Flow {
+                id,
+                src,
+                dst,
+                size,
+                arrival: Time::from_ns(at),
+                kind: if is_write { FlowKind::Write } else { FlowKind::Read },
+            })
+            .collect();
+        let mut legacy = EdmProtocol {
+            batch_small_messages: batching,
+            max_active_per_pair: x,
+            ..EdmProtocol::default()
+        };
+        let expect = legacy.simulate(&cluster, &flows);
+        let got = TopoEdm::new(TopoEdmConfig::matching(&cluster, &legacy))
+            .simulate(&cluster_topology(&cluster), &flows);
+        prop_assert_eq!(got.outcomes.len(), expect.outcomes.len());
+        for (a, b) in expect.outcomes.iter().zip(&got.outcomes) {
+            prop_assert_eq!(
+                FlowStatus::Delivered(a.completed),
+                b.status,
+                "flow {:?} diverged",
+                a.flow
+            );
+        }
+        prop_assert_eq!(got.reroutes, 0);
+        prop_assert_eq!(got.failed(), 0);
+    }
+
+    /// ECMP determinism: the same (topology, flow, salt) always yields
+    /// the same route, and routes never cross down elements.
+    #[test]
+    fn routing_is_deterministic_and_avoids_down_elements(
+        kill_spine in 0usize..3,
+        salt in any::<u64>(),
+    ) {
+        let mut t = Topology::leaf_spine(LeafSpine::symmetric(3, 3, 3, 2));
+        let dead = (3 + kill_spine) as u32;
+        t.set_switch_up(dead, false);
+        for (src, dst) in [(0usize, 4usize), (1, 7), (8, 2)] {
+            let a = t.route(src, dst, salt).expect("two spines remain");
+            let b = t.route(src, dst, salt).unwrap();
+            prop_assert_eq!(&a, &b, "same salt, same route");
+            prop_assert!(!a.uses_switch(dead), "route avoids the dead spine");
+            assert_route_valid(&t, src, dst, &a);
+        }
+    }
+}

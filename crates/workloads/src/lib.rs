@@ -19,6 +19,6 @@ pub mod synthetic;
 pub mod traces;
 pub mod ycsb;
 
-pub use synthetic::SyntheticWorkload;
+pub use synthetic::{RackAwareWorkload, SyntheticWorkload};
 pub use traces::AppTrace;
 pub use ycsb::{YcsbOp, YcsbWorkload};

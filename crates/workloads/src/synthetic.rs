@@ -112,6 +112,128 @@ impl SyntheticWorkload {
     }
 }
 
+/// Rack-aware all-to-all traffic for multi-switch fabrics.
+///
+/// Nodes are divided into `racks` equal contiguous blocks (matching
+/// `edm_topo`'s leaf attachment order); within each rack the first half
+/// are compute nodes, the second half memory nodes. Each compute node
+/// issues Poisson requests; a configurable fraction target same-rack
+/// memory, the rest uniformly random memory in *other* racks — the knob
+/// that moves traffic on or off the spine trunks.
+#[derive(Debug, Clone, Copy)]
+pub struct RackAwareWorkload {
+    /// Total nodes; must divide evenly into racks of even size.
+    pub nodes: usize,
+    /// Number of racks (= leaf switches).
+    pub racks: usize,
+    /// Link bandwidth (for load calibration).
+    pub link: Bandwidth,
+    /// Offered load fraction in `(0, 1]` of each memory link.
+    pub load: f64,
+    /// Data bytes per message.
+    pub size: u32,
+    /// Fraction of messages that are writes (the rest are reads).
+    pub write_fraction: f64,
+    /// Fraction of requests that stay inside the issuing rack.
+    pub local_fraction: f64,
+    /// Number of messages to generate.
+    pub count: usize,
+}
+
+impl RackAwareWorkload {
+    /// Nodes per rack.
+    pub fn nodes_per_rack(&self) -> usize {
+        self.nodes / self.racks
+    }
+
+    /// Memory nodes of one rack: the second half of its block.
+    fn rack_memory(&self, rack: usize) -> std::ops::Range<usize> {
+        let npr = self.nodes_per_rack();
+        (rack * npr + npr / 2)..((rack + 1) * npr)
+    }
+
+    /// Generates the flow list, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless nodes divide evenly into racks of even size ≥ 2,
+    /// and `load` is in range.
+    pub fn generate(&self, seed: u64) -> Vec<Flow> {
+        assert!(self.racks >= 1, "need a rack");
+        assert!(
+            self.nodes.is_multiple_of(self.racks),
+            "nodes must divide into racks"
+        );
+        let npr = self.nodes_per_rack();
+        assert!(
+            npr >= 2 && npr.is_multiple_of(2),
+            "racks need even size >= 2"
+        );
+        assert!(
+            self.racks > 1 || self.local_fraction >= 1.0 - f64::EPSILON,
+            "one rack cannot host remote traffic"
+        );
+        // Load calibration as in [`SyntheticWorkload::mean_gap`]; the
+        // compute:memory split is 1:1, so the per-compute rate is
+        // `load × B / size` regardless of locality.
+        let gap = SyntheticWorkload {
+            nodes: self.nodes,
+            link: self.link,
+            load: self.load,
+            size: self.size,
+            write_fraction: self.write_fraction,
+            count: self.count,
+        }
+        .mean_gap();
+        let mut rng = Rng::seed_from(seed);
+        let half = npr / 2;
+        let computes: Vec<usize> = (0..self.nodes).filter(|n| n % npr < half).collect();
+        let mut next_at: Vec<Time> = computes
+            .iter()
+            .map(|_| Time::ZERO + rng.exp_duration(gap))
+            .collect();
+        let mut flows = Vec::with_capacity(self.count);
+        for id in 0..self.count {
+            let (ci, _) = next_at
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &t)| t)
+                .expect("non-empty");
+            let arrival = next_at[ci];
+            next_at[ci] = arrival + rng.exp_duration(gap);
+            let src = computes[ci];
+            let rack = src / npr;
+            let dst = if self.racks == 1 || rng.chance(self.local_fraction) {
+                let m = self.rack_memory(rack);
+                m.start + rng.below(half as u64) as usize
+            } else {
+                // Uniform over other racks' memory nodes.
+                let pick = rng.below(((self.racks - 1) * half) as u64) as usize;
+                let mut other = pick / half;
+                if other >= rack {
+                    other += 1;
+                }
+                self.rack_memory(other).start + pick % half
+            };
+            let kind = if rng.chance(self.write_fraction) {
+                FlowKind::Write
+            } else {
+                FlowKind::Read
+            };
+            flows.push(Flow {
+                id,
+                src,
+                dst,
+                size: self.size,
+                arrival,
+                kind,
+            });
+        }
+        flows.sort_by_key(|f| f.arrival);
+        flows
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +318,59 @@ mod tests {
         assert_eq!(w.compute_nodes(), 72);
         assert_eq!(w.memory_nodes(), 72);
         assert_eq!(w.generate(1).len(), 10);
+    }
+
+    fn rack_wl(local: f64) -> RackAwareWorkload {
+        RackAwareWorkload {
+            nodes: 32,
+            racks: 4,
+            link: Bandwidth::from_gbps(100),
+            load: 0.6,
+            size: 64,
+            write_fraction: 0.5,
+            local_fraction: local,
+            count: 4000,
+        }
+    }
+
+    #[test]
+    fn rack_roles_are_respected() {
+        for f in rack_wl(0.5).generate(7) {
+            assert!(f.src % 8 < 4, "sources are rack-local compute nodes");
+            assert!(f.dst % 8 >= 4, "destinations are memory nodes");
+        }
+    }
+
+    #[test]
+    fn rack_locality_fraction_is_calibrated() {
+        for target in [0.0, 0.5, 1.0] {
+            let flows = rack_wl(target).generate(11);
+            let local = flows.iter().filter(|f| f.src / 8 == f.dst / 8).count();
+            let frac = local as f64 / flows.len() as f64;
+            assert!(
+                (frac - target).abs() < 0.05,
+                "local fraction {frac} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn rack_workload_deterministic_and_sorted() {
+        let a = rack_wl(0.3).generate(5);
+        assert_eq!(a, rack_wl(0.3).generate(5));
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn single_rack_degenerates_to_local_traffic() {
+        let w = RackAwareWorkload {
+            racks: 1,
+            nodes: 8,
+            local_fraction: 1.0,
+            ..rack_wl(1.0)
+        };
+        for f in w.generate(3) {
+            assert!(f.src < 4 && f.dst >= 4);
+        }
     }
 }

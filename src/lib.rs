@@ -16,7 +16,8 @@
 //!
 //! See the crate-level docs of each member for the full story:
 //! [`edm_core`] (the paper's contribution), [`edm_phy`], [`edm_sched`],
-//! [`edm_memory`], [`edm_baselines`], [`edm_workloads`], [`edm_sim`].
+//! [`edm_memory`], [`edm_baselines`], [`edm_workloads`], [`edm_topo`]
+//! (multi-switch fabrics), [`edm_sim`].
 
 #![forbid(unsafe_code)]
 
@@ -27,4 +28,5 @@ pub use edm_memory as memory;
 pub use edm_phy as phy;
 pub use edm_sched as sched;
 pub use edm_sim as sim;
+pub use edm_topo as topo;
 pub use edm_workloads as workloads;
