@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use edm_baselines::prelude::*;
 use edm_bench::scenarios;
 use edm_core::sim::{ClusterConfig, EdmProtocol, FabricProtocol};
+use edm_topo::TopoEdm;
 use std::hint::black_box;
 
 fn bench_protocols(c: &mut Criterion) {
@@ -87,9 +88,23 @@ fn bench_sparse_regime(c: &mut Criterion) {
     }
 }
 
+/// Multi-switch end-to-end: the 288-node leaf–spine acceptance scenario
+/// (4 leaves x 72 hosts, 2 spines, 50% rack-local traffic at load 0.6).
+/// Every chunk hop pays the event queue several times, so this is the
+/// fabric-side view of event-engine cost.
+fn bench_topo(c: &mut Criterion) {
+    let topo = scenarios::leaf_spine_288(1);
+    let flows = scenarios::rack_flows_288(0.6, 0.5, 500);
+    let mut g = c.benchmark_group("topo/leaf_spine_288");
+    g.bench_function("500_flows", |b| {
+        b.iter(|| black_box(TopoEdm::default().simulate(&topo, &flows).delivered()))
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_protocols, bench_sparse_regime
+    targets = bench_protocols, bench_sparse_regime, bench_topo
 }
 criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for the DES event queue: the classic *hold model*
+//! (steady-state pop-one/schedule-one churn at a fixed queue size N,
+//! from [`edm_bench::hold`]) for the calendar queue against the dense
+//! binary-heap reference it replaced. The calendar queue's point is
+//! that per-op cost stays flat as N grows while the heap pays log N.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_bench::hold;
+use edm_sim::{BinaryHeapEventQueue, EventQueue};
+use std::hint::black_box;
+
+/// Hold operations per timed batch.
+const HOLD_OPS: usize = 1_024;
+
+fn bench_hold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/event_queue");
+    for &n in &[64usize, 1_024, 16_384, 131_072] {
+        // The queue persists across iterations (hold is balanced, so the
+        // size stays at n): this measures warm steady-state churn, not
+        // the cost of first-touching a freshly built queue.
+        g.bench_function(format!("calendar_hold/{n}"), |b| {
+            let (mut q, mut rng) = hold::prefill::<EventQueue<u64>>(n);
+            b.iter(|| black_box(hold::run(&mut q, &mut rng, HOLD_OPS)))
+        });
+        g.bench_function(format!("binary_heap_hold/{n}"), |b| {
+            let (mut q, mut rng) = hold::prefill::<BinaryHeapEventQueue<u64>>(n);
+            b.iter(|| black_box(hold::run(&mut q, &mut rng, HOLD_OPS)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hold
+}
+criterion_main!(benches);

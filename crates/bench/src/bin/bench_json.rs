@@ -12,10 +12,11 @@
 //! signal (means absorb machine noise).
 
 use edm_baselines::prelude::*;
+use edm_bench::hold;
 use edm_bench::scenarios;
 use edm_core::sim::{ClusterConfig, EdmProtocol, FabricProtocol};
 use edm_sched::scheduler::{Scheduler, SchedulerConfig};
-use edm_sim::{Duration, Time};
+use edm_sim::{BinaryHeapEventQueue, Duration, EventQueue, Time};
 use edm_topo::{IpTraffic, TopoEdm, TopoEdmConfig};
 use std::hint::black_box;
 use std::time::Instant;
@@ -153,6 +154,35 @@ fn sched_group(iters: usize) -> Vec<Entry> {
     out
 }
 
+/// Per-op nanoseconds of the shared hold-model loop ([`edm_bench::hold`],
+/// the same workload the `sim/event_queue` criterion group times) at a
+/// steady queue size `n`.
+fn hold_entry<Q: hold::Queue>(name: &str, n: usize, iters: usize) -> Entry {
+    const HOLD_OPS: usize = 4_096;
+    let (mut q, mut rng) = hold::prefill::<Q>(n);
+    measure(name, iters, move || {
+        let ns = timed(|| black_box(hold::run(&mut q, &mut rng, HOLD_OPS)));
+        ns / HOLD_OPS as f64
+    })
+}
+
+fn sim_group(iters: usize) -> Vec<Entry> {
+    let mut out = Vec::new();
+    for &n in &[1_024usize, 16_384] {
+        out.push(hold_entry::<EventQueue<u64>>(
+            &format!("sim/event_queue/calendar_hold/{n}"),
+            n,
+            iters,
+        ));
+        out.push(hold_entry::<BinaryHeapEventQueue<u64>>(
+            &format!("sim/event_queue/binary_heap_hold/{n}"),
+            n,
+            iters,
+        ));
+    }
+    out
+}
+
 fn topo_group(iters: usize) -> Vec<Entry> {
     let mut out = Vec::new();
     // Degenerate 1-switch fabric on the fig8 scenario: the framework
@@ -209,6 +239,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(20);
 
+    write_group(&out_dir, "sim", &sim_group(iters));
     write_group(&out_dir, "fig8", &fig8_group(iters));
     write_group(&out_dir, "sched", &sched_group(iters));
     write_group(&out_dir, "topo", &topo_group(iters));

@@ -103,6 +103,73 @@ pub mod scenarios {
     }
 }
 
+pub mod hold {
+    //! The event-queue *hold model*: steady-state pop-one/schedule-one
+    //! churn at a fixed queue size. The `sim/event_queue` criterion
+    //! bench and `bench_json` must time the same loop under the same
+    //! names, so both build it from here.
+
+    use edm_sim::{BinaryHeapEventQueue, Duration, EventQueue, Rng, Time};
+
+    /// Mean inter-event gap in picoseconds (gaps uniform on `0..2*MEAN`).
+    pub const MEAN_GAP_PS: u64 = 5_120;
+
+    /// The common surface of the two `edm-sim` queue implementations.
+    pub trait Queue: Default {
+        /// Schedules `ev` at `at`.
+        fn schedule(&mut self, at: Time, ev: u64);
+        /// Pops the earliest event.
+        fn pop(&mut self) -> Option<(Time, u64)>;
+    }
+
+    impl Queue for EventQueue<u64> {
+        fn schedule(&mut self, at: Time, ev: u64) {
+            EventQueue::schedule(self, at, ev);
+        }
+        fn pop(&mut self) -> Option<(Time, u64)> {
+            EventQueue::pop(self)
+        }
+    }
+
+    impl Queue for BinaryHeapEventQueue<u64> {
+        fn schedule(&mut self, at: Time, ev: u64) {
+            BinaryHeapEventQueue::schedule(self, at, ev);
+        }
+        fn pop(&mut self) -> Option<(Time, u64)> {
+            BinaryHeapEventQueue::pop(self)
+        }
+    }
+
+    /// Fills a queue with `n` events at deterministic pseudo-random
+    /// offsets, then churns one full turnover so the calendar geometry
+    /// has settled at size `n` before anything is timed.
+    pub fn prefill<Q: Queue>(n: usize) -> (Q, Rng) {
+        let mut q = Q::default();
+        let mut rng = Rng::seed_from(0xED31);
+        let mut t = Time::ZERO;
+        for i in 0..n {
+            t += Duration::from_ps(rng.below(2 * MEAN_GAP_PS));
+            q.schedule(t, i as u64);
+        }
+        for _ in 0..n {
+            let (at, ev) = q.pop().expect("steady state");
+            q.schedule(at + Duration::from_ps(rng.below(2 * MEAN_GAP_PS)), ev);
+        }
+        (q, rng)
+    }
+
+    /// One timed batch: `ops` pop+schedule pairs at constant size.
+    pub fn run<Q: Queue>(q: &mut Q, rng: &mut Rng, ops: usize) -> u64 {
+        let mut acc = 0u64;
+        for _ in 0..ops {
+            let (at, ev) = q.pop().expect("steady state");
+            acc ^= ev;
+            q.schedule(at + Duration::from_ps(rng.below(2 * MEAN_GAP_PS)), ev);
+        }
+        acc
+    }
+}
+
 /// Runs one closure per sweep point on its own OS thread and returns the
 /// results in input order.
 ///

@@ -3,25 +3,85 @@
 //! The engine is split into two pieces so that event handlers can schedule
 //! follow-up events while mutably borrowing the world state:
 //!
-//! * [`EventQueue`] — a time-ordered queue with deterministic FIFO
-//!   tie-breaking for simultaneous events.
+//! * [`EventQueue`] — a calendar-queue priority queue with deterministic
+//!   FIFO tie-breaking for simultaneous events.
 //! * [`World`] — the user's simulation state; its [`World::handle`] method
 //!   receives each event together with a mutable reference to the queue.
 //! * [`Engine`] — owns both and drives the main loop.
+//!
+//! # The calendar queue
+//!
+//! [`EventQueue`] is the classic discrete-event-simulation calendar queue
+//! (Brown 1988, the structure NS-style simulators use to reach O(1)
+//! enqueue/dequeue): simulated time is cut into power-of-two-wide *days*
+//! (buckets); one sweep across the bucket array is a *year*. Events
+//! inside the current year hash into their day bucket in O(1); events
+//! beyond it wait in an *overflow* binary heap and are poured into
+//! buckets when the year advances. `pop` walks forward from the
+//! last-popped bucket to the first non-empty one — amortized O(1) when
+//! the resize policy keeps occupancy near one event per bucket.
+//!
+//! Buckets are sorted intrusive singly-linked lists living in one shared
+//! node slab (the same zero-sentinel-slab idiom the scheduler and
+//! simulator cores use): the bucket array is two flat `u32` vectors
+//! (head/tail per bucket) and nodes are recycled through a free list, so
+//! steady-state churn allocates nothing and bucket scans stay on dense
+//! cache lines. The tail pointer makes the common inserts O(1): a key
+//! past the bucket's tail — in particular every same-time burst, whose
+//! members carry increasing sequence numbers — appends directly.
+//!
+//! Three invariants make the structure exactly equivalent to a sorted
+//! list over `(time, seq)` (pinned against [`BinaryHeapEventQueue`] by
+//! the `prop_sim` property suite):
+//!
+//! 1. **Window partition** — bucket `i` holds only events with
+//!    `(t - year_start) >> width_log2 == i`; everything at or past the
+//!    year's end lives in the overflow heap. Hence the first non-empty
+//!    bucket contains the global minimum whenever any bucket is occupied.
+//! 2. **Scan-prefix emptiness** — buckets before the scan cursor are
+//!    empty: `pop` leaves the cursor on the bucket it popped from and
+//!    `schedule` rewinds it when inserting earlier into the current year,
+//!    so the forward scan never skips an earlier event.
+//! 3. **FIFO tie-break** — every entry carries a monotonically increasing
+//!    sequence number and all orderings (bucket lists, overflow heap)
+//!    compare `(time, seq)`, so simultaneous events pop in schedule order
+//!    no matter which buckets, resizes, or overflow drains they traveled
+//!    through. This is load-bearing: worlds in `edm-core` and `edm-topo`
+//!    are only deterministic because ties resolve by schedule order.
+//!
+//! Resizing is automatic: the queue starts with **zero buckets** (a
+//! plain binary heap — allocation free until first use), engages the
+//! calendar once enough events are pending, doubles geometrically under
+//! growth, and degrades back to the plain heap when nearly drained. A
+//! resize rebuilds the geometry from the live event-time span, so bucket
+//! width tracks the average event spacing. Because a population can
+//! *compress* without ever changing size (the classic hold pattern:
+//! always reschedule the popped minimum, and the span shrinks toward a
+//! few gaps while `len` stays constant), staleness is also detected
+//! directly: a sorted-insert walk longer than `WALK_LIMIT` re-derives
+//! the geometry, rate-limited to once per population turnover so an
+//! incompressible population cannot thrash in rebuilds.
 
 use crate::time::Time;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-
-/// A time-ordered event queue.
-///
-/// Events scheduled for the same instant are delivered in the order they
-/// were scheduled (FIFO), which keeps simulations deterministic.
-#[derive(Debug)]
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    seq: u64,
-}
+/// Pending-event count at which the calendar engages (below this a plain
+/// binary heap is both smaller and faster).
+const ENGAGE_LEN: usize = 24;
+/// Pending-event count below which an engaged calendar degrades back to
+/// the plain heap (hysteresis against `ENGAGE_LEN`).
+const DISENGAGE_LEN: usize = 8;
+/// Bucket-count bounds while engaged (both powers of two).
+const MIN_BUCKETS: usize = 32;
+const MAX_BUCKETS: usize = 1 << 20;
+/// An insert walk longer than this signals degenerate geometry (bucket
+/// width too coarse for the live population) and requests a rebuild.
+const WALK_LIMIT: u32 = 16;
+/// How many head-end events the rebuild samples to derive the bucket
+/// width (Brown's calendar-queue sampling rule).
+const HEAD_SAMPLE: usize = 32;
+/// Null link / empty-bucket sentinel.
+const NIL: u32 = u32::MAX;
 
 #[derive(Debug)]
 struct Entry<E> {
@@ -47,10 +107,454 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// A slab node: one pending event threaded into its bucket's sorted list
+/// (or onto the free list, with `event` taken out).
+#[derive(Debug)]
+struct Node<E> {
+    at: Time,
+    seq: u64,
+    next: u32,
+    event: Option<E>,
+}
+
+/// A time-ordered event queue (calendar queue).
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled (FIFO), which keeps simulations deterministic. The
+/// implementation is a self-resizing calendar queue — O(1) expected
+/// `schedule`/`pop` regardless of the number of pending events — with
+/// pop order bit-identical to the dense [`BinaryHeapEventQueue`]
+/// reference (see the [module docs](self) for the invariants).
+///
+/// ```
+/// use edm_sim::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_us(1_000), "far future"); // lands in overflow
+/// q.schedule(Time::from_ns(5), "a");
+/// q.schedule(Time::from_ns(5), "b"); // same instant: FIFO after "a"
+/// assert_eq!(q.peek_time(), Some(Time::from_ns(5)));
+/// assert_eq!(q.pop(), Some((Time::from_ns(5), "a")));
+/// assert_eq!(q.pop(), Some((Time::from_ns(5), "b")));
+/// assert_eq!(q.pop(), Some((Time::from_us(1_000), "far future")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    /// Head node per bucket (`NIL` = empty). Empty vector = calendar
+    /// disengaged (everything lives in `overflow`).
+    heads: Vec<u32>,
+    /// Tail node per bucket, for O(1) append of past-tail keys.
+    tails: Vec<u32>,
+    /// Shared node slab; freed nodes are recycled through `free`.
+    nodes: Vec<Node<E>>,
+    /// Free-list head (`NIL` = slab fully live).
+    free: u32,
+    /// log2 of the bucket width in picoseconds.
+    width_log2: u32,
+    /// Start of the current year, in picoseconds (bucket-width aligned).
+    year_start: u64,
+    /// Forward-scan cursor: buckets before it are empty (invariant 2).
+    cur_bucket: usize,
+    /// Events currently threaded into buckets.
+    in_buckets: usize,
+    /// Events at or beyond the current year's end (min-heap).
+    overflow: BinaryHeap<Reverse<Entry<E>>>,
+    /// Total pending events (`in_buckets + overflow.len()`).
+    length: usize,
+    /// Schedules remaining before a long insert walk may trigger another
+    /// geometry rebuild (one population turnover of cooldown, so a
+    /// degenerate-but-unfixable population cannot thrash in rebuilds).
+    walk_cooldown: usize,
+    /// Next sequence number for FIFO tie-breaking.
+    seq: u64,
+}
+
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue. Allocates nothing until the first
+    /// [`schedule`](Self::schedule).
     pub fn new() -> Self {
         EventQueue {
+            heads: Vec::new(),
+            tails: Vec::new(),
+            nodes: Vec::new(),
+            free: NIL,
+            width_log2: 0,
+            year_start: 0,
+            cur_bucket: 0,
+            in_buckets: 0,
+            overflow: BinaryHeap::new(),
+            length: 0,
+            walk_cooldown: 0,
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.length += 1;
+        if self.heads.is_empty() {
+            self.overflow.push(Reverse(Entry { at, seq, event }));
+        } else {
+            if at.as_ps() < self.year_start {
+                // Scheduling before the current year: rewind the window so
+                // the window-partition invariant keeps holding.
+                self.rebase(at);
+            }
+            let idx = (at.as_ps() - self.year_start) >> self.width_log2;
+            if idx < self.heads.len() as u64 {
+                let node = self.alloc(at, seq, event);
+                let walk = self.insert_bucket(idx as usize, node);
+                if (idx as usize) < self.cur_bucket {
+                    self.cur_bucket = idx as usize;
+                }
+                // A long sorted-insert walk means the bucket width has
+                // gone stale for the live population (e.g. a compressing
+                // hold pattern piling everything into one bucket) even
+                // though `length` never crossed a resize threshold.
+                // Re-derive the geometry, at most once per population
+                // turnover.
+                self.walk_cooldown = self.walk_cooldown.saturating_sub(1);
+                if walk > WALK_LIMIT && self.walk_cooldown == 0 {
+                    self.rebuild();
+                    return;
+                }
+            } else {
+                self.overflow.push(Reverse(Entry { at, seq, event }));
+            }
+        }
+        // Grow (or first engage) when occupancy outruns the bucket count.
+        // The `< MAX_BUCKETS` guard matters: once the bucket count
+        // saturates, this condition would otherwise hold on every
+        // schedule and trigger a futile O(n) rebuild per insert.
+        if self.length > 2 * self.heads.len().max(ENGAGE_LEN / 2) && self.heads.len() < MAX_BUCKETS
+        {
+            self.rebuild();
+        }
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        if self.length == 0 {
+            return None;
+        }
+        let popped = if self.heads.is_empty() {
+            // Disengaged: plain binary-heap behavior.
+            let Reverse(e) = self.overflow.pop().expect("length > 0");
+            (e.at, e.event)
+        } else {
+            if self.in_buckets == 0 {
+                // Year exhausted: jump straight to the year containing the
+                // overflow minimum and pour that year's events in.
+                let base = self.overflow.peek().expect("length > 0").0.at;
+                self.rebase(base);
+            }
+            let b = self.first_nonempty().expect("in_buckets > 0");
+            self.cur_bucket = b;
+            let node = self.pop_bucket(b);
+            let (at, _, event) = self.release(node);
+            (at, event)
+        };
+        self.length -= 1;
+        // Shrink once occupancy is far below the bucket count (hysteresis
+        // against the growth threshold), or degrade to the plain heap.
+        if !self.heads.is_empty()
+            && (self.length < DISENGAGE_LEN || self.length * 8 < self.heads.len())
+        {
+            self.rebuild();
+        }
+        Some(popped)
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        if self.length == 0 {
+            None
+        } else if self.in_buckets == 0 {
+            // Either disengaged or the year is exhausted; in both cases the
+            // overflow heap holds every pending event.
+            self.overflow.peek().map(|r| r.0.at)
+        } else {
+            // Invariant 1: the first non-empty bucket holds the minimum.
+            let b = self.first_nonempty().expect("in_buckets > 0");
+            Some(self.nodes[self.heads[b] as usize].at)
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.length
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.length == 0
+    }
+
+    /// First non-empty bucket at or after the scan cursor. Invariant 2
+    /// guarantees no earlier bucket is occupied; the debug assertion and
+    /// full rescan keep the failure mode loud instead of misordered.
+    fn first_nonempty(&self) -> Option<usize> {
+        let ahead = (self.cur_bucket..self.heads.len()).find(|&i| self.heads[i] != NIL);
+        if ahead.is_some() || self.in_buckets == 0 {
+            return ahead;
+        }
+        debug_assert!(false, "occupied bucket behind the scan cursor");
+        (0..self.cur_bucket).find(|&i| self.heads[i] != NIL)
+    }
+
+    /// Takes a node from the free list (or grows the slab).
+    fn alloc(&mut self, at: Time, seq: u64, event: E) -> u32 {
+        if self.free != NIL {
+            let i = self.free;
+            let n = &mut self.nodes[i as usize];
+            self.free = n.next;
+            n.at = at;
+            n.seq = seq;
+            n.next = NIL;
+            n.event = Some(event);
+            i
+        } else {
+            self.nodes.push(Node {
+                at,
+                seq,
+                next: NIL,
+                event: Some(event),
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Returns a node's payload and recycles it onto the free list.
+    fn release(&mut self, i: u32) -> (Time, u64, E) {
+        let n = &mut self.nodes[i as usize];
+        let event = n.event.take().expect("releasing an occupied node");
+        let out = (n.at, n.seq, event);
+        n.next = self.free;
+        self.free = i;
+        out
+    }
+
+    /// `(time, seq)` key of a live node.
+    fn key(&self, i: u32) -> (Time, u64) {
+        let n = &self.nodes[i as usize];
+        (n.at, n.seq)
+    }
+
+    /// Threads `node` into bucket `b`'s sorted list and returns the walk
+    /// length. Past-tail keys (every same-time burst, thanks to
+    /// increasing seq) append in O(1); otherwise a short walk finds the
+    /// slot — expected O(1) because the resize policy keeps bucket
+    /// occupancy near one, and walks past `WALK_LIMIT` make the caller
+    /// re-derive the geometry.
+    fn insert_bucket(&mut self, b: usize, node: u32) -> u32 {
+        let key = self.key(node);
+        let head = self.heads[b];
+        let mut walk = 0;
+        if head == NIL {
+            self.heads[b] = node;
+            self.tails[b] = node;
+        } else if key > self.key(self.tails[b]) {
+            let t = self.tails[b] as usize;
+            self.nodes[t].next = node;
+            self.tails[b] = node;
+        } else if key < self.key(head) {
+            self.nodes[node as usize].next = head;
+            self.heads[b] = node;
+        } else {
+            let mut prev = head;
+            loop {
+                let nx = self.nodes[prev as usize].next;
+                debug_assert_ne!(nx, NIL, "walk ran past a tail-bounded key");
+                if key < self.key(nx) {
+                    self.nodes[node as usize].next = nx;
+                    self.nodes[prev as usize].next = node;
+                    break;
+                }
+                prev = nx;
+                walk += 1;
+            }
+        }
+        self.in_buckets += 1;
+        walk
+    }
+
+    /// Unlinks and returns bucket `b`'s head node (its minimum).
+    fn pop_bucket(&mut self, b: usize) -> u32 {
+        let i = self.heads[b];
+        debug_assert_ne!(i, NIL, "popping an empty bucket");
+        let nx = self.nodes[i as usize].next;
+        self.heads[b] = nx;
+        if nx == NIL {
+            self.tails[b] = NIL;
+        }
+        self.in_buckets -= 1;
+        i
+    }
+
+    /// Re-anchors the year window at `base` (aligned down to a bucket
+    /// boundary): flushes any bucketed events to overflow, then pours
+    /// every overflow event that falls inside the new year into its
+    /// bucket. Used both to advance the year (buckets already empty) and
+    /// to rewind it when an event is scheduled before `year_start`.
+    fn rebase(&mut self, base: Time) {
+        if self.in_buckets > 0 {
+            for b in 0..self.heads.len() {
+                let mut i = self.heads[b];
+                while i != NIL {
+                    let next = self.nodes[i as usize].next;
+                    let (at, seq, event) = self.release(i);
+                    self.overflow.push(Reverse(Entry { at, seq, event }));
+                    i = next;
+                }
+                self.heads[b] = NIL;
+                self.tails[b] = NIL;
+            }
+            self.in_buckets = 0;
+        }
+        self.year_start = (base.as_ps() >> self.width_log2) << self.width_log2;
+        self.cur_bucket = 0;
+        // Ascending pops mean every bucket insert below is a tail append.
+        while let Some(Reverse(e)) = self.overflow.peek() {
+            let idx = (e.at.as_ps() - self.year_start) >> self.width_log2;
+            if idx >= self.heads.len() as u64 {
+                break;
+            }
+            let Reverse(Entry { at, seq, event }) = self.overflow.pop().expect("peeked");
+            let node = self.alloc(at, seq, event);
+            self.insert_bucket(idx as usize, node);
+        }
+    }
+
+    /// Rebuilds the calendar geometry from the live event population:
+    /// bucket count tracks the pending-event count (clamped to
+    /// `[MIN_BUCKETS, MAX_BUCKETS]`), bucket width tracks the average
+    /// event spacing (rounded up to a power of two so bucket indexing is
+    /// a shift). Below `ENGAGE_LEN` the calendar disengages entirely.
+    fn rebuild(&mut self) {
+        let mut all: Vec<Entry<E>> = Vec::with_capacity(self.length);
+        for b in 0..self.heads.len() {
+            let mut i = self.heads[b];
+            while i != NIL {
+                let next = self.nodes[i as usize].next;
+                let (at, seq, event) = self.release(i);
+                all.push(Entry { at, seq, event });
+                i = next;
+            }
+        }
+        self.in_buckets = 0;
+        self.cur_bucket = 0;
+        let old_geometry = (self.width_log2, self.heads.len());
+        // `all` now holds the bucketed events in globally ascending order
+        // (bucket lists are sorted and bucket ranges ascend — invariant
+        // 1), and every overflow event sorts after every bucketed one.
+        let ascending_prefix = all.len();
+        all.extend(self.overflow.drain().map(|Reverse(e)| e));
+        if self.length < ENGAGE_LEN {
+            // Disengage: back to the plain heap; slab memory released.
+            self.heads = Vec::new();
+            self.tails = Vec::new();
+            self.nodes = Vec::new();
+            self.free = NIL;
+            self.overflow = BinaryHeap::from(all.into_iter().map(Reverse).collect::<Vec<_>>());
+            return;
+        }
+        let ascending_prefix = if ascending_prefix >= 2 {
+            ascending_prefix
+        } else {
+            // Engaging straight out of the heap (or everything had
+            // marched into overflow): order the population so the head
+            // sample below exists and reinserts tail-append.
+            all.sort_unstable_by_key(|e| (e.at, e.seq));
+            all.len()
+        };
+        let nbuckets = (self.length * 2)
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        // Bucket width from the spacing of events *near the head* (the
+        // calendar-queue sampling rule): a global span/len average goes
+        // wrong under skew — a dense pack plus a few far-future
+        // stragglers yields a width that dumps the whole pack into one
+        // bucket. The head sample sizes buckets for the events that will
+        // actually pop next; stragglers simply wait in overflow.
+        let m = ascending_prefix.min(HEAD_SAMPLE);
+        let spread = all[m - 1].at.as_ps() - all[0].at.as_ps();
+        // Saturate and clamp: a head sample spanning >= 2^62 ps (times
+        // near `Time::MAX`) must yield a huge width, not a multiply
+        // overflow or a `next_power_of_two` panic.
+        let width = (spread / (m as u64 - 1))
+            .saturating_mul(2)
+            .clamp(1, 1 << 62)
+            .next_power_of_two();
+        let min_ps = all[0].at.as_ps();
+        self.width_log2 = width.trailing_zeros();
+        self.year_start = (min_ps >> self.width_log2) << self.width_log2;
+        // Walk-trigger cooldown: while the population's spacing is still
+        // drifting (a compressing hold pattern shrinks the span for
+        // hundreds of turnovers), each rebuild lands a different width —
+        // re-arm quickly so the geometry tracks the drift. Once a rebuild
+        // is futile (same geometry), back off to a full turnover.
+        self.walk_cooldown = if (self.width_log2, nbuckets) == old_geometry {
+            self.length
+        } else {
+            (self.length / 8).max(MIN_BUCKETS)
+        };
+        self.heads.clear();
+        self.heads.resize(nbuckets, NIL);
+        self.tails.clear();
+        self.tails.resize(nbuckets, NIL);
+        // The ascending prefix reinserts as pure tail appends; the
+        // overflow-sourced suffix (if any) is heap-ordered, but those
+        // events spread across the fresh geometry or return to overflow,
+        // so their walks stay short.
+        for Entry { at, seq, event } in all {
+            let idx = (at.as_ps() - self.year_start) >> self.width_log2;
+            if idx < nbuckets as u64 {
+                let node = self.alloc(at, seq, event);
+                self.insert_bucket(idx as usize, node);
+            } else {
+                self.overflow.push(Reverse(Entry { at, seq, event }));
+            }
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+/// The dense reference event queue: one global binary heap ordered by
+/// `(time, seq)`.
+///
+/// This is the pre-calendar-queue implementation, kept as an executable
+/// specification: `prop_sim` drives random schedule/pop scripts through
+/// both queues and requires bit-identical results, and the
+/// `sim/event_queue` criterion bench measures the calendar queue's win
+/// against it. Same API as [`EventQueue`]; O(log n) per operation.
+///
+/// ```
+/// use edm_sim::{BinaryHeapEventQueue, Time};
+///
+/// let mut q = BinaryHeapEventQueue::new();
+/// q.schedule(Time::from_ns(20), 'b');
+/// q.schedule(Time::from_ns(10), 'a');
+/// assert_eq!(q.pop(), Some((Time::from_ns(10), 'a')));
+/// assert_eq!(q.pop(), Some((Time::from_ns(20), 'b')));
+/// ```
+#[derive(Debug)]
+pub struct BinaryHeapEventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+impl<E> BinaryHeapEventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BinaryHeapEventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -84,9 +588,9 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for BinaryHeapEventQueue<E> {
     fn default() -> Self {
-        EventQueue::new()
+        BinaryHeapEventQueue::new()
     }
 }
 
@@ -105,6 +609,30 @@ pub trait World {
 
 /// Drives a [`World`] until the event queue drains (or a step budget or
 /// time horizon is reached).
+///
+/// ```
+/// use edm_sim::{Engine, EventQueue, Time, Duration, World};
+///
+/// /// Doubles a counter on every event until it saturates.
+/// struct Doubler { value: u64 }
+/// impl World for Doubler {
+///     type Event = ();
+///     fn handle(&mut self, now: Time, _ev: (), q: &mut EventQueue<()>) {
+///         self.value *= 2;
+///         if self.value < 64 {
+///             q.schedule(now + Duration::from_ns(3), ());
+///         }
+///     }
+/// }
+///
+/// let mut eng = Engine::new(Doubler { value: 1 });
+/// eng.queue_mut().schedule(Time::ZERO, ());
+/// eng.run_until(Time::from_ns(6)); // processes events at 0, 3 and 6 ns
+/// assert_eq!(eng.world().value, 8);
+/// eng.run(); // drain the rest
+/// assert_eq!(eng.world().value, 64);
+/// assert_eq!(eng.steps(), 6);
+/// ```
 #[derive(Debug)]
 pub struct Engine<W: World> {
     world: W,
@@ -305,5 +833,184 @@ mod tests {
         q.schedule(Time::from_ns(2), 2);
         assert_eq!(q.len(), 2);
         assert_eq!(q.peek_time(), Some(Time::from_ns(2)));
+    }
+
+    // ------------------------------------------------------------------
+    // Adversarial calendar-queue cases.
+    // ------------------------------------------------------------------
+
+    /// Drains `q` and asserts the exact `(time, tag)` sequence matches
+    /// what the binary-heap reference produces for the same schedule.
+    fn assert_drains_like_reference(q: &mut EventQueue<u32>, scheduled: &[(Time, u32)]) {
+        let mut reference = BinaryHeapEventQueue::new();
+        for &(t, tag) in scheduled {
+            reference.schedule(t, tag);
+        }
+        loop {
+            assert_eq!(q.peek_time(), reference.peek_time());
+            let (a, b) = (q.pop(), reference.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_start() {
+        // A fresh queue has no buckets at all; every path must still work.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Time::from_ns(3), 7);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(3)));
+        assert_eq!(q.pop(), Some((Time::from_ns(3), 7)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn single_bucket_degeneracy() {
+        // All events at the same instant: span is zero, so after the
+        // calendar engages everything collapses into one bucket. Order
+        // must stay exact schedule order.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut scheduled = Vec::new();
+        for i in 0..200 {
+            q.schedule(Time::from_ns(42), i);
+            scheduled.push((Time::from_ns(42), i));
+        }
+        assert_drains_like_reference(&mut q, &scheduled);
+    }
+
+    #[test]
+    fn far_future_overflow_drain() {
+        // A tight cluster engages the calendar with a narrow bucket width;
+        // the year horizon is then far below the far-future timers, which
+        // must wait in overflow and drain in exact order once the cluster
+        // is exhausted — including ties among the far-future events.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut scheduled = Vec::new();
+        for i in 0..64u32 {
+            let t = Time::from_ps(i as u64);
+            q.schedule(t, i);
+            scheduled.push((t, i));
+        }
+        for i in 0..32u32 {
+            // Seconds away from the ps-scale cluster, with duplicates.
+            let t = Time::from_us(1_000_000 + (i as u64 / 2));
+            q.schedule(t, 1_000 + i);
+            scheduled.push((t, 1_000 + i));
+        }
+        assert_drains_like_reference(&mut q, &scheduled);
+    }
+
+    #[test]
+    fn peek_and_pop_agree_across_resizes() {
+        // Grow through several rebuilds, then drain through the shrink and
+        // disengage thresholds, checking peek/pop agreement at every step.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut reference = BinaryHeapEventQueue::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut tag = 0u32;
+        let mut lcg = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 11
+        };
+        for round in 0..6 {
+            for _ in 0..(64 << round.min(3)) {
+                let t = Time::from_ps(lcg() % 1_000_000_000);
+                q.schedule(t, tag);
+                reference.schedule(t, tag);
+                tag += 1;
+            }
+            for _ in 0..(48 << round.min(3)) {
+                assert_eq!(q.peek_time(), reference.peek_time());
+                assert_eq!(q.pop(), reference.pop());
+                assert_eq!(q.len(), reference.len());
+            }
+        }
+        loop {
+            assert_eq!(q.peek_time(), reference.peek_time());
+            let (a, b) = (q.pop(), reference.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn rewind_before_year_start() {
+        // Engage the calendar on a late cluster, drain part of it, then
+        // schedule earlier than the year's start: the window must rewind
+        // and the early events must pop first.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut reference = BinaryHeapEventQueue::new();
+        let mut tag = 0u32;
+        for i in 0..64u32 {
+            let t = Time::from_us(500 + i as u64);
+            q.schedule(t, tag);
+            reference.schedule(t, tag);
+            tag += 1;
+        }
+        for _ in 0..8 {
+            assert_eq!(q.pop(), reference.pop());
+        }
+        for i in 0..16u32 {
+            let t = Time::from_ns(i as u64);
+            q.schedule(t, tag);
+            reference.schedule(t, tag);
+            tag += 1;
+        }
+        loop {
+            assert_eq!(q.peek_time(), reference.peek_time());
+            let (a, b) = (q.pop(), reference.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn giant_span_geometry_saturates() {
+        // Head-sample spans near u64::MAX must clamp the width instead of
+        // overflowing the multiply or panicking in next_power_of_two.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut scheduled = Vec::new();
+        for i in 0..16u32 {
+            let t = Time::from_ps(i as u64);
+            q.schedule(t, i);
+            scheduled.push((t, i));
+        }
+        for i in 0..16u32 {
+            let t = Time::from_ps(u64::MAX - 1_000 + (i as u64 % 4));
+            q.schedule(t, 100 + i);
+            scheduled.push((t, 100 + i));
+        }
+        assert_drains_like_reference(&mut q, &scheduled);
+    }
+
+    #[test]
+    fn slab_recycles_nodes() {
+        // Steady-state churn at a fixed queue size must not grow the slab
+        // beyond the peak population (allocation-free hold loop).
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..256u32 {
+            q.schedule(Time::from_ps(i as u64 * 1_000), i);
+        }
+        for _ in 0..10_000 {
+            let (at, ev) = q.pop().unwrap();
+            q.schedule(at + Duration::from_ps(257_000), ev);
+        }
+        assert_eq!(q.len(), 256);
+        assert!(
+            q.nodes.len() <= 256,
+            "slab grew past peak population: {}",
+            q.nodes.len()
+        );
     }
 }

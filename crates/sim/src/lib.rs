@@ -7,7 +7,10 @@
 //!   every constant in the paper (a 2.56 ns PHY clock cycle is 2 560 ps).
 //! * [`Bandwidth`] — link speeds with exact transmission-delay arithmetic.
 //! * [`EventQueue`] and [`Engine`] — a classic calendar-queue DES driver
-//!   with deterministic FIFO tie-breaking.
+//!   (O(1) expected schedule/pop, self-resizing day buckets plus a
+//!   far-future overflow heap) with deterministic FIFO tie-breaking,
+//!   pinned bit-identical to the dense [`BinaryHeapEventQueue`]
+//!   reference by property tests.
 //! * [`rng`] — a self-contained, seedable xoshiro256++ generator plus the
 //!   distributions the workloads need (uniform, exponential, empirical CDF).
 //! * [`stats`] — streaming summaries (mean/percentiles/histograms) used by
@@ -45,7 +48,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Engine, EventQueue, World};
+pub use engine::{BinaryHeapEventQueue, Engine, EventQueue, World};
 pub use rng::Rng;
 pub use stats::{Histogram, Summary};
 pub use time::{Bandwidth, Duration, Time};

@@ -1,8 +1,48 @@
 //! Property-based tests for the DES engine, time arithmetic, RNG, and
-//! statistics.
+//! statistics — including the calendar-queue/binary-heap pop-order
+//! equivalence pins.
 
-use edm_sim::{Bandwidth, Duration, Engine, EventQueue, Rng, Summary, Time, World};
+use edm_sim::{
+    Bandwidth, BinaryHeapEventQueue, Duration, Engine, EventQueue, Rng, Summary, Time, World,
+};
 use proptest::prelude::*;
+
+/// Applies one schedule-or-pop step to both queues and checks that every
+/// observable (`peek_time`, `pop` result, `len`) stays bit-identical.
+fn lockstep_op(
+    cal: &mut EventQueue<u32>,
+    reference: &mut BinaryHeapEventQueue<u32>,
+    op: Option<(Time, u32)>,
+) -> Result<(), TestCaseError> {
+    match op {
+        Some((t, tag)) => {
+            cal.schedule(t, tag);
+            reference.schedule(t, tag);
+        }
+        None => {
+            prop_assert_eq!(cal.peek_time(), reference.peek_time());
+            prop_assert_eq!(cal.pop(), reference.pop());
+        }
+    }
+    prop_assert_eq!(cal.len(), reference.len());
+    prop_assert_eq!(cal.is_empty(), reference.is_empty());
+    Ok(())
+}
+
+/// Drains both queues, requiring identical `(time, tag)` sequences.
+fn lockstep_drain(
+    cal: &mut EventQueue<u32>,
+    reference: &mut BinaryHeapEventQueue<u32>,
+) -> Result<(), TestCaseError> {
+    loop {
+        prop_assert_eq!(cal.peek_time(), reference.peek_time());
+        let (a, b) = (cal.pop(), reference.pop());
+        prop_assert_eq!(a, b);
+        if a.is_none() {
+            return Ok(());
+        }
+    }
+}
 
 /// A world that records the times at which events fire.
 #[derive(Default)]
@@ -40,6 +80,85 @@ proptest! {
                 prop_assert!(a < b, "FIFO violated for equal timestamps");
             }
         }
+    }
+
+    /// The calendar queue's pop order is bit-identical to the dense
+    /// binary-heap reference under random schedule/pop interleavings that
+    /// mix time scales (tight ties, ns-range, and far-future outliers that
+    /// must ride the overflow heap). Pops may outnumber schedules, so
+    /// empty-queue behavior is exercised too.
+    #[test]
+    fn calendar_queue_matches_reference(
+        ops in proptest::collection::vec((0u8..6, 0u64..1_000_000), 1..400)
+    ) {
+        let mut cal = EventQueue::new();
+        let mut reference = BinaryHeapEventQueue::new();
+        let mut tag = 0u32;
+        for &(op, raw) in &ops {
+            let step = match op {
+                // Two pop weights out of six keep the queue growing on
+                // average so resizes in both directions get exercised.
+                0 | 1 => None,
+                2 => Some(Time::from_ps(raw % 8)),          // adversarial ties
+                3 => Some(Time::from_ps(raw % 4_096)),      // one-year scale
+                4 => Some(Time::from_ps(raw)),              // broad spread
+                _ => Some(Time::from_us(1_000_000 + raw)),  // far future
+            };
+            lockstep_op(&mut cal, &mut reference, step.map(|t| {
+                tag += 1;
+                (t, tag)
+            }))?;
+        }
+        lockstep_drain(&mut cal, &mut reference)?;
+    }
+
+    /// Adversarial same-time bursts: many events collapse onto few
+    /// distinct instants (single-bucket degeneracy once the calendar
+    /// engages). FIFO order among ties must survive every resize.
+    #[test]
+    fn calendar_queue_same_time_bursts(
+        bursts in proptest::collection::vec((0u64..4, 1usize..48), 1..24),
+        pops_between in 0usize..8
+    ) {
+        let mut cal = EventQueue::new();
+        let mut reference = BinaryHeapEventQueue::new();
+        let mut tag = 0u32;
+        for &(instant, count) in &bursts {
+            for _ in 0..count {
+                tag += 1;
+                lockstep_op(&mut cal, &mut reference, Some((Time::from_ns(instant), tag)))?;
+            }
+            for _ in 0..pops_between {
+                lockstep_op(&mut cal, &mut reference, None)?;
+            }
+        }
+        lockstep_drain(&mut cal, &mut reference)?;
+    }
+
+    /// Resize boundaries: alternating schedule/pop phases whose sizes
+    /// sweep across the engage, grow, shrink, and disengage thresholds.
+    /// Each phase's times come from a seeded RNG so phases land at
+    /// different magnitudes (forcing year rebases and rewinds).
+    #[test]
+    fn calendar_queue_survives_resize_boundaries(
+        phases in proptest::collection::vec((1usize..96, 0usize..96, 0u64..u64::MAX), 1..16)
+    ) {
+        let mut cal = EventQueue::new();
+        let mut reference = BinaryHeapEventQueue::new();
+        let mut tag = 0u32;
+        for &(nsched, npop, seed) in &phases {
+            let mut rng = Rng::seed_from(seed);
+            let base = rng.below(1 << 40);
+            for _ in 0..nsched {
+                tag += 1;
+                let t = Time::from_ps(base + rng.below(1 << 24));
+                lockstep_op(&mut cal, &mut reference, Some((t, tag)))?;
+            }
+            for _ in 0..npop {
+                lockstep_op(&mut cal, &mut reference, None)?;
+            }
+        }
+        lockstep_drain(&mut cal, &mut reference)?;
     }
 
     /// Time/Duration arithmetic is consistent: (t + d) - t == d and

@@ -249,6 +249,28 @@ impl TopoResult {
 }
 
 /// The multi-switch EDM protocol.
+///
+/// # Known pessimism: stale demand after a failure
+///
+/// Failure recovery is deliberately pessimistic about the *sender's*
+/// scheduler state. When a [`FaultEvent`] bumps a flow's epoch, the
+/// flow's original message is still registered with its hop-0 (source
+/// leaf) [`edm_sched::scheduler::Scheduler`], and there is no
+/// sender-side revocation: the scheduler keeps granting the stale
+/// message, so the flow's **entire undelivered remainder** — not just
+/// the chunks already in flight at failure time — drains into the dead
+/// path as blackholed bandwidth, contending with the rerouted
+/// retransmission on the source's access port until it is exhausted.
+///
+/// This models a host that never revokes announced demand. The planned
+/// fix (see ROADMAP) is a `Scheduler::cancel` entry point so the bumped
+/// flow's stale notification can be withdrawn once the failure is
+/// detected, tightening the wasted bandwidth to the
+/// [`TopoEdmConfig::reroute_delay`] detection window. Until then,
+/// post-failure throughput and MCT tails reported by this world are
+/// *lower bounds* on what a cancel-capable sender would achieve: the
+/// pessimism only ever hurts EDM's reported numbers, never flatters
+/// them.
 #[derive(Debug, Clone, Default)]
 pub struct TopoEdm {
     /// Configuration.

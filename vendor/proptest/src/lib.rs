@@ -242,7 +242,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification accepted by [`vec`]: a fixed size or a range.
+    /// Length specification accepted by [`vec()`]: a fixed size or a range.
     pub struct SizeRange {
         lo: usize,
         hi: usize, // inclusive
