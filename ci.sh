@@ -1,47 +1,115 @@
 #!/usr/bin/env bash
 # Tier-1 gate for the EDM workspace. Mirrors what CI should run.
+#
+# Every step is timed; a per-step summary prints at the end. The
+# property suites — the gate's dominant cost — are pre-built once and
+# then run concurrently, one job per crate.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+STEP_NAMES=()
+STEP_SECS=()
 
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+# step <name> <command...> — announce, run, and time one gate step.
+step() {
+    local name="$1"
+    shift
+    echo "==> $name"
+    local t0=$SECONDS
+    "$@"
+    STEP_NAMES+=("$name")
+    STEP_SECS+=($((SECONDS - t0)))
+}
 
-echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+run_examples() {
+    for ex in quickstart preemption remote_kv_store cluster_simulation; do
+        cargo run -q --release --example "$ex" > /dev/null
+    done
+}
 
-echo "==> cargo build --release"
-cargo build --release
+run_harness_bins() {
+    for bin in table1 fig5 sched_scaling; do
+        cargo run -q --release -p edm-bench --bin "$bin" > /dev/null
+    done
+    EDM_FLOWS=500 cargo run -q --release -p edm-bench --bin topo_sweep > /dev/null
+    # The sharded engine end-to-end (bit-identical results; exercises
+    # the conservative window protocol outside the test harness).
+    EDM_FLOWS=500 EDM_SHARDS=2 cargo run -q --release -p edm-bench --bin topo_sweep > /dev/null
+}
 
-echo "==> cargo test -q"
-cargo test -q
+run_bench_json() {
+    EDM_BENCH_ITERS=2 cargo run -q --release -p edm-bench --bin bench_json -- \
+        --out "$(mktemp -d)" > /dev/null
+}
 
-echo "==> cargo build --examples --benches"
-cargo build --examples --benches
+PROP_CRATES=(edm-core edm-phy edm-sched edm-memory edm-sim edm-topo)
 
-echo "==> examples run end-to-end"
-for ex in quickstart preemption remote_kv_store cluster_simulation; do
-    cargo run -q --release --example "$ex" > /dev/null
+# One cargo invocation builds every release test binary, then the
+# per-crate suites run as concurrent background jobs (cargo only takes
+# its lock for the no-op freshness check). Logs surface only on failure.
+run_prop_suites() {
+    local pkg_flags=()
+    for crate in "${PROP_CRATES[@]}"; do
+        pkg_flags+=(-p "$crate")
+    done
+    cargo test -q --release --no-run "${pkg_flags[@]}" > /dev/null
+    local tmp
+    tmp=$(mktemp -d)
+    local pids=()
+    for crate in "${PROP_CRATES[@]}"; do
+        (
+            t0=$SECONDS
+            if PROPTEST_CASES="$PROPTEST_CASES" \
+                cargo test -q --release -p "$crate" --test "prop_*" \
+                > "$tmp/$crate.log" 2>&1; then
+                echo "$((SECONDS - t0))" > "$tmp/$crate.ok"
+            else
+                echo "$((SECONDS - t0))" > "$tmp/$crate.fail"
+            fi
+        ) &
+        pids+=($!)
+    done
+    for pid in "${pids[@]}"; do
+        wait "$pid"
+    done
+    local failed=0
+    for crate in "${PROP_CRATES[@]}"; do
+        if [[ -f "$tmp/$crate.ok" ]]; then
+            printf '    %-12s ok in %ss\n' "$crate" "$(cat "$tmp/$crate.ok")"
+        else
+            printf '    %-12s FAILED in %ss\n' "$crate" "$(cat "$tmp/$crate.fail")"
+            cat "$tmp/$crate.log"
+            failed=1
+        fi
+    done
+    return $failed
+}
+
+rustdoc_gate() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
+
+run_bench_smoke() {
+    cargo test -q --release --benches -p edm-bench > /dev/null
+}
+
+step "cargo fmt --check" cargo fmt --check
+step "cargo clippy --workspace --all-targets -- -D warnings" \
+    cargo clippy --workspace --all-targets -- -D warnings
+step "cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)" rustdoc_gate
+step "cargo build --release" cargo build --release
+step "cargo test -q" cargo test -q
+step "cargo build --examples --benches" cargo build --examples --benches
+step "examples run end-to-end" run_examples
+step "criterion benches smoke-run (no measurement)" run_bench_smoke
+step "fast harness bins run end-to-end (incl. 2-shard engine)" run_harness_bins
+step "bench_json emits machine-readable baselines" run_bench_json
+step "property suites at ${PROPTEST_CASES:=1024} cases (concurrent per crate)" \
+    run_prop_suites
+
+echo
+echo "ci.sh step timing:"
+for i in "${!STEP_NAMES[@]}"; do
+    printf '  %4ss  %s\n' "${STEP_SECS[$i]}" "${STEP_NAMES[$i]}"
 done
-
-echo "==> criterion benches smoke-run (no measurement)"
-cargo test -q --release --benches -p edm-bench > /dev/null
-
-echo "==> fast harness bins run end-to-end"
-for bin in table1 fig5 sched_scaling; do
-    cargo run -q --release -p edm-bench --bin "$bin" > /dev/null
-done
-EDM_FLOWS=500 cargo run -q --release -p edm-bench --bin topo_sweep > /dev/null
-
-echo "==> bench_json emits machine-readable baselines"
-EDM_BENCH_ITERS=2 cargo run -q --release -p edm-bench --bin bench_json -- \
-    --out "$(mktemp -d)" > /dev/null
-
-echo "==> property suites at ${PROPTEST_CASES:=1024} cases"
-PROPTEST_CASES="$PROPTEST_CASES" cargo test -q --release \
-    -p edm-core -p edm-phy -p edm-sched -p edm-memory -p edm-sim -p edm-topo \
-    --test "prop_*"
-
 echo "ci.sh: all green"

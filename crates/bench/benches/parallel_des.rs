@@ -1,0 +1,32 @@
+//! Criterion bench for the parallel conservative DES: wall-clock of one
+//! 288-node leaf–spine simulation, sequential vs sharded across cores.
+//!
+//! The sharded runs are bit-identical to the sequential one (pinned by
+//! `prop_parallel`), so every point simulates exactly the same events —
+//! the only variable is the engine. On a single-core container the
+//! sharded points measure protocol overhead rather than speedup; read
+//! them as same-machine A/B pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use edm_bench::scenarios;
+use edm_topo::TopoEdm;
+use std::hint::black_box;
+
+fn bench_parallel_des(c: &mut Criterion) {
+    let topo = scenarios::leaf_spine_288(1);
+    let flows = scenarios::rack_flows_288(0.6, 0.5, 500);
+    let proto = TopoEdm::default();
+    let mut g = c.benchmark_group("topo/parallel_des_288/500_flows");
+    g.bench_function("sequential", |b| {
+        b.iter(|| black_box(proto.simulate(&topo, &flows).delivered()))
+    });
+    for shards in [2usize, 4] {
+        g.bench_function(format!("shards_{shards}"), |b| {
+            b.iter(|| black_box(proto.simulate_sharded(&topo, &flows, shards).delivered()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_des);
+criterion_main!(benches);

@@ -225,6 +225,59 @@ fn topo_group(iters: usize) -> Vec<Entry> {
     out
 }
 
+/// Parallel conservative DES: the 288-node leaf–spine acceptance
+/// workload, sequential vs sharded. The first entry is the sequential
+/// baseline, then one entry per shard count.
+fn par_group(iters: usize) -> Vec<Entry> {
+    let topo = scenarios::leaf_spine_288(1);
+    let flows = scenarios::rack_flows_288(0.6, 0.5, 2000);
+    let proto = TopoEdm::default();
+    let mut out = vec![measure("par/leaf_spine_288_2000/sequential", iters, || {
+        timed(|| proto.simulate(&topo, &flows).delivered())
+    })];
+    for shards in [2usize, 4] {
+        out.push(measure(
+            &format!("par/leaf_spine_288_2000/shards_{shards}"),
+            iters,
+            || timed(|| proto.simulate_sharded(&topo, &flows, shards).delivered()),
+        ));
+    }
+    out
+}
+
+/// Writes `BENCH_par.json`: plain `ns_per_iter` rows (schema-compatible
+/// with every other group, so min-merging tools stay correct) plus a
+/// separate typed `speedup_vs_sequential` map of unit-less ratios
+/// (sequential time / sharded time; ≤ 1 on a single-core machine, the
+/// ≥ 2x acceptance target needs real cores).
+fn write_par_group(dir: &std::path::Path, entries: &[Entry]) {
+    let seq = &entries[0];
+    let mut json = String::new();
+    json.push_str("{\n  \"group\": \"par\",\n  \"unit\": \"ns_per_iter\",\n  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"min_ns\": {:.1}, \"mean_ns\": {:.1}, \"iters\": {}}}{comma}\n",
+            e.name, e.min_ns, e.mean_ns, e.iters
+        ));
+    }
+    json.push_str("  ],\n  \"speedup_vs_sequential\": {\n");
+    let shard_rows: Vec<&Entry> = entries[1..].iter().collect();
+    for (i, e) in shard_rows.iter().enumerate() {
+        let comma = if i + 1 < shard_rows.len() { "," } else { "" };
+        let label = e.name.rsplit('/').next().expect("named entry");
+        json.push_str(&format!(
+            "    \"{label}\": {{\"min\": {:.3}, \"mean\": {:.3}}}{comma}\n",
+            seq.min_ns / e.min_ns,
+            seq.mean_ns / e.mean_ns
+        ));
+    }
+    json.push_str("  }\n}\n");
+    let path = dir.join("BENCH_par.json");
+    std::fs::write(&path, json).expect("write baseline file");
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let out_dir = args
@@ -243,4 +296,5 @@ fn main() {
     write_group(&out_dir, "fig8", &fig8_group(iters));
     write_group(&out_dir, "sched", &sched_group(iters));
     write_group(&out_dir, "topo", &topo_group(iters));
+    write_par_group(&out_dir, &par_group(iters));
 }

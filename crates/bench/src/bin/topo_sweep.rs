@@ -10,7 +10,11 @@
 //! Run: `cargo run --release -p edm-bench --bin topo_sweep`
 //!
 //! Optional env: `EDM_FLOWS` (default 2000), `EDM_LOAD` (default 0.6),
-//! `EDM_LOCAL` (default 0.5, fraction of rack-local requests).
+//! `EDM_LOCAL` (default 0.5, fraction of rack-local requests),
+//! `EDM_SHARDS` (default 1: sequential engine; > 1 runs every point on
+//! the sharded conservative engine — bit-identical results — and the
+//! footer reports the sequential-vs-sharded A/B on the non-blocking
+//! fabric).
 
 use edm_bench::{par_sweep, scenarios};
 use edm_core::sim::{ClusterConfig, EdmProtocol, FabricProtocol, Flow, FlowKind};
@@ -70,11 +74,17 @@ fn main() {
     let count = env_f64("EDM_FLOWS", 2000.0) as usize;
     let load = env_f64("EDM_LOAD", 0.6);
     let local = env_f64("EDM_LOCAL", 0.5);
+    let shards = env_f64("EDM_SHARDS", 1.0) as usize;
 
     println!(
         "Leaf-spine sweep: 288 nodes (4 leaves x 72), 2 spines, load {load}, \
-         {:.0}% rack-local, {count} flows",
-        local * 100.0
+         {:.0}% rack-local, {count} flows, {} engine",
+        local * 100.0,
+        if shards > 1 {
+            format!("{shards}-shard")
+        } else {
+            "sequential".to_string()
+        }
     );
     println!();
     println!(
@@ -96,7 +106,11 @@ fn main() {
         });
         let solos = SoloTable::measure(&proto, &topo, &spec);
         let t0 = std::time::Instant::now();
-        let result = proto.simulate(&topo, &flows);
+        let result = if shards > 1 {
+            proto.simulate_sharded(&topo, &flows, shards)
+        } else {
+            proto.simulate(&topo, &flows)
+        };
         let wall = t0.elapsed();
         let mut norm = result.normalized_mct(|f| solos.solo(&spec, f));
         format!(
@@ -148,6 +162,16 @@ fn main() {
     let proto = TopoEdm::default();
     let topo_per_flow = best_of(&mut || proto.simulate(&topo, &flows).outcomes.len());
     let events = proto.simulate(&topo, &flows).events;
+    if shards > 1 {
+        let par_per_flow =
+            best_of(&mut || proto.simulate_sharded(&topo, &flows, shards).outcomes.len());
+        println!();
+        println!(
+            "parallel DES A/B (non-blocking fabric): sequential {topo_per_flow:.2} us/flow, \
+             {shards} shards {par_per_flow:.2} us/flow ({:.2}x speedup)",
+            topo_per_flow / par_per_flow
+        );
+    }
     let one_switch = edm_topo::cluster_topology(&cluster);
     let framework_per_flow =
         best_of(&mut || proto.simulate(&one_switch, &legacy_flows).outcomes.len());

@@ -232,6 +232,64 @@ impl Default for EdmProtocol {
     }
 }
 
+/// Content-derived event order keys for the deterministic worlds.
+///
+/// The event engine orders same-time events by `(ord, seq)`
+/// ([`edm_sim::EventQueue::schedule_ordered`]). Every world that must be
+/// bit-identical between sequential and sharded execution derives `ord`
+/// purely from event content through these helpers, so the same event
+/// sorts into the same tie position regardless of where (or in which
+/// shard) it was scheduled. The rank order is load-bearing: at one
+/// instant, faults strike first, then reroutes, then demand arrivals,
+/// then chunk arrivals, then scheduler polls — each rank keyed by a
+/// value unique among the simultaneous events of that rank (fault index,
+/// flow id, or the granting switch's monotone grant sequence).
+pub mod evord {
+    /// Bits reserved for the per-switch grant sequence in a chunk key.
+    const GSEQ_BITS: u32 = 40;
+
+    const fn rank(r: u64, payload: u64) -> u64 {
+        r << 56 | payload
+    }
+
+    /// A planned fault striking (keyed by fault-plan index).
+    pub fn fault(idx: u32) -> u64 {
+        rank(0, idx as u64)
+    }
+
+    /// A bumped flow re-entering after its reroute delay.
+    pub fn reroute(flow: u32) -> u64 {
+        rank(1, flow as u64)
+    }
+
+    /// A flow's demand reaching its hop-0 switch.
+    pub fn demand(flow: u32) -> u64 {
+        rank(2, flow as u64)
+    }
+
+    /// A granted chunk's last byte reaching its next element, keyed by
+    /// the granting switch and its monotone grant sequence (so chunks of
+    /// one switch tie in grant order, and chunks of different switches
+    /// tie deterministically).
+    pub fn chunk(switch: u16, gseq: u64) -> u64 {
+        debug_assert!(gseq < 1 << GSEQ_BITS, "grant sequence overflow");
+        rank(
+            3,
+            (switch as u64) << GSEQ_BITS | (gseq & ((1 << GSEQ_BITS) - 1)),
+        )
+    }
+
+    /// One switch's scheduler poll.
+    pub fn poll(switch: u16) -> u64 {
+        rank(4, switch as u64)
+    }
+
+    /// A cross-shard delivery-credit record (state sync, never an event).
+    pub fn credit(flow: u32) -> u64 {
+        rank(5, flow as u64)
+    }
+}
+
 // ---------------------------------------------------------------------
 // Switch scheduling domain — the per-switch half of the simulator,
 // shared between the single-switch world here and `edm-topo`'s
@@ -274,12 +332,14 @@ pub struct DomainGrant {
     pub dst: u16,
     /// Bytes granted in this chunk.
     pub chunk_bytes: u32,
-    /// Whether this chunk completes the message.
-    pub last: bool,
     /// Token of the message's first (oldest) constituent offer — for
     /// mega messages every constituent shares the batch key, so this is
     /// representative for routing purposes.
     pub token: u64,
+    /// This domain's monotone grant sequence number — the content key
+    /// worlds use to order simultaneous chunk events deterministically
+    /// ([`evord::chunk`]).
+    pub gseq: u64,
 }
 
 /// The offers a scheduled message carries. The overwhelmingly common
@@ -354,6 +414,8 @@ pub struct SwitchDomain {
     targets: Vec<MsgState>,
     /// Pending offers blocked on the per-pair X limit.
     backlog: std::collections::VecDeque<DomainOffer>,
+    /// Monotone grant counter (the [`DomainGrant::gseq`] source).
+    grant_seq: u64,
     poll_at: Option<Time>,
     /// Times of poll events currently in the caller's queue (tiny; one
     /// live plus at most a few superseded). A superseded event whose time
@@ -378,6 +440,7 @@ impl SwitchDomain {
             pair_meta: vec![0; pairs],
             targets: Vec::new(),
             backlog: std::collections::VecDeque::new(),
+            grant_seq: 0,
             poll_at: None,
             scheduled_polls: Vec::new(),
             poll_scratch: PollResult::default(),
@@ -609,13 +672,15 @@ impl SwitchDomain {
                     next as u64 | (fifo & 0xFFFF_FFFF_0000_0000)
                 };
             }
+            let gseq = self.grant_seq;
+            self.grant_seq += 1;
             self.grants_scratch.push(DomainGrant {
                 slot: slot as u32,
                 src: g.src,
                 dst: g.dest,
                 chunk_bytes: g.chunk_bytes,
-                last: g.is_final(),
                 token: self.targets[slot].first_token(),
+                gseq,
             });
         }
         let sched_latency = result.sched_latency;
@@ -629,17 +694,23 @@ impl SwitchDomain {
     /// arrive; `on_complete(token, bytes)` fires once per completed offer.
     /// Returns `true` when the message finished (a pair slot freed and
     /// backlogged demand was admitted — the caller should poll at `now`).
+    ///
+    /// Completion is *byte-counted*, not flagged by the final grant:
+    /// background-IP jitter can land a small final chunk before its
+    /// (larger) predecessor, so the finishing arrival is whichever chunk
+    /// brings the delivered total to the message size. A message whose
+    /// remainder was [cancelled](Self::cancel) never reaches its total
+    /// and therefore never completes or frees a second admission slot.
     pub fn deliver(
         &mut self,
         now: Time,
         slot: u32,
         bytes: u32,
-        last: bool,
         mut on_complete: impl FnMut(u64, u32),
     ) -> bool {
         let st = &mut self.targets[slot as usize];
         st.delivered += bytes;
-        match &st.body {
+        let total = match &st.body {
             MsgBody::Single {
                 token,
                 bytes: total,
@@ -648,6 +719,7 @@ impl SwitchDomain {
                     on_complete(*token, *total);
                     st.next_sub = 1;
                 }
+                *total
             }
             MsgBody::Batch { tokens, prefix } => {
                 while (st.next_sub as usize) < tokens.len()
@@ -658,9 +730,11 @@ impl SwitchDomain {
                     on_complete(tokens[i], prefix[i] - start);
                     st.next_sub += 1;
                 }
+                *prefix.last().expect("batch is non-empty")
             }
-        }
-        if last {
+        };
+        debug_assert!(st.delivered <= total, "over-delivery");
+        if st.delivered >= total {
             debug_assert_eq!(st.next_sub, st.sub_count(), "all sub-offers done");
             // A pair slot freed: admit backlogged demand.
             self.admit_from_backlog(now);
@@ -668,6 +742,74 @@ impl SwitchDomain {
         } else {
             false
         }
+    }
+
+    /// Withdraws the ungranted remainder of an *unbatched* offer (by its
+    /// token): sender-side demand revocation after a failure reroute.
+    ///
+    /// Finds the offer wherever it queues — the per-pair X backlog (never
+    /// notified: simply dropped) or the pair's in-flight FIFO (its
+    /// [`edm_sched::Scheduler`] message is cancelled and the FIFO entry
+    /// unlinked). Chunks already granted stay in flight; their delivery
+    /// bookkeeping still runs, but the message can no longer complete, so
+    /// no completion callback ever fires for it. Freeing the admission
+    /// slot admits backlogged demand, exactly like a completion — the
+    /// caller should poll at `now` when `true` is returned and demand
+    /// remains.
+    ///
+    /// Offers folded into a §3.1.2 mega message are *not* cancellable
+    /// (the notification covers the whole batch); those keep the
+    /// documented stale-demand pessimism and `false` is returned.
+    pub fn cancel(&mut self, now: Time, src: u16, dst: u16, token: u64) -> bool {
+        let pi = self.pair_idx(src, dst);
+        // Still in the X backlog: never notified, just drop it.
+        if self.pair_meta[pi] as u32 > 0 {
+            let before = self.backlog.len();
+            self.backlog
+                .retain(|o| !(o.src == src && o.dst == dst && o.token == token));
+            let removed = (before - self.backlog.len()) as u64;
+            if removed > 0 {
+                self.pair_meta[pi] -= removed;
+                return true;
+            }
+        }
+        // Admitted: walk the pair's in-flight FIFO for the unbatched
+        // message carrying this token.
+        let fifo = self.pair_fifo[pi];
+        let (head, tail) = (fifo as u32, (fifo >> 32) as u32);
+        let mut prev: u32 = 0;
+        let mut cur = head;
+        while cur != 0 {
+            let slot = (cur - 1) as usize;
+            let next = self.targets[slot].next_in_pair;
+            let hit = matches!(
+                self.targets[slot].body,
+                MsgBody::Single { token: t, .. } if t == token
+            );
+            if hit {
+                let outcome = self.scheduler.cancel(src, dst, self.targets[slot].msg_id);
+                debug_assert!(
+                    matches!(outcome, edm_sched::CancelOutcome::Cancelled { .. }),
+                    "a pair-FIFO member is always queued or waiting"
+                );
+                let new_head = if prev == 0 { next } else { head };
+                let new_tail = if cur == tail { prev } else { tail };
+                self.pair_fifo[pi] = if new_head == 0 {
+                    0
+                } else {
+                    new_head as u64 | (new_tail as u64) << 32
+                };
+                if prev != 0 {
+                    self.targets[(prev - 1) as usize].next_in_pair = next;
+                }
+                // The admission slot freed: admit backlogged demand.
+                self.admit_from_backlog(now);
+                return true;
+            }
+            prev = cur;
+            cur = next;
+        }
+        false
     }
 }
 
@@ -678,7 +820,7 @@ enum EdmEv {
     /// Scheduler poll.
     Poll,
     /// A chunk's last byte reaches the flow's data destination.
-    ChunkDelivered { slot: u32, bytes: u32, last: bool },
+    ChunkDelivered { slot: u32, bytes: u32 },
 }
 
 struct EdmWorld {
@@ -706,7 +848,7 @@ impl World for EdmWorld {
                     token: flow_idx as u64,
                 };
                 if self.domain.offer(now, offer) && self.domain.note_poll_wanted(now) {
-                    q.schedule(now, EdmEv::Poll);
+                    q.schedule_ordered(now, evord::poll(0), EdmEv::Poll);
                 }
             }
             EdmEv::Poll => {
@@ -724,30 +866,28 @@ impl World for EdmWorld {
                     let data_flight =
                         self.cluster.pipeline_latency / 2 + 2 * self.cluster.prop_delay + chunk_tx;
                     let delivered = now + sched_latency + half + data_flight;
-                    q.schedule(
+                    q.schedule_ordered(
                         delivered,
+                        evord::chunk(0, g.gseq),
                         EdmEv::ChunkDelivered {
                             slot: g.slot,
                             bytes: g.chunk_bytes,
-                            last: g.last,
                         },
                     );
                 }
                 if let Some(t) = next_wakeup {
                     if self.domain.note_poll_wanted(t) {
-                        q.schedule(t, EdmEv::Poll);
+                        q.schedule_ordered(t, evord::poll(0), EdmEv::Poll);
                     }
                 }
             }
-            EdmEv::ChunkDelivered { slot, bytes, last } => {
+            EdmEv::ChunkDelivered { slot, bytes } => {
                 let completed = &mut self.completed;
-                let want_poll = self
-                    .domain
-                    .deliver(now, slot, bytes, last, |token, _bytes| {
-                        completed[token as usize] = Some(now);
-                    });
+                let want_poll = self.domain.deliver(now, slot, bytes, |token, _bytes| {
+                    completed[token as usize] = Some(now);
+                });
                 if want_poll && self.domain.has_demand() && self.domain.note_poll_wanted(now) {
-                    q.schedule(now, EdmEv::Poll);
+                    q.schedule_ordered(now, evord::poll(0), EdmEv::Poll);
                 }
             }
         }
@@ -783,9 +923,11 @@ impl FabricProtocol for EdmProtocol {
                 + cluster.pipeline_latency / 2
                 + cluster.prop_delay
                 + cluster.link.tx_time_bytes(8);
-            engine
-                .queue_mut()
-                .schedule(at, EdmEv::DemandArrives { flow_idx: i });
+            engine.queue_mut().schedule_ordered(
+                at,
+                evord::demand(i as u32),
+                EdmEv::DemandArrives { flow_idx: i },
+            );
         }
         engine.run();
         if sim_debug() {
@@ -978,6 +1120,63 @@ mod tests {
                 w[1]
             );
         }
+    }
+
+    fn pair_offer(token: u64, bytes: u32) -> DomainOffer {
+        DomainOffer {
+            src: 0,
+            dst: 1,
+            bytes,
+            limit: 1,
+            batch_key: token,
+            token,
+        }
+    }
+
+    #[test]
+    fn domain_cancel_withdraws_backlogged_and_admitted_demand() {
+        let mut dom = SwitchDomain::new(edm_sched::SchedulerConfig::default_for_ports(4), false);
+        assert!(dom.offer(Time::ZERO, pair_offer(1, 1000)));
+        assert!(!dom.offer(Time::ZERO, pair_offer(2, 500)), "X=1 backlogs");
+        // The backlogged offer drops without ever being notified.
+        assert!(dom.cancel(Time::ZERO, 0, 1, 2));
+        // The admitted offer's scheduler message is withdrawn.
+        assert!(dom.cancel(Time::ZERO, 0, 1, 1));
+        assert!(!dom.has_demand());
+        assert!(!dom.cancel(Time::ZERO, 0, 1, 1), "nothing left to cancel");
+    }
+
+    #[test]
+    fn domain_cancel_admits_the_backlog_like_a_completion() {
+        let mut dom = SwitchDomain::new(edm_sched::SchedulerConfig::default_for_ports(4), false);
+        assert!(dom.offer(Time::ZERO, pair_offer(1, 1000)));
+        assert!(!dom.offer(Time::ZERO, pair_offer(2, 500)));
+        assert!(dom.cancel(Time::ZERO, 0, 1, 1));
+        assert!(dom.has_demand(), "the backlogged offer takes the slot");
+        let (grants, _, _) = dom.poll(Time::ZERO);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].token, 2);
+    }
+
+    #[test]
+    fn domain_grant_sequence_is_monotone() {
+        let mut dom = SwitchDomain::new(edm_sched::SchedulerConfig::default_for_ports(8), false);
+        for i in 0..3u64 {
+            assert!(dom.offer(
+                Time::ZERO,
+                DomainOffer {
+                    src: 2 * i as u16,
+                    dst: 2 * i as u16 + 1,
+                    bytes: 64,
+                    limit: 3,
+                    batch_key: i,
+                    token: i,
+                }
+            ));
+        }
+        let (grants, _, _) = dom.poll(Time::ZERO);
+        let gseqs: Vec<u64> = grants.iter().map(|g| g.gseq).collect();
+        assert_eq!(gseqs, vec![0, 1, 2]);
     }
 
     #[test]

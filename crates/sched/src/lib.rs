@@ -49,7 +49,7 @@ pub use ordered_list::OrderedList;
 pub use pim::{Matching, PimConfig, PimRunner, SparseOutcome};
 pub use priority_encoder::PriorityEncoder;
 pub use scheduler::{
-    Grant, Notification, NotifyError, Policy, PollResult, Scheduler, SchedulerConfig,
+    CancelOutcome, Grant, Notification, NotifyError, Policy, PollResult, Scheduler, SchedulerConfig,
 };
 
 /// The scheduler pipeline's clock period on the projected ASIC: 3 GHz

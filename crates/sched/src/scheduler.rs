@@ -115,6 +115,21 @@ impl fmt::Display for NotifyError {
 
 impl std::error::Error for NotifyError {}
 
+/// Outcome of a [`Scheduler::cancel`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The message's ungranted remainder was withdrawn (from the
+    /// notification queue or the pair's waiting FIFO) and its admission
+    /// slot freed.
+    Cancelled {
+        /// Bytes that will now never be granted.
+        remaining: u32,
+    },
+    /// No queued or waiting message matched — it was already fully
+    /// granted (or never notified).
+    NotQueued,
+}
+
 /// Scheduler configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct SchedulerConfig {
@@ -458,6 +473,84 @@ impl Scheduler {
             self.queue_insert(n.dest as usize, key, msg);
         }
         Ok(())
+    }
+
+    /// Withdraws a message's *ungranted* remainder (sender-side demand
+    /// revocation).
+    ///
+    /// This is the recovery primitive multi-switch fabrics need: when a
+    /// flow is rerouted off a dead path, its stale notification would
+    /// otherwise keep drawing grants and draining the whole remainder
+    /// into the failure as blackholed bandwidth. Cancelling removes the
+    /// message from wherever it queues — the destination's notification
+    /// queue (possibly mid-message, after some chunks were granted) or
+    /// the pair's in-order waiting FIFO — frees its admission slot, and
+    /// leaves already-granted chunks untouched (they are in flight; the
+    /// caller models their fate).
+    ///
+    /// Returns [`CancelOutcome::NotQueued`] when no matching message is
+    /// queued or waiting — it was fully granted or never notified.
+    pub fn cancel(&mut self, src: u16, dest: u16, msg_id: u8) -> CancelOutcome {
+        if src as usize >= self.config.ports || dest as usize >= self.config.ports {
+            return CancelOutcome::NotQueued;
+        }
+        let idx = self.pair_idx(src, dest);
+        let d = dest as usize;
+        // Only the pair's head message can be in the notification queue.
+        if self.pair_adm[idx] & HEAD_IN_QUEUE != 0 {
+            if let Some((_, msg)) =
+                self.queues[d].remove_first(|m| m.src == src && m.msg_id == msg_id)
+            {
+                self.row_dirty[d] = true;
+                self.pending -= 1;
+                self.pair_adm[idx] -= 1;
+                // Promote the pair's next waiter (same as a completion).
+                match self.pop_waiting(idx) {
+                    Some(next) => {
+                        let key = self.priority_key(&next);
+                        self.queues[d].insert(key, next);
+                        self.pending += 1;
+                    }
+                    None => self.pair_adm[idx] &= !HEAD_IN_QUEUE,
+                }
+                self.deactivate_if_empty(d);
+                return CancelOutcome::Cancelled {
+                    remaining: msg.remaining,
+                };
+            }
+        }
+        // Not the head: search the pair's waiting FIFO.
+        let w = self.pair_wait[idx];
+        let (head, tail) = (w as u32, (w >> 32) as u32);
+        let mut prev: u32 = 0;
+        let mut cur = head;
+        while cur != 0 {
+            let i = (cur - 1) as usize;
+            let node = self.wait_slab[i];
+            if node.msg.src == src && node.msg.msg_id == msg_id {
+                // Unlink from the pair FIFO and recycle the slab node.
+                if prev == 0 {
+                    self.pair_wait[idx] = if node.next == 0 {
+                        0
+                    } else {
+                        node.next as u64 | (tail as u64) << 32
+                    };
+                } else {
+                    self.wait_slab[(prev - 1) as usize].next = node.next;
+                    let new_tail = if cur == tail { prev } else { tail };
+                    self.pair_wait[idx] = head as u64 | (new_tail as u64) << 32;
+                }
+                self.wait_slab[i].next = self.wait_free;
+                self.wait_free = cur;
+                self.pair_adm[idx] -= 1;
+                return CancelOutcome::Cancelled {
+                    remaining: node.msg.remaining,
+                };
+            }
+            prev = cur;
+            cur = node.next;
+        }
+        CancelOutcome::NotQueued
     }
 
     /// Runs one scheduling round at time `now` (§3.1.1, "Grant").
@@ -819,6 +912,87 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids, vec![0, 1], "both messages eventually granted");
+    }
+
+    #[test]
+    fn cancel_withdraws_queued_remainder() {
+        let mut s = sched(4, 256, Policy::Srpt);
+        s.notify(Time::ZERO, Notification::new(0, 1, 7, 1000))
+            .unwrap();
+        // One chunk granted, 744 B remain queued.
+        let r = s.poll(Time::ZERO);
+        assert_eq!(r.grants.len(), 1);
+        assert_eq!(
+            s.cancel(0, 1, 7),
+            CancelOutcome::Cancelled { remaining: 744 }
+        );
+        assert_eq!(s.pending_messages(), 0);
+        assert_eq!(s.active_for_pair(0, 1), 0);
+        // The admission slot is free again.
+        s.notify(Time::ZERO, Notification::new(0, 1, 8, 64))
+            .unwrap();
+        assert_eq!(s.active_for_pair(0, 1), 1);
+        // Cancelling again finds nothing.
+        assert_eq!(s.cancel(0, 1, 7), CancelOutcome::NotQueued);
+    }
+
+    #[test]
+    fn cancel_promotes_the_pair_waiter() {
+        let mut s = sched(4, 64, Policy::Fcfs);
+        s.notify(Time::from_ns(1), Notification::new(0, 1, 0, 64))
+            .unwrap();
+        s.notify(Time::from_ns(2), Notification::new(0, 1, 1, 64))
+            .unwrap();
+        // Cancel the queued head: the waiter must take its place and be
+        // granted next.
+        assert_eq!(
+            s.cancel(0, 1, 0),
+            CancelOutcome::Cancelled { remaining: 64 }
+        );
+        assert_eq!(s.pending_messages(), 1);
+        let r = s.poll(Time::from_ns(2));
+        assert_eq!(r.grants.len(), 1);
+        assert_eq!(r.grants[0].msg_id, 1);
+    }
+
+    #[test]
+    fn cancel_unlinks_a_mid_fifo_waiter() {
+        let mut s = sched(4, 64, Policy::Fcfs);
+        for i in 0..3 {
+            s.notify(Time::from_ns(i as u64), Notification::new(0, 1, i, 64))
+                .unwrap();
+        }
+        // msg 1 waits behind the head; cancel it specifically.
+        assert_eq!(
+            s.cancel(0, 1, 1),
+            CancelOutcome::Cancelled { remaining: 64 }
+        );
+        assert_eq!(s.active_for_pair(0, 1), 2);
+        // Remaining messages grant in order 0 then 2, skipping 1.
+        let mut ids = Vec::new();
+        let mut now = Time::from_ns(3);
+        for _ in 0..4 {
+            let r = s.poll(now);
+            ids.extend(r.grants.iter().map(|g| g.msg_id));
+            match r.next_wakeup {
+                Some(t) => now = t,
+                None => break,
+            }
+        }
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn cancel_rejects_unknown_targets() {
+        let mut s = sched(4, 256, Policy::Srpt);
+        assert_eq!(s.cancel(9, 0, 0), CancelOutcome::NotQueued);
+        assert_eq!(s.cancel(0, 1, 3), CancelOutcome::NotQueued);
+        // Fully granted message: nothing left to withdraw.
+        s.notify(Time::ZERO, Notification::new(0, 1, 0, 64))
+            .unwrap();
+        let r = s.poll(Time::ZERO);
+        assert!(r.grants[0].is_final());
+        assert_eq!(s.cancel(0, 1, 0), CancelOutcome::NotQueued);
     }
 
     #[test]

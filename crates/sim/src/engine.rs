@@ -31,8 +31,10 @@
 //! members carry increasing sequence numbers — appends directly.
 //!
 //! Three invariants make the structure exactly equivalent to a sorted
-//! list over `(time, seq)` (pinned against [`BinaryHeapEventQueue`] by
-//! the `prop_sim` property suite):
+//! list over `(time, ord, seq)` (pinned against [`BinaryHeapEventQueue`]
+//! by the `prop_sim` property suite), where `ord` is an optional
+//! caller-supplied 64-bit order key ([`EventQueue::schedule_ordered`];
+//! plain [`EventQueue::schedule`] uses 0, preserving pure FIFO ties):
 //!
 //! 1. **Window partition** — bucket `i` holds only events with
 //!    `(t - year_start) >> width_log2 == i`; everything at or past the
@@ -42,12 +44,18 @@
 //!    empty: `pop` leaves the cursor on the bucket it popped from and
 //!    `schedule` rewinds it when inserting earlier into the current year,
 //!    so the forward scan never skips an earlier event.
-//! 3. **FIFO tie-break** — every entry carries a monotonically increasing
-//!    sequence number and all orderings (bucket lists, overflow heap)
-//!    compare `(time, seq)`, so simultaneous events pop in schedule order
-//!    no matter which buckets, resizes, or overflow drains they traveled
-//!    through. This is load-bearing: worlds in `edm-core` and `edm-topo`
-//!    are only deterministic because ties resolve by schedule order.
+//! 3. **Keyed FIFO tie-break** — every entry carries its order key and a
+//!    monotonically increasing sequence number, and all orderings (bucket
+//!    lists, overflow heap) compare `(time, ord, seq)`, so simultaneous
+//!    events pop by order key, schedule order within a key, no matter
+//!    which buckets, resizes, or overflow drains they traveled through.
+//!    This is load-bearing twice over: worlds in `edm-core` and
+//!    `edm-topo` are only deterministic because ties resolve this way,
+//!    and the parallel conservative engine ([`crate::sharded`]) is only
+//!    *bit-identical* to the sequential run because the order key is a
+//!    pure function of event content — the same key sorts an event into
+//!    the same tie position whether it was scheduled locally or merged
+//!    in from another shard at a window barrier.
 //!
 //! Resizing is automatic: the queue starts with **zero buckets** (a
 //! plain binary heap — allocation free until first use), engages the
@@ -86,13 +94,14 @@ const NIL: u32 = u32::MAX;
 #[derive(Debug)]
 struct Entry<E> {
     at: Time,
+    ord: u64,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.ord == other.ord && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -103,7 +112,7 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.ord, self.seq).cmp(&(other.at, other.ord, other.seq))
     }
 }
 
@@ -112,6 +121,7 @@ impl<E> Ord for Entry<E> {
 #[derive(Debug)]
 struct Node<E> {
     at: Time,
+    ord: u64,
     seq: u64,
     next: u32,
     event: Option<E>,
@@ -190,13 +200,30 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
+    /// Schedules `event` to fire at absolute time `at` with order key 0
+    /// (pure FIFO among same-time events scheduled this way).
     pub fn schedule(&mut self, at: Time, event: E) {
+        self.schedule_ordered(at, 0, event);
+    }
+
+    /// Schedules `event` at `at` with an explicit order key: same-time
+    /// events pop in ascending `ord`, schedule order within a key.
+    ///
+    /// Worlds that must stay bit-identical between sequential and
+    /// sharded execution derive `ord` purely from event content, so a
+    /// cross-shard event merged at a window barrier lands in exactly the
+    /// tie position it would have occupied in a single-queue run.
+    pub fn schedule_ordered(&mut self, at: Time, ord: u64, event: E) {
         let seq = self.seq;
         self.seq += 1;
         self.length += 1;
         if self.heads.is_empty() {
-            self.overflow.push(Reverse(Entry { at, seq, event }));
+            self.overflow.push(Reverse(Entry {
+                at,
+                ord,
+                seq,
+                event,
+            }));
         } else {
             if at.as_ps() < self.year_start {
                 // Scheduling before the current year: rewind the window so
@@ -205,7 +232,7 @@ impl<E> EventQueue<E> {
             }
             let idx = (at.as_ps() - self.year_start) >> self.width_log2;
             if idx < self.heads.len() as u64 {
-                let node = self.alloc(at, seq, event);
+                let node = self.alloc(at, ord, seq, event);
                 let walk = self.insert_bucket(idx as usize, node);
                 if (idx as usize) < self.cur_bucket {
                     self.cur_bucket = idx as usize;
@@ -222,7 +249,12 @@ impl<E> EventQueue<E> {
                     return;
                 }
             } else {
-                self.overflow.push(Reverse(Entry { at, seq, event }));
+                self.overflow.push(Reverse(Entry {
+                    at,
+                    ord,
+                    seq,
+                    event,
+                }));
             }
         }
         // Grow (or first engage) when occupancy outruns the bucket count.
@@ -254,7 +286,7 @@ impl<E> EventQueue<E> {
             let b = self.first_nonempty().expect("in_buckets > 0");
             self.cur_bucket = b;
             let node = self.pop_bucket(b);
-            let (at, _, event) = self.release(node);
+            let (at, _, _, event) = self.release(node);
             (at, event)
         };
         self.length -= 1;
@@ -306,12 +338,13 @@ impl<E> EventQueue<E> {
     }
 
     /// Takes a node from the free list (or grows the slab).
-    fn alloc(&mut self, at: Time, seq: u64, event: E) -> u32 {
+    fn alloc(&mut self, at: Time, ord: u64, seq: u64, event: E) -> u32 {
         if self.free != NIL {
             let i = self.free;
             let n = &mut self.nodes[i as usize];
             self.free = n.next;
             n.at = at;
+            n.ord = ord;
             n.seq = seq;
             n.next = NIL;
             n.event = Some(event);
@@ -319,6 +352,7 @@ impl<E> EventQueue<E> {
         } else {
             self.nodes.push(Node {
                 at,
+                ord,
                 seq,
                 next: NIL,
                 event: Some(event),
@@ -328,19 +362,19 @@ impl<E> EventQueue<E> {
     }
 
     /// Returns a node's payload and recycles it onto the free list.
-    fn release(&mut self, i: u32) -> (Time, u64, E) {
+    fn release(&mut self, i: u32) -> (Time, u64, u64, E) {
         let n = &mut self.nodes[i as usize];
         let event = n.event.take().expect("releasing an occupied node");
-        let out = (n.at, n.seq, event);
+        let out = (n.at, n.ord, n.seq, event);
         n.next = self.free;
         self.free = i;
         out
     }
 
-    /// `(time, seq)` key of a live node.
-    fn key(&self, i: u32) -> (Time, u64) {
+    /// `(time, ord, seq)` key of a live node.
+    fn key(&self, i: u32) -> (Time, u64, u64) {
         let n = &self.nodes[i as usize];
-        (n.at, n.seq)
+        (n.at, n.ord, n.seq)
     }
 
     /// Threads `node` into bucket `b`'s sorted list and returns the walk
@@ -405,8 +439,13 @@ impl<E> EventQueue<E> {
                 let mut i = self.heads[b];
                 while i != NIL {
                     let next = self.nodes[i as usize].next;
-                    let (at, seq, event) = self.release(i);
-                    self.overflow.push(Reverse(Entry { at, seq, event }));
+                    let (at, ord, seq, event) = self.release(i);
+                    self.overflow.push(Reverse(Entry {
+                        at,
+                        ord,
+                        seq,
+                        event,
+                    }));
                     i = next;
                 }
                 self.heads[b] = NIL;
@@ -422,8 +461,13 @@ impl<E> EventQueue<E> {
             if idx >= self.heads.len() as u64 {
                 break;
             }
-            let Reverse(Entry { at, seq, event }) = self.overflow.pop().expect("peeked");
-            let node = self.alloc(at, seq, event);
+            let Reverse(Entry {
+                at,
+                ord,
+                seq,
+                event,
+            }) = self.overflow.pop().expect("peeked");
+            let node = self.alloc(at, ord, seq, event);
             self.insert_bucket(idx as usize, node);
         }
     }
@@ -439,8 +483,13 @@ impl<E> EventQueue<E> {
             let mut i = self.heads[b];
             while i != NIL {
                 let next = self.nodes[i as usize].next;
-                let (at, seq, event) = self.release(i);
-                all.push(Entry { at, seq, event });
+                let (at, ord, seq, event) = self.release(i);
+                all.push(Entry {
+                    at,
+                    ord,
+                    seq,
+                    event,
+                });
                 i = next;
             }
         }
@@ -467,7 +516,7 @@ impl<E> EventQueue<E> {
             // Engaging straight out of the heap (or everything had
             // marched into overflow): order the population so the head
             // sample below exists and reinserts tail-append.
-            all.sort_unstable_by_key(|e| (e.at, e.seq));
+            all.sort_unstable_by_key(|e| (e.at, e.ord, e.seq));
             all.len()
         };
         let nbuckets = (self.length * 2)
@@ -509,13 +558,24 @@ impl<E> EventQueue<E> {
         // overflow-sourced suffix (if any) is heap-ordered, but those
         // events spread across the fresh geometry or return to overflow,
         // so their walks stay short.
-        for Entry { at, seq, event } in all {
+        for Entry {
+            at,
+            ord,
+            seq,
+            event,
+        } in all
+        {
             let idx = (at.as_ps() - self.year_start) >> self.width_log2;
             if idx < nbuckets as u64 {
-                let node = self.alloc(at, seq, event);
+                let node = self.alloc(at, ord, seq, event);
                 self.insert_bucket(idx as usize, node);
             } else {
-                self.overflow.push(Reverse(Entry { at, seq, event }));
+                self.overflow.push(Reverse(Entry {
+                    at,
+                    ord,
+                    seq,
+                    event,
+                }));
             }
         }
     }
@@ -560,11 +620,22 @@ impl<E> BinaryHeapEventQueue<E> {
         }
     }
 
-    /// Schedules `event` to fire at absolute time `at`.
+    /// Schedules `event` to fire at absolute time `at` (order key 0).
     pub fn schedule(&mut self, at: Time, event: E) {
+        self.schedule_ordered(at, 0, event);
+    }
+
+    /// Schedules `event` at `at` with an explicit order key — same
+    /// semantics as [`EventQueue::schedule_ordered`].
+    pub fn schedule_ordered(&mut self, at: Time, ord: u64, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+        self.heap.push(Reverse(Entry {
+            at,
+            ord,
+            seq,
+            event,
+        }));
     }
 
     /// Removes and returns the earliest event, if any.
@@ -992,6 +1063,46 @@ mod tests {
             scheduled.push((t, 100 + i));
         }
         assert_drains_like_reference(&mut q, &scheduled);
+    }
+
+    #[test]
+    fn order_keys_break_same_time_ties() {
+        // Same-instant events pop by ascending order key regardless of
+        // schedule order; FIFO only within a key. Checked against the
+        // heap reference through a resize-heavy population.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut reference = BinaryHeapEventQueue::new();
+        let mut tag = 0u32;
+        for round in 0..8u64 {
+            for i in 0..40u64 {
+                let t = Time::from_ns(100 * round + (i % 3));
+                let ord = (97 * i + round) % 7;
+                q.schedule_ordered(t, ord, tag);
+                reference.schedule_ordered(t, ord, tag);
+                tag += 1;
+            }
+        }
+        loop {
+            assert_eq!(q.peek_time(), reference.peek_time());
+            let (a, b) = (q.pop(), reference.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_and_plain_scheduling_mix() {
+        // Plain `schedule` is ord 0: it sorts before any positive key at
+        // the same instant and keeps FIFO among itself.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_ordered(Time::from_ns(5), 9, 2);
+        q.schedule(Time::from_ns(5), 0);
+        q.schedule(Time::from_ns(5), 1);
+        q.schedule_ordered(Time::from_ns(5), 3, 3);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 3, 2]);
     }
 
     #[test]

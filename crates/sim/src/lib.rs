@@ -8,9 +8,14 @@
 //! * [`Bandwidth`] — link speeds with exact transmission-delay arithmetic.
 //! * [`EventQueue`] and [`Engine`] — a classic calendar-queue DES driver
 //!   (O(1) expected schedule/pop, self-resizing day buckets plus a
-//!   far-future overflow heap) with deterministic FIFO tie-breaking,
-//!   pinned bit-identical to the dense [`BinaryHeapEventQueue`]
-//!   reference by property tests.
+//!   far-future overflow heap) with deterministic keyed tie-breaking
+//!   (`(time, ord, seq)`), pinned bit-identical to the dense
+//!   [`BinaryHeapEventQueue`] reference by property tests.
+//! * [`sharded`] — a conservative (Chandy–Misra–Bryant-style) parallel
+//!   driver that runs one simulation as several logical processes with
+//!   lookahead-bounded windows and deterministic cross-shard merges
+//!   ([`run_sharded`]); worlds built on content-derived order keys are
+//!   bit-identical to their sequential runs at any shard count.
 //! * [`rng`] — a self-contained, seedable xoshiro256++ generator plus the
 //!   distributions the workloads need (uniform, exponential, empirical CDF).
 //! * [`stats`] — streaming summaries (mean/percentiles/histograms) used by
@@ -45,10 +50,12 @@
 
 pub mod engine;
 pub mod rng;
+pub mod sharded;
 pub mod stats;
 pub mod time;
 
 pub use engine::{BinaryHeapEventQueue, Engine, EventQueue, World};
 pub use rng::Rng;
+pub use sharded::{run_sharded, Envelope, Recipient, ShardWorld, ShardedConfig};
 pub use stats::{Histogram, Summary};
 pub use time::{Bandwidth, Duration, Time};

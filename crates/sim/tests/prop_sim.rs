@@ -161,6 +161,71 @@ proptest! {
         lockstep_drain(&mut cal, &mut reference)?;
     }
 
+    /// Keyed scheduling stays bit-identical to the heap reference under
+    /// random (time, ord) mixes, including plain (ord 0) events riding
+    /// alongside keyed ones and adversarial same-(time, ord) ties that
+    /// must fall back to FIFO.
+    #[test]
+    fn calendar_queue_ordered_matches_reference(
+        ops in proptest::collection::vec((0u8..6, 0u64..4_096, 0u64..8), 1..400)
+    ) {
+        let mut cal = EventQueue::new();
+        let mut reference = BinaryHeapEventQueue::new();
+        let mut tag = 0u32;
+        for &(op, raw, ord) in &ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(cal.peek_time(), reference.peek_time());
+                    prop_assert_eq!(cal.pop(), reference.pop());
+                }
+                1 => {
+                    // Plain schedule (ord 0) mixed in.
+                    tag += 1;
+                    cal.schedule(Time::from_ps(raw % 64), tag);
+                    reference.schedule(Time::from_ps(raw % 64), tag);
+                }
+                _ => {
+                    tag += 1;
+                    // Few distinct instants: (time, ord) collisions are
+                    // common, exercising the FIFO fallback.
+                    let t = Time::from_ps(raw % 64);
+                    cal.schedule_ordered(t, ord, tag);
+                    reference.schedule_ordered(t, ord, tag);
+                }
+            }
+            prop_assert_eq!(cal.len(), reference.len());
+        }
+        lockstep_drain(&mut cal, &mut reference)?;
+    }
+
+    /// Substream derivation is order-independent: `Rng::stream(seed, i)`
+    /// yields the same sequence no matter how many sibling streams exist
+    /// or in which order they are created, and distinct indices give
+    /// distinct sequences.
+    #[test]
+    fn rng_streams_are_independent_of_sibling_order(
+        seed in any::<u64>(),
+        indices in proptest::collection::vec(0u64..64, 2..8),
+    ) {
+        let draw = |i: u64| {
+            let mut r = Rng::stream(seed, i);
+            (0..8).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        // Forward and reverse creation orders agree per index.
+        let forward: Vec<_> = indices.iter().map(|&i| draw(i)).collect();
+        let reverse: Vec<_> = indices.iter().rev().map(|&i| draw(i)).collect();
+        for (f, r) in forward.iter().zip(reverse.iter().rev()) {
+            prop_assert_eq!(f, r);
+        }
+        for (a, &ia) in forward.iter().zip(&indices) {
+            for (b, &ib) in forward.iter().zip(&indices) {
+                if ia != ib {
+                    prop_assert_ne!(a, b, "streams {} and {} collided", ia, ib);
+                }
+            }
+        }
+    }
+
     /// Time/Duration arithmetic is consistent: (t + d) - t == d and
     /// ordering follows the raw picosecond values.
     #[test]

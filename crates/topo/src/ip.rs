@@ -14,6 +14,14 @@
 //! chunks never push IP frames back (under preemption EDM wins the link by
 //! construction; the IP goodput loss is reported by the §4.2.1 preemption
 //! harness instead).
+//!
+//! Lanes are *directional on trunks*: a full-duplex inter-switch link
+//! carries an independent frame process per direction, keyed by the
+//! granting switch's side. This is both physically faithful and what
+//! makes the model shard-partitionable — each directional lane is only
+//! ever touched by the one switch (hence one shard) that grants onto
+//! it. Host access links keep a single lane (both its crossings are
+//! charged by the same leaf switch).
 
 use edm_sim::{Bandwidth, Duration, Rng, Time};
 
@@ -63,10 +71,13 @@ struct Lane {
     busy_until: Time,
 }
 
-/// The fabric-wide interference model: one independent lane per link.
+/// The fabric-wide interference model: one independent lane per
+/// (link, direction).
 #[derive(Debug)]
 pub(crate) struct IpModel {
     cfg: IpTraffic,
+    /// Two lane slots per link (`link * 2 + side`); access links only
+    /// ever use side 0, trunk sides are keyed by the granting switch.
     lanes: Vec<Option<Lane>>,
     frames: u64,
     delayed: u64,
@@ -81,13 +92,13 @@ impl IpModel {
         );
         IpModel {
             cfg,
-            lanes: vec![None; link_count],
+            lanes: vec![None; link_count * 2],
             frames: 0,
             delayed: 0,
         }
     }
 
-    /// IP frames generated so far.
+    /// IP frames generated so far (on lanes this model instance owns).
     pub(crate) fn frames(&self) -> u64 {
         self.frames
     }
@@ -97,8 +108,17 @@ impl IpModel {
         self.delayed
     }
 
-    /// The extra latency a memory chunk crossing `link` at `at` observes.
-    pub(crate) fn crossing_delay(&mut self, link: u32, at: Time, bw: Bandwidth) -> Duration {
+    /// The extra latency a memory chunk crossing `link` (direction
+    /// `side`) at `at` observes. The lane's frame stream is a pure
+    /// function of `(seed, link, side)`, never of which model instance
+    /// or shard materializes it.
+    pub(crate) fn crossing_delay(
+        &mut self,
+        link: u32,
+        side: u8,
+        at: Time,
+        bw: Bandwidth,
+    ) -> Duration {
         if self.cfg.fraction <= 0.0 {
             return Duration::ZERO;
         }
@@ -106,9 +126,9 @@ impl IpModel {
         // Offered fraction f at mean inter-arrival gap = frame_tx / f.
         let gap = Duration::from_ps((frame_tx.as_ps() as f64 / self.cfg.fraction).round() as u64);
         let seed = self.cfg.seed;
-        let lane = self.lanes[link as usize].get_or_insert_with(|| {
-            let mut rng =
-                Rng::seed_from(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(link as u64 + 1)));
+        let lane = self.lanes[link as usize * 2 + side as usize].get_or_insert_with(|| {
+            let stream = (link as u64) << 1 | side as u64;
+            let mut rng = Rng::stream(seed, stream);
             let first = Time::ZERO + rng.exp_duration(gap);
             Lane {
                 rng,
@@ -144,7 +164,7 @@ mod tests {
     fn zero_fraction_is_free() {
         let mut m = IpModel::new(IpTraffic::default(), 4);
         let bw = Bandwidth::from_gbps(100);
-        assert_eq!(m.crossing_delay(0, Time::from_us(3), bw), Duration::ZERO);
+        assert_eq!(m.crossing_delay(0, 0, Time::from_us(3), bw), Duration::ZERO);
         assert_eq!(m.frames(), 0);
     }
 
@@ -159,7 +179,7 @@ mod tests {
         let block = bw.tx_time_bits(66);
         let mut hit = false;
         for ns in (0..20_000).step_by(37) {
-            let d = m.crossing_delay(0, Time::from_ns(ns), bw);
+            let d = m.crossing_delay(0, 0, Time::from_ns(ns), bw);
             assert!(d <= block, "delay {d} exceeds a block time {block}");
             hit |= d > Duration::ZERO;
         }
@@ -180,7 +200,7 @@ mod tests {
         let block = bw.tx_time_bits(66);
         let mut max = Duration::ZERO;
         for ns in (0..50_000).step_by(13) {
-            max = max.max(m.crossing_delay(0, Time::from_ns(ns), bw));
+            max = max.max(m.crossing_delay(0, 0, Time::from_ns(ns), bw));
         }
         assert!(max > block, "store-and-wait must exceed a block time");
         // The worst wait cannot exceed the residual backlog of a few
@@ -198,14 +218,42 @@ mod tests {
             ..IpTraffic::default()
         };
         let bw = Bandwidth::from_gbps(100);
-        let sample = |link: u32| {
+        let sample = |link: u32, side: u8| {
             let mut m = IpModel::new(cfg, 4);
             (0..2_000)
                 .step_by(11)
-                .map(|ns| m.crossing_delay(link, Time::from_ns(ns), bw).as_ps())
+                .map(|ns| m.crossing_delay(link, side, Time::from_ns(ns), bw).as_ps())
                 .collect::<Vec<_>>()
         };
-        assert_eq!(sample(1), sample(1), "deterministic per link");
-        assert_ne!(sample(1), sample(2), "independent across links");
+        assert_eq!(sample(1, 0), sample(1, 0), "deterministic per lane");
+        assert_ne!(sample(1, 0), sample(2, 0), "independent across links");
+        assert_ne!(sample(1, 0), sample(1, 1), "independent across directions");
+    }
+
+    #[test]
+    fn lanes_do_not_depend_on_the_materializing_instance() {
+        // Two model instances each driving a disjoint lane subset see
+        // exactly the streams one instance driving both would see — the
+        // property that lets shards own disjoint lane sets.
+        let cfg = IpTraffic {
+            fraction: 0.5,
+            ..IpTraffic::default()
+        };
+        let bw = Bandwidth::from_gbps(100);
+        let mut whole = IpModel::new(cfg, 2);
+        let mut part_a = IpModel::new(cfg, 2);
+        let mut part_b = IpModel::new(cfg, 2);
+        let mut frames_whole = Vec::new();
+        let mut frames_split = Vec::new();
+        for ns in (0..3_000).step_by(17) {
+            let t = Time::from_ns(ns);
+            frames_whole.push(whole.crossing_delay(0, 0, t, bw).as_ps());
+            frames_whole.push(whole.crossing_delay(1, 1, t, bw).as_ps());
+            frames_split.push(part_a.crossing_delay(0, 0, t, bw).as_ps());
+            frames_split.push(part_b.crossing_delay(1, 1, t, bw).as_ps());
+        }
+        assert_eq!(frames_whole, frames_split);
+        assert_eq!(whole.frames(), part_a.frames() + part_b.frames());
+        assert_eq!(whole.delayed(), part_a.delayed() + part_b.delayed());
     }
 }

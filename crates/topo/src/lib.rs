@@ -15,8 +15,14 @@
 //!   EDM scheduler (`edm_core::sim::SwitchDomain`, the PR 2 sparse PIM
 //!   core) per switch, with inter-switch grant coordination by chunk
 //!   arrival, failure injection with deterministic reroute-or-fail
-//!   semantics, and a mixed-traffic mode where background IP flows share
-//!   egress ports with memory traffic ([`ip`]).
+//!   semantics (and sender-side demand revocation on reroute), and a
+//!   mixed-traffic mode where background IP flows share egress ports
+//!   with memory traffic ([`ip`]).
+//! * [`shard`] — partitioning one simulation across cores:
+//!   [`TopoEdm::simulate_sharded`] runs the same world as several
+//!   conservative logical processes (`edm_sim::sharded`), bit-identical
+//!   to the sequential run at any shard count; [`ShardPlan`] derives the
+//!   switch partition and the trunk-latency lookahead.
 //!
 //! A 1-switch [`Topology`] is the *degenerate* case: [`TopoEdm`] on
 //! [`cluster_topology`] is bit-identical to the legacy single-switch
@@ -43,10 +49,12 @@
 #![warn(missing_docs)]
 
 pub mod ip;
+pub mod shard;
 pub mod topology;
 pub mod world;
 
 pub use ip::IpTraffic;
+pub use shard::ShardPlan;
 pub use topology::{Endpoint, Hop, LeafSpine, Link, LinkParams, Route, SwitchRole, Topology};
 pub use world::{
     FaultEvent, FaultKind, FlowStatus, TopoEdm, TopoEdmConfig, TopoOutcome, TopoResult,

@@ -1,6 +1,7 @@
 //! The multi-switch event-driven fabric: one demand-sparse EDM scheduler
 //! per switch, hop-by-hop grant coordination, failure injection, and
-//! mixed IP+memory traffic.
+//! mixed IP+memory traffic — runnable sequentially or sharded across
+//! cores with bit-identical results.
 //!
 //! # Model
 //!
@@ -27,6 +28,41 @@
 //! pairs ([`TopoEdmConfig::trunk_max_active_per_pair`], via the
 //! scheduler's `notify_with_limit` entry point).
 //!
+//! # Deterministic event ordering
+//!
+//! Every event is scheduled with a content-derived order key
+//! ([`edm_core::sim::evord`]): at one instant, faults strike first, then
+//! reroutes, then demand arrivals, then chunk arrivals (keyed by the
+//! granting switch's monotone grant sequence), then scheduler polls.
+//! Because the key is a pure function of event content — never of
+//! scheduling order — the simulation's outcome is independent of *where*
+//! an event was scheduled, which is exactly what lets
+//! [`TopoEdm::simulate_sharded`] split one run across cores and still be
+//! bit-identical to [`TopoEdm::simulate`] (pinned by the
+//! `prop_parallel` lockstep suite).
+//!
+//! # Parallel execution
+//!
+//! [`TopoEdm::simulate_sharded`] partitions the switches into shards
+//! (`crate::shard::ShardPlan`) and runs one logical process per shard
+//! under the conservative window protocol of `edm_sim::sharded`:
+//!
+//! * Each shard owns the [`SwitchDomain`]s, per-direction IP lanes, and
+//!   host events of its switches; a flow's demand/reroute events are
+//!   pinned to its hop-0 leaf's shard.
+//! * Read-mostly control state — topology, routes, flow epochs and
+//!   terminal statuses — is *replicated*: fault and reroute events
+//!   execute identically in every shard, and fault times are window
+//!   *cuts* so replicas agree before anyone observes the change.
+//! * A chunk whose next hop lives in another shard splits into a local
+//!   `Settle` (egress bookkeeping at the granting switch) and a mailed
+//!   `Arrive` (implicit notification at the next switch), both carrying
+//!   the chunk's original order key; a chunk's trunk flight is at least
+//!   the plan's lookahead, so the arrival always lands in a later
+//!   window.
+//! * Final-hop delivery credits broadcast to every shard as state-sync
+//!   records, applied in deterministic order at window barriers.
+//!
 //! # Failures
 //!
 //! [`FaultEvent`]s take links or switches down (or degrade link latency)
@@ -38,22 +74,27 @@
 //! on a freshly computed route, or the flow fails deterministically when
 //! the fabric is partitioned.
 //!
-//! One deliberate pessimism: a bumped flow's stale message stays in its
-//! hop-0 scheduler (there is no sender-side cancel yet), so the *whole*
-//! undelivered remainder — not just chunks already in flight — keeps
-//! draining into the dead path, contending with the retransmission on
-//! the source's access port. This models a sender that never revokes
-//! its announced demand; a `Scheduler::cancel` entry point is the
-//! ROADMAP follow-on that would tighten recovery to the detection
-//! window.
+//! With [`TopoEdmConfig::cancel_stale_demand`] (the default), the epoch
+//! bump also *revokes* the bumped flow's unbatched hop-0 message via
+//! [`SwitchDomain::cancel`]: the dead path's backlog stops counting as
+//! demand, and only chunks already granted at bump time drain as
+//! blackholed bandwidth. Disable the flag to model a sender that never
+//! revokes announced demand (the pre-cancel pessimism, still used as a
+//! lower bound in A/B tests); offers folded into a §3.1.2 mega message
+//! keep that pessimism either way, since their notification covers the
+//! whole batch.
 
 use crate::ip::{IpModel, IpTraffic};
-use crate::topology::{Endpoint, Route, Topology};
+use crate::shard::ShardPlan;
+use crate::topology::{Endpoint, Hop, Route, Topology};
 use edm_core::sim::{
-    ClusterConfig, DomainOffer, EdmProtocol, Flow, FlowKind, FlowOutcome, SimResult, SwitchDomain,
+    evord, ClusterConfig, DomainOffer, EdmProtocol, Flow, FlowKind, FlowOutcome, SimResult,
+    SwitchDomain,
 };
 use edm_sched::{Policy, SchedulerConfig};
+use edm_sim::sharded::{run_sharded, Envelope, Recipient, ShardWorld, ShardedConfig};
 use edm_sim::{Duration, Engine, EventQueue, Summary, Time, World};
+use std::sync::Arc;
 
 /// A failure (or degradation) injected at a point in simulated time.
 #[derive(Debug, Clone, Copy)]
@@ -105,6 +146,12 @@ pub struct TopoEdmConfig {
     /// Detection + recovery time before a failed flow's remaining bytes
     /// re-enter on a new route.
     pub reroute_delay: Duration,
+    /// Whether an epoch bump revokes the bumped flow's unbatched hop-0
+    /// message ([`SwitchDomain::cancel`]), so the dead path's backlog
+    /// stops counting as demand. On by default; turn off to model a
+    /// sender that never revokes announced demand (the documented
+    /// pre-cancel pessimism).
+    pub cancel_stale_demand: bool,
     /// Background IP traffic sharing the links.
     pub ip: IpTraffic,
     /// Fault injection plan.
@@ -123,6 +170,7 @@ impl Default for TopoEdmConfig {
             trunk_max_active_per_pair: 16,
             batch_small_messages: false,
             reroute_delay: Duration::from_us(10),
+            cancel_stale_demand: true,
             ip: IpTraffic::default(),
             faults: Vec::new(),
         }
@@ -186,7 +234,9 @@ pub struct TopoResult {
     pub ip_frames: u64,
     /// Memory-chunk link crossings that hit an in-flight IP frame.
     pub ip_delayed: u64,
-    /// Simulation events dispatched (cost proxy).
+    /// Simulation events dispatched (cost proxy; a cross-shard chunk's
+    /// settle/arrive pair counts once, and replicated fault/reroute
+    /// events count once, so the tally is shard-count independent).
     pub events: u64,
 }
 
@@ -250,27 +300,13 @@ impl TopoResult {
 
 /// The multi-switch EDM protocol.
 ///
-/// # Known pessimism: stale demand after a failure
-///
-/// Failure recovery is deliberately pessimistic about the *sender's*
-/// scheduler state. When a [`FaultEvent`] bumps a flow's epoch, the
-/// flow's original message is still registered with its hop-0 (source
-/// leaf) [`edm_sched::scheduler::Scheduler`], and there is no
-/// sender-side revocation: the scheduler keeps granting the stale
-/// message, so the flow's **entire undelivered remainder** — not just
-/// the chunks already in flight at failure time — drains into the dead
-/// path as blackholed bandwidth, contending with the rerouted
-/// retransmission on the source's access port until it is exhausted.
-///
-/// This models a host that never revokes announced demand. The planned
-/// fix (see ROADMAP) is a `Scheduler::cancel` entry point so the bumped
-/// flow's stale notification can be withdrawn once the failure is
-/// detected, tightening the wasted bandwidth to the
-/// [`TopoEdmConfig::reroute_delay`] detection window. Until then,
-/// post-failure throughput and MCT tails reported by this world are
-/// *lower bounds* on what a cancel-capable sender would achieve: the
-/// pessimism only ever hurts EDM's reported numbers, never flatters
-/// them.
+/// [`TopoEdm::simulate`] runs sequentially; [`TopoEdm::simulate_sharded`]
+/// runs the *same* simulation split across cores under conservative
+/// windows, bit-identical to the sequential run for every shard count
+/// (pinned by the `prop_parallel` lockstep suite). Topologies that
+/// cannot support parallelism — a single switch, or zero-latency trunks
+/// contracting everything into one component — degenerate to the
+/// sequential path.
 #[derive(Debug, Clone, Default)]
 pub struct TopoEdm {
     /// Configuration.
@@ -292,11 +328,69 @@ impl TopoEdm {
     /// zero-size messages) and if a flow stalls without a terminal state
     /// (a model invariant violation).
     pub fn simulate(&self, topo: &Topology, flows: &[Flow]) -> TopoResult {
+        let plan = Arc::new(ShardPlan::solo(topo.switch_count()));
+        let (world, seeds) = self.build_world(topo, flows, plan, 0);
+        let mut engine = Engine::new(world);
+        for (t, ord, ev) in seeds {
+            engine.queue_mut().schedule_ordered(t, ord, ev);
+        }
+        engine.run();
+        TopoEdm::collect(vec![engine.into_world()])
+    }
+
+    /// [`TopoEdm::simulate`], sharded over up to `shards` cores.
+    ///
+    /// The result — flow outcomes, reroute/IP counters, event tally — is
+    /// bit-identical to the sequential run for any shard count. When the
+    /// plan degenerates to one shard (single switch, zero-latency
+    /// trunks, `shards <= 1`), this *is* the sequential run.
+    ///
+    /// # Panics
+    ///
+    /// As [`TopoEdm::simulate`].
+    pub fn simulate_sharded(&self, topo: &Topology, flows: &[Flow], shards: usize) -> TopoResult {
+        let plan = Arc::new(ShardPlan::new(topo, &self.config, shards));
+        if plan.shards() == 1 {
+            return self.simulate(topo, flows);
+        }
+        let inputs: Vec<(TopoWorld, EventQueue<TopoEv>)> = (0..plan.shards() as u32)
+            .map(|me| {
+                let (world, seeds) = self.build_world(topo, flows, plan.clone(), me);
+                let mut q = EventQueue::new();
+                for (t, ord, ev) in seeds {
+                    q.schedule_ordered(t, ord, ev);
+                }
+                (world, q)
+            })
+            .collect();
+        let mut cuts: Vec<Time> = self.config.faults.iter().map(|f| f.at).collect();
+        cuts.sort_unstable();
+        let cfg = ShardedConfig {
+            lookahead: plan.lookahead(),
+            cuts,
+        };
+        TopoEdm::collect(run_sharded(inputs, &cfg))
+    }
+
+    /// Builds one shard's world (for the solo plan: the whole world) and
+    /// its seed events. Every shard computes identical replicated state
+    /// (routes, statuses); only domain ownership and demand seeding
+    /// differ.
+    fn build_world(
+        &self,
+        topo: &Topology,
+        flows: &[Flow],
+        plan: Arc<ShardPlan>,
+        me: u32,
+    ) -> (TopoWorld, Vec<(Time, u64, TopoEv)>) {
         let topo = topo.clone();
         let link_count = topo.links().len();
         let domains = (0..topo.switch_count() as u32)
             .map(|sw| {
-                SwitchDomain::new(
+                if plan.shard_of(sw) != me {
+                    return None;
+                }
+                Some(SwitchDomain::new(
                     SchedulerConfig {
                         ports: topo.switch_ports(sw),
                         chunk_bytes: self.config.chunk_bytes,
@@ -306,7 +400,7 @@ impl TopoEdm {
                         clock: edm_sched::ASIC_CLOCK,
                     },
                     self.config.batch_small_messages,
-                )
+                ))
             })
             .collect();
         let mut world = TopoWorld {
@@ -325,31 +419,47 @@ impl TopoEdm {
                 })
                 .collect(),
             domains,
+            plan,
+            me,
             reroutes: 0,
+            events: 0,
+            outbox: Vec::new(),
         };
-        // Seed faults before demands so a fault at time T precedes any
-        // same-instant demand (deterministic FIFO tie-break).
-        let mut seeds: Vec<(Time, TopoEv)> = self
+        // Fault events are replicated into every shard; a fault at time T
+        // precedes any same-instant demand by order-key rank.
+        let mut seeds: Vec<(Time, u64, TopoEv)> = self
             .config
             .faults
             .iter()
             .enumerate()
-            .map(|(i, f)| (f.at, TopoEv::Fault { idx: i as u32 }))
+            .map(|(i, f)| {
+                (
+                    f.at,
+                    evord::fault(i as u32),
+                    TopoEv::Fault { idx: i as u32 },
+                )
+            })
             .collect();
         for (i, f) in flows.iter().enumerate() {
             let (ds, dd) = f.data_direction();
             match world.topo.route(ds as usize, dd as usize, f.id as u64) {
                 Some(r) => {
+                    let h0 = r.hops[0].switch;
                     world.rt[i].routes.push(Some(r));
                     world.rt[i].inject_bytes = f.size;
-                    let t = world.demand_time(i, f.arrival);
-                    seeds.push((
-                        t,
-                        TopoEv::Demand {
-                            flow: i as u32,
-                            epoch: 0,
-                        },
-                    ));
+                    // Host-node events are pinned to the data source's
+                    // leaf shard.
+                    if world.plan.shard_of(h0) == me {
+                        let t = world.demand_time(i, f.arrival);
+                        seeds.push((
+                            t,
+                            evord::demand(i as u32),
+                            TopoEv::Demand {
+                                flow: i as u32,
+                                epoch: 0,
+                            },
+                        ));
+                    }
                 }
                 None => {
                     world.rt[i].routes.push(None);
@@ -357,19 +467,34 @@ impl TopoEdm {
                 }
             }
         }
-        let mut engine = Engine::new(world);
-        for (t, ev) in seeds {
-            engine.queue_mut().schedule(t, ev);
+        (world, seeds)
+    }
+
+    /// Merges per-shard worlds into the result. Replicated flow state is
+    /// identical across shards (debug-asserted); owned counters sum.
+    fn collect(worlds: Vec<TopoWorld>) -> TopoResult {
+        #[cfg(debug_assertions)]
+        for w in &worlds[1..] {
+            for (fi, (a, b)) in worlds[0].rt.iter().zip(&w.rt).enumerate() {
+                debug_assert_eq!(a.status, b.status, "flow {fi} status replica diverged");
+                debug_assert_eq!(a.epoch, b.epoch, "flow {fi} epoch replica diverged");
+                debug_assert_eq!(
+                    a.delivered, b.delivered,
+                    "flow {fi} credit replica diverged"
+                );
+            }
         }
-        engine.run();
-        let events = engine.steps();
-        let world = engine.into_world();
-        let outcomes = flows
+        let events = worlds.iter().map(|w| w.events).sum();
+        let ip_frames = worlds.iter().map(|w| w.ip.frames()).sum();
+        let ip_delayed = worlds.iter().map(|w| w.ip.delayed()).sum();
+        let w0 = &worlds[0];
+        let outcomes = w0
+            .flows
             .iter()
             .enumerate()
             .map(|(i, &flow)| TopoOutcome {
                 flow,
-                status: match world.rt[i].status {
+                status: match w0.rt[i].status {
                     RtStatus::Done(t) => FlowStatus::Delivered(t),
                     RtStatus::Failed(t) => FlowStatus::Failed(t),
                     RtStatus::Active => {
@@ -380,9 +505,9 @@ impl TopoEdm {
             .collect();
         TopoResult {
             outcomes,
-            reroutes: world.reroutes,
-            ip_frames: world.ip.frames(),
-            ip_delayed: world.ip.delayed(),
+            reroutes: w0.reroutes,
+            ip_frames,
+            ip_delayed,
             events,
         }
     }
@@ -412,7 +537,9 @@ enum RtStatus {
     Failed(Time),
 }
 
-/// Per-flow runtime state.
+/// Per-flow runtime state. Replicated in every shard: epochs and routes
+/// advance through replicated fault/reroute events, delivery credits
+/// through barrier-synced broadcasts.
 #[derive(Debug)]
 struct FlowRt {
     /// Route per epoch; `routes[epoch]` is the live one (`None` while a
@@ -434,19 +561,50 @@ enum TopoEv {
     Demand { flow: u32, epoch: u32 },
     /// One switch's scheduler poll.
     Poll { switch: u32 },
-    /// A granted chunk's last byte reaches its next element (derived from
-    /// the flow's route at arrival, keeping the event small).
+    /// A granted chunk's last byte reaches its next element: egress
+    /// bookkeeping at the granting switch *and* the implicit
+    /// notification at the next one (same-shard / final-hop case).
     Chunk {
         token: u64,
         from_switch: u16,
         slot: u32,
         bytes: u32,
-        last: bool,
     },
-    /// A planned fault strikes.
+    /// The bookkeeping half of a chunk whose next hop lives in another
+    /// shard (its `Arrive` half is mailed there with the same order
+    /// key).
+    Settle {
+        token: u64,
+        from_switch: u16,
+        slot: u32,
+        bytes: u32,
+    },
+    /// The notification half of a cross-shard chunk, merged in at a
+    /// window barrier.
+    Arrive {
+        token: u64,
+        from_switch: u16,
+        bytes: u32,
+    },
+    /// A planned fault strikes (replicated in every shard).
     Fault { idx: u32 },
-    /// A bumped flow re-enters on a fresh route (or fails).
+    /// A bumped flow re-enters on a fresh route (replicated; only the
+    /// new hop-0 shard seeds the demand).
     Reroute { flow: u32, epoch: u32 },
+}
+
+/// Cross-shard traffic.
+#[derive(Debug, Clone, Copy)]
+enum TopoMsg {
+    /// A chunk's implicit notification at its next-hop switch.
+    Arrive {
+        token: u64,
+        from_switch: u16,
+        bytes: u32,
+    },
+    /// One completed sub-offer's bytes reached the destination: every
+    /// shard replays this against its flow-state replica.
+    Credit { flow: u32, bytes: u32 },
 }
 
 fn pack(flow: u32, epoch: u32) -> u64 {
@@ -492,17 +650,41 @@ fn access_half(cfg: &TopoEdmConfig, topo: &Topology, link: u32) -> Duration {
     cfg.pipeline_latency / 2 + link_lat(topo, link) + tx8(topo, link)
 }
 
+/// The IP lane side a grant at `granting` charges on `link`: trunk lanes
+/// are directional (keyed by the granting end), access links keep one
+/// lane — both its crossings are charged by the same leaf switch.
+fn lane_side(topo: &Topology, link: u32, granting: u32) -> u8 {
+    let l = topo.link(link);
+    match (l.a, l.b) {
+        (Endpoint::Port { switch: a, .. }, Endpoint::Port { .. }) => u8::from(a != granting),
+        _ => 0,
+    }
+}
+
 struct TopoWorld {
     cfg: TopoEdmConfig,
     topo: Topology,
     flows: Vec<Flow>,
     rt: Vec<FlowRt>,
-    domains: Vec<SwitchDomain>,
+    /// `Some` only for switches this shard owns (all of them for the
+    /// sequential solo plan).
+    domains: Vec<Option<SwitchDomain>>,
     ip: IpModel,
+    plan: Arc<ShardPlan>,
+    me: u32,
     reroutes: u64,
+    /// Dispatched-event tally mirroring the sequential count: `Arrive`
+    /// halves and non-primary fault/reroute replicas are not counted.
+    events: u64,
+    outbox: Vec<Envelope<TopoMsg>>,
 }
 
 impl TopoWorld {
+    /// Whether `switch` belongs to this shard.
+    fn local(&self, switch: u32) -> bool {
+        self.plan.shard_of(switch) == self.me
+    }
+
     /// When a flow's demand reaches its hop-0 switch, issuing at `base`:
     /// one access flight for the write `/N/` or read RREQ, plus — for
     /// reads — the RREQ's forwarding across the trunk path to the
@@ -525,9 +707,25 @@ impl TopoWorld {
         t
     }
 
+    /// The next element after `from_switch` on a chunk's route (resident
+    /// also for stale epochs).
+    fn chunk_next(&self, token: u64, from_switch: u32) -> Endpoint {
+        let (fi, ep) = unpack(token);
+        let route = self.rt[fi].routes[ep as usize]
+            .as_ref()
+            .expect("chunk of an offered epoch");
+        let h = route
+            .hops
+            .iter()
+            .find(|h| h.switch == from_switch)
+            .expect("chunk granted on its route");
+        self.topo.link_far_end(h.out_link, from_switch)
+    }
+
     /// Runs one scheduling round at `switch`, translating each grant into
-    /// its chunk-flight event. Shared by the Poll event handler and the
-    /// uncontended-hop cut-through path.
+    /// its chunk-flight event (split into settle + mailed arrive when the
+    /// next hop lives in another shard). Shared by the Poll event handler
+    /// and the uncontended-hop cut-through path.
     fn run_poll(&mut self, switch: u32, now: Time, q: &mut EventQueue<TopoEv>) {
         let TopoWorld {
             domains,
@@ -535,9 +733,14 @@ impl TopoWorld {
             rt,
             cfg,
             ip,
+            plan,
+            me,
+            outbox,
             ..
         } = self;
-        let dom = &mut domains[switch as usize];
+        let dom = domains[switch as usize]
+            .as_mut()
+            .expect("poll at an owned switch");
         let (grants, sched_latency, next_wakeup) = dom.poll(now);
         for g in grants {
             let (fi, ep) = unpack(g.token);
@@ -568,33 +771,203 @@ impl TopoWorld {
             let mut extra = Duration::ZERO;
             if hop_pos == 0 {
                 let src_bw = topo.link(route.src_link).params.bandwidth;
-                extra += ip.crossing_delay(route.src_link, emit, src_bw);
+                extra += ip.crossing_delay(route.src_link, 0, emit, src_bw);
             }
-            extra += ip.crossing_delay(h.out_link, emit, out_bw);
+            extra += ip.crossing_delay(
+                h.out_link,
+                lane_side(topo, h.out_link, switch),
+                emit,
+                out_bw,
+            );
             let arrival = emit
                 + extra
                 + link_lat(topo, h.out_link)
                 + out_bw.tx_time_bytes(g.chunk_bytes as u64);
-            q.schedule(
-                arrival,
-                TopoEv::Chunk {
-                    token: g.token,
-                    from_switch: switch as u16,
-                    slot: g.slot,
-                    bytes: g.chunk_bytes,
-                    last: g.last,
-                },
-            );
+            let ord = evord::chunk(switch as u16, g.gseq);
+            let remote = match topo.link_far_end(h.out_link, switch) {
+                Endpoint::Node(_) => None,
+                Endpoint::Port { switch: sw2, .. } => {
+                    (plan.shard_of(sw2) != *me).then(|| plan.shard_of(sw2))
+                }
+            };
+            match remote {
+                None => q.schedule_ordered(
+                    arrival,
+                    ord,
+                    TopoEv::Chunk {
+                        token: g.token,
+                        from_switch: switch as u16,
+                        slot: g.slot,
+                        bytes: g.chunk_bytes,
+                    },
+                ),
+                Some(to) => {
+                    // The chunk's trunk flight is at least the plan's
+                    // lookahead, so the mailed half always lands in a
+                    // later window than this one.
+                    q.schedule_ordered(
+                        arrival,
+                        ord,
+                        TopoEv::Settle {
+                            token: g.token,
+                            from_switch: switch as u16,
+                            slot: g.slot,
+                            bytes: g.chunk_bytes,
+                        },
+                    );
+                    outbox.push(Envelope {
+                        to: Recipient::Shard(to),
+                        at: arrival,
+                        ord,
+                        msg: TopoMsg::Arrive {
+                            token: g.token,
+                            from_switch: switch as u16,
+                            bytes: g.chunk_bytes,
+                        },
+                    });
+                }
+            }
         }
         if let Some(t) = next_wakeup {
             if dom.note_poll_wanted(t) {
-                q.schedule(t, TopoEv::Poll { switch });
+                q.schedule_ordered(t, evord::poll(switch as u16), TopoEv::Poll { switch });
+            }
+        }
+    }
+
+    /// A chunk's egress bookkeeping at its granting switch: the port
+    /// really carried it, so the message state advances and backlogged
+    /// demand is admitted — also for zombie chunks (blackholed bandwidth
+    /// is still spent). Final-hop chunks credit the destination here.
+    fn settle(
+        &mut self,
+        now: Time,
+        token: u64,
+        from_switch: u32,
+        slot: u32,
+        bytes: u32,
+        q: &mut EventQueue<TopoEv>,
+    ) {
+        let is_final = matches!(self.chunk_next(token, from_switch), Endpoint::Node(_));
+        if !self.topo.switch_up(from_switch) {
+            return;
+        }
+        let TopoWorld {
+            domains,
+            rt,
+            flows,
+            plan,
+            outbox,
+            ..
+        } = self;
+        let multi = plan.shards() > 1;
+        let dom = domains[from_switch as usize]
+            .as_mut()
+            .expect("settle at an owned switch");
+        let want_poll = dom.deliver(now, slot, bytes, |tok, sub_bytes| {
+            if !is_final {
+                return;
+            }
+            let (cfi, cep) = unpack(tok);
+            let r = &mut rt[cfi];
+            // Late bytes of a pre-fault epoch were already re-sent;
+            // crediting them would double-count.
+            if r.epoch != cep || r.status != RtStatus::Active {
+                return;
+            }
+            r.delivered += sub_bytes;
+            if r.delivered >= flows[cfi].size {
+                debug_assert_eq!(r.delivered, flows[cfi].size);
+                r.status = RtStatus::Done(now);
+            }
+            if multi {
+                // Replicate the credit to every other shard's flow-state
+                // replica (applied in deterministic order at barriers).
+                outbox.push(Envelope {
+                    to: Recipient::Broadcast,
+                    at: now,
+                    ord: evord::credit(cfi as u32),
+                    msg: TopoMsg::Credit {
+                        flow: cfi as u32,
+                        bytes: sub_bytes,
+                    },
+                });
+            }
+        });
+        if want_poll && dom.has_demand() && dom.note_poll_wanted(now) {
+            q.schedule_ordered(
+                now,
+                evord::poll(from_switch as u16),
+                TopoEv::Poll {
+                    switch: from_switch,
+                },
+            );
+        }
+    }
+
+    /// A chunk's implicit notification at its next-hop switch (arrival =
+    /// demand), unless the chunk is stale or the switch is gone.
+    fn arrive(
+        &mut self,
+        now: Time,
+        token: u64,
+        from_switch: u32,
+        bytes: u32,
+        q: &mut EventQueue<TopoEv>,
+    ) {
+        let (fi, ep) = unpack(token);
+        let Endpoint::Port { switch: sw2, .. } = self.chunk_next(token, from_switch) else {
+            return; // reached its destination node: settle credited it
+        };
+        let (h, limit) = {
+            let r = &self.rt[fi];
+            if r.epoch != ep || r.status != RtStatus::Active {
+                return;
+            }
+            if !self.topo.switch_up(sw2) {
+                return;
+            }
+            let route = r.routes[ep as usize]
+                .as_ref()
+                .expect("route for the offered epoch");
+            let h = *route
+                .hops
+                .iter()
+                .find(|h| h.switch == sw2)
+                .expect("chunk follows its route");
+            (h, route_limit(&self.cfg, route))
+        };
+        let offer = DomainOffer {
+            src: h.in_port,
+            dst: h.out_port,
+            bytes,
+            limit,
+            // Forwarded chunks carry a single token, so only same-flow
+            // chunks may fold into one message — a cross-flow mega would
+            // credit every byte to its head flow at the destination.
+            batch_key: token,
+            token,
+        };
+        let dom = self.domains[sw2 as usize]
+            .as_mut()
+            .expect("arrive at an owned switch");
+        if dom.offer(now, offer) {
+            // Uncontended store-and-forward hop: the chunk is the
+            // switch's only demand and its ports are free, so the
+            // round's outcome is forced — run it inline instead of
+            // paying a poll event. (Never taken at hop 0, preserving
+            // 1-switch bit-identity.)
+            if dom.sole_eligible_demand(now, h.in_port, h.out_port) {
+                self.run_poll(sw2, now, q);
+            } else if dom.note_poll_wanted(now) {
+                q.schedule_ordered(now, evord::poll(sw2 as u16), TopoEv::Poll { switch: sw2 });
             }
         }
     }
 
     /// Bumps the epoch of every incomplete flow whose live route
-    /// satisfies `pred`, scheduling its recovery.
+    /// satisfies `pred`, scheduling its recovery and (by default)
+    /// revoking its stale hop-0 demand.
     fn bump_affected(
         &mut self,
         now: Time,
@@ -602,33 +975,62 @@ impl TopoWorld {
         pred: impl Fn(&Route) -> bool,
     ) {
         let reroute_at = now + self.cfg.reroute_delay;
+        let mut bumped: Vec<(u32, u32, Hop)> = Vec::new();
         for (fi, r) in self.rt.iter_mut().enumerate() {
             if r.status != RtStatus::Active {
                 continue;
             }
-            let affected = r.routes[r.epoch as usize].as_ref().is_some_and(&pred);
-            if !affected {
+            let Some(route) = r.routes[r.epoch as usize].as_ref() else {
+                continue;
+            };
+            if !pred(route) {
                 continue;
             }
+            bumped.push((fi as u32, r.epoch, route.hops[0]));
             r.epoch += 1;
             r.routes.push(None);
-            q.schedule(
+            q.schedule_ordered(
                 reroute_at,
+                evord::reroute(fi as u32),
                 TopoEv::Reroute {
                     flow: fi as u32,
                     epoch: r.epoch,
                 },
             );
         }
+        if !self.cfg.cancel_stale_demand {
+            return;
+        }
+        // Sender-side revocation: withdraw each bumped flow's unbatched
+        // hop-0 message so the dead path's backlog stops counting as
+        // demand. In flow order — the same order the sequential run
+        // cancels in, so backlog admissions stay deterministic.
+        for (flow, old_epoch, h0) in bumped {
+            if !self.local(h0.switch) || !self.topo.switch_up(h0.switch) {
+                continue;
+            }
+            let dom = self.domains[h0.switch as usize]
+                .as_mut()
+                .expect("cancel at an owned switch");
+            if dom.cancel(now, h0.in_port, h0.out_port, pack(flow, old_epoch))
+                && dom.has_demand()
+                && dom.note_poll_wanted(now)
+            {
+                q.schedule_ordered(
+                    now,
+                    evord::poll(h0.switch as u16),
+                    TopoEv::Poll { switch: h0.switch },
+                );
+            }
+        }
     }
-}
 
-impl World for TopoWorld {
-    type Event = TopoEv;
-
-    fn handle(&mut self, now: Time, ev: TopoEv, q: &mut EventQueue<TopoEv>) {
+    /// One event. The shared core of the sequential [`World`] and the
+    /// parallel [`ShardWorld`] drivers.
+    fn dispatch(&mut self, now: Time, ev: TopoEv, q: &mut EventQueue<TopoEv>) {
         match ev {
             TopoEv::Demand { flow, epoch } => {
+                self.events += 1;
                 let fi = flow as usize;
                 let token = pack(flow, epoch);
                 let (h0, bytes, limit, bk) = {
@@ -665,16 +1067,27 @@ impl World for TopoWorld {
                     batch_key: bk,
                     token,
                 };
-                let dom = &mut self.domains[h0.switch as usize];
+                let dom = self.domains[h0.switch as usize]
+                    .as_mut()
+                    .expect("demand at an owned switch");
                 if dom.offer(now, offer) && dom.note_poll_wanted(now) {
-                    q.schedule(now, TopoEv::Poll { switch: h0.switch });
+                    q.schedule_ordered(
+                        now,
+                        evord::poll(h0.switch as u16),
+                        TopoEv::Poll { switch: h0.switch },
+                    );
                 }
             }
             TopoEv::Poll { switch } => {
+                self.events += 1;
                 if !self.topo.switch_up(switch) {
                     return;
                 }
-                if !self.domains[switch as usize].poll_due(now) {
+                if !self.domains[switch as usize]
+                    .as_mut()
+                    .expect("poll at an owned switch")
+                    .poll_due(now)
+                {
                     return;
                 }
                 self.run_poll(switch, now, q);
@@ -684,109 +1097,34 @@ impl World for TopoWorld {
                 from_switch,
                 slot,
                 bytes,
-                last,
             } => {
-                let from_switch = from_switch as u32;
-                let (fi, ep) = unpack(token);
-                // The next element comes from the flow's route (resident
-                // also for stale epochs), keeping the event itself small.
-                let next = {
-                    let route = self.rt[fi].routes[ep as usize]
-                        .as_ref()
-                        .expect("chunk of an offered epoch");
-                    let h = route
-                        .hops
-                        .iter()
-                        .find(|h| h.switch == from_switch)
-                        .expect("chunk granted on its route");
-                    self.topo.link_far_end(h.out_link, from_switch)
-                };
-                let is_final = matches!(next, Endpoint::Node(_));
-                // 1. Bookkeeping at the granting switch: its egress port
-                //    really carried the chunk, so the message state
-                //    advances and backlogged demand is admitted — also for
-                //    zombie chunks (blackholed bandwidth is still spent).
-                if self.topo.switch_up(from_switch) {
-                    let TopoWorld {
-                        domains, rt, flows, ..
-                    } = self;
-                    let dom = &mut domains[from_switch as usize];
-                    let want_poll = dom.deliver(now, slot, bytes, last, |tok, sub_bytes| {
-                        if !is_final {
-                            return;
-                        }
-                        let (cfi, cep) = unpack(tok);
-                        let r = &mut rt[cfi];
-                        // Late bytes of a pre-fault epoch were already
-                        // re-sent; crediting them would double-count.
-                        if r.epoch != cep || r.status != RtStatus::Active {
-                            return;
-                        }
-                        r.delivered += sub_bytes;
-                        if r.delivered >= flows[cfi].size {
-                            debug_assert_eq!(r.delivered, flows[cfi].size);
-                            r.status = RtStatus::Done(now);
-                        }
-                    });
-                    if want_poll && dom.has_demand() && dom.note_poll_wanted(now) {
-                        q.schedule(
-                            now,
-                            TopoEv::Poll {
-                                switch: from_switch,
-                            },
-                        );
-                    }
-                }
-                // 2. Forward to the next switch (arrival = implicit
-                //    notification), unless the chunk is stale or the
-                //    switch is gone.
-                if let Endpoint::Port { switch: sw2, .. } = next {
-                    let (h, limit) = {
-                        let r = &self.rt[fi];
-                        if r.epoch != ep || r.status != RtStatus::Active {
-                            return;
-                        }
-                        if !self.topo.switch_up(sw2) {
-                            return;
-                        }
-                        let route = r.routes[ep as usize]
-                            .as_ref()
-                            .expect("route for the offered epoch");
-                        let h = *route
-                            .hops
-                            .iter()
-                            .find(|h| h.switch == sw2)
-                            .expect("chunk follows its route");
-                        (h, route_limit(&self.cfg, route))
-                    };
-                    let offer = DomainOffer {
-                        src: h.in_port,
-                        dst: h.out_port,
-                        bytes,
-                        limit,
-                        // Forwarded chunks carry a single token, so only
-                        // same-flow chunks may fold into one message —
-                        // a cross-flow mega would credit every byte to
-                        // its head flow at the destination.
-                        batch_key: token,
-                        token,
-                    };
-                    let dom = &mut self.domains[sw2 as usize];
-                    if dom.offer(now, offer) {
-                        // Uncontended store-and-forward hop: the chunk is
-                        // the switch's only demand and its ports are free,
-                        // so the round's outcome is forced — run it inline
-                        // instead of paying a poll event. (Never taken at
-                        // hop 0, preserving 1-switch bit-identity.)
-                        if dom.sole_eligible_demand(now, h.in_port, h.out_port) {
-                            self.run_poll(sw2, now, q);
-                        } else if dom.note_poll_wanted(now) {
-                            q.schedule(now, TopoEv::Poll { switch: sw2 });
-                        }
-                    }
-                }
+                self.events += 1;
+                self.settle(now, token, from_switch as u32, slot, bytes, q);
+                self.arrive(now, token, from_switch as u32, bytes, q);
+            }
+            TopoEv::Settle {
+                token,
+                from_switch,
+                slot,
+                bytes,
+            } => {
+                // Counts as the chunk's one event; its mailed Arrive
+                // half does not.
+                self.events += 1;
+                self.settle(now, token, from_switch as u32, slot, bytes, q);
+            }
+            TopoEv::Arrive {
+                token,
+                from_switch,
+                bytes,
+            } => {
+                self.arrive(now, token, from_switch as u32, bytes, q);
             }
             TopoEv::Fault { idx } => {
+                // Replicated in every shard; counted once.
+                if self.me == 0 {
+                    self.events += 1;
+                }
                 let fault = self.cfg.faults[idx as usize];
                 match fault.kind {
                     FaultKind::LinkDown(l) => {
@@ -804,6 +1142,10 @@ impl World for TopoWorld {
                 }
             }
             TopoEv::Reroute { flow, epoch } => {
+                // Replicated in every shard; counted once.
+                if self.me == 0 {
+                    self.events += 1;
+                }
                 let fi = flow as usize;
                 if self.rt[fi].epoch != epoch || self.rt[fi].status != RtStatus::Active {
                     return;
@@ -812,16 +1154,81 @@ impl World for TopoWorld {
                 let (ds, dd) = f.data_direction();
                 match self.topo.route(ds as usize, dd as usize, f.id as u64) {
                     Some(route) => {
+                        let h0 = route.hops[0].switch;
                         let r = &mut self.rt[fi];
                         r.routes[epoch as usize] = Some(route);
                         debug_assert!(f.size > r.delivered, "completed flows are never bumped");
                         r.inject_bytes = f.size - r.delivered;
                         self.reroutes += 1;
-                        let base = now.max(f.arrival);
-                        let t = self.demand_time(fi, base);
-                        q.schedule(t, TopoEv::Demand { flow, epoch });
+                        if self.local(h0) {
+                            let base = now.max(f.arrival);
+                            let t = self.demand_time(fi, base);
+                            q.schedule_ordered(
+                                t,
+                                evord::demand(flow),
+                                TopoEv::Demand { flow, epoch },
+                            );
+                        }
                     }
                     None => self.rt[fi].status = RtStatus::Failed(now),
+                }
+            }
+        }
+    }
+}
+
+impl World for TopoWorld {
+    type Event = TopoEv;
+
+    fn handle(&mut self, now: Time, ev: TopoEv, q: &mut EventQueue<TopoEv>) {
+        self.dispatch(now, ev, q);
+        debug_assert!(
+            self.outbox.is_empty(),
+            "sequential run emitted cross-shard traffic"
+        );
+    }
+}
+
+impl ShardWorld for TopoWorld {
+    type Event = TopoEv;
+    type Msg = TopoMsg;
+
+    fn handle(&mut self, now: Time, ev: TopoEv, q: &mut EventQueue<TopoEv>) {
+        self.dispatch(now, ev, q);
+    }
+
+    fn drain_outbox(&mut self, sink: &mut Vec<Envelope<TopoMsg>>) {
+        sink.append(&mut self.outbox);
+    }
+
+    fn receive(&mut self, at: Time, ord: u64, msg: TopoMsg, q: &mut EventQueue<TopoEv>) {
+        match msg {
+            TopoMsg::Arrive {
+                token,
+                from_switch,
+                bytes,
+            } => q.schedule_ordered(
+                at,
+                ord,
+                TopoEv::Arrive {
+                    token,
+                    from_switch,
+                    bytes,
+                },
+            ),
+            TopoMsg::Credit { flow, bytes } => {
+                // State sync: replay the destination shard's credit
+                // against this replica. The emitting shard already
+                // performed the epoch/status checks at credit time, and
+                // replicas are in lockstep at barriers, so the credit
+                // applies unconditionally here.
+                let fi = flow as usize;
+                let r = &mut self.rt[fi];
+                debug_assert_eq!(r.status, RtStatus::Active, "credit for a settled flow");
+                r.delivered += bytes;
+                if r.delivered >= self.flows[fi].size {
+                    debug_assert_eq!(r.delivered, self.flows[fi].size);
+                    r.status = RtStatus::Done(at);
                 }
             }
         }
@@ -1015,5 +1422,75 @@ mod tests {
         let r = TopoEdm::default().simulate(&topo, &flows);
         assert_eq!(r.outcomes[0].status, FlowStatus::Failed(Time::ZERO));
         assert!(matches!(r.outcomes[1].status, FlowStatus::Delivered(_)));
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_on_a_loaded_fabric() {
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(4, 2, 8, 4));
+        let flows: Vec<Flow> = (0..96)
+            .map(|i| {
+                write_flow(
+                    i,
+                    i % 16,
+                    16 + ((i * 7) % 16),
+                    64 + 512 * (i as u32 % 3),
+                    40 * i as u64,
+                )
+            })
+            .collect();
+        let proto = TopoEdm::default();
+        let seq = proto.simulate(&topo, &flows);
+        for shards in [2, 3, 4] {
+            let par = proto.simulate_sharded(&topo, &flows, shards);
+            assert_eq!(par.outcomes.len(), seq.outcomes.len());
+            for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+                assert_eq!(
+                    a.status, b.status,
+                    "{shards} shards diverged on {:?}",
+                    a.flow
+                );
+            }
+            assert_eq!(par.reroutes, seq.reroutes);
+            assert_eq!(par.events, seq.events, "{shards}-shard event tally");
+        }
+    }
+
+    #[test]
+    fn cancel_on_reroute_frees_the_dead_path_backlog() {
+        // A big cross-leaf flow loses its trunk mid-run; a second flow
+        // from the same source node starts after the fault. With
+        // revocation the stale remainder stops contending on the shared
+        // access port, so both flows finish no later — and the victim
+        // strictly earlier — than under the never-revoke pessimism.
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 2, 4, 1));
+        let used = topo.route(0, 4, 0).unwrap().hops[0].out_link;
+        let flows = vec![
+            write_flow(0, 0, 4, 1_000_000, 0),
+            write_flow(1, 0, 2, 200_000, 30_000),
+        ];
+        let base_cfg = TopoEdmConfig {
+            faults: vec![FaultEvent {
+                at: Time::from_us(20),
+                kind: FaultKind::LinkDown(used),
+            }],
+            ..TopoEdmConfig::default()
+        };
+        let with_cancel = TopoEdm::new(base_cfg.clone()).simulate(&topo, &flows);
+        let without = TopoEdm::new(TopoEdmConfig {
+            cancel_stale_demand: false,
+            ..base_cfg
+        })
+        .simulate(&topo, &flows);
+        assert_eq!(with_cancel.delivered(), 2);
+        assert_eq!(without.delivered(), 2);
+        assert_eq!(with_cancel.reroutes, 1);
+        let mct = |r: &TopoResult, i: usize| r.outcomes[i].mct().unwrap();
+        assert!(
+            mct(&with_cancel, 0) < mct(&without, 0),
+            "revocation must beat the blackhole drain: {} vs {}",
+            mct(&with_cancel, 0),
+            mct(&without, 0)
+        );
+        assert!(mct(&with_cancel, 1) <= mct(&without, 1));
     }
 }

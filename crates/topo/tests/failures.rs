@@ -156,9 +156,16 @@ fn spine_kill_at_scale_is_deterministic_and_total() {
         "one live spine still connects all leaves"
     );
     assert!(a.reroutes > 0, "the kill must land mid-run");
-    let b = TopoEdm::new(cfg).simulate(&topo, &flows);
+    let b = TopoEdm::new(cfg.clone()).simulate(&topo, &flows);
     for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
         assert_eq!(x.status, y.status, "simulation must be deterministic");
     }
     assert_eq!(a.reroutes, b.reroutes);
+    // The sharded engine survives the same mid-run spine kill with
+    // bit-identical outcomes.
+    let c = TopoEdm::new(cfg).simulate_sharded(&topo, &flows, 4);
+    for (x, y) in a.outcomes.iter().zip(&c.outcomes) {
+        assert_eq!(x.status, y.status, "sharded run must match sequential");
+    }
+    assert_eq!(a.reroutes, c.reroutes);
 }

@@ -1,0 +1,265 @@
+//! The parallel-DES lockstep suite: a sharded run must be *bit-identical*
+//! to the sequential run — flow statuses and completion times, reroute
+//! and fault outcomes, IP interference counters, and the dispatched-event
+//! tally — for every shard count, across random topologies, workloads,
+//! fault schedules, and configuration corners (batching, X bounds,
+//! demand revocation, background IP).
+//!
+//! Also pins the degenerate cases: a single-switch fabric has no trunks
+//! (zero lookahead), so a sharded request must fall back to one shard;
+//! zero-latency trunks contract their endpoints into one shard for the
+//! same reason.
+
+use edm_core::sim::{Flow, FlowKind};
+use edm_sim::{Duration, Time};
+use edm_topo::{
+    FaultEvent, FaultKind, IpTraffic, LeafSpine, LinkParams, ShardPlan, TopoEdm, TopoEdmConfig,
+    Topology,
+};
+use proptest::prelude::*;
+
+/// Runs both engines and requires bit-identical results.
+fn assert_lockstep(
+    proto: &TopoEdm,
+    topo: &Topology,
+    flows: &[Flow],
+    shards: usize,
+) -> Result<(), TestCaseError> {
+    let seq = proto.simulate(topo, flows);
+    let par = proto.simulate_sharded(topo, flows, shards);
+    prop_assert_eq!(par.outcomes.len(), seq.outcomes.len());
+    for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+        prop_assert_eq!(
+            a.status,
+            b.status,
+            "{} shards diverged on flow {:?}",
+            shards,
+            a.flow
+        );
+    }
+    prop_assert_eq!(par.reroutes, seq.reroutes, "reroute count diverged");
+    prop_assert_eq!(par.ip_frames, seq.ip_frames, "IP frame count diverged");
+    prop_assert_eq!(par.ip_delayed, seq.ip_delayed, "IP delay count diverged");
+    prop_assert_eq!(par.events, seq.events, "event tally diverged");
+    Ok(())
+}
+
+/// Decodes flow specs against a node count (src ≠ dst guaranteed).
+fn decode_flows(specs: &[(u64, u64, u32, u64, bool)], nodes: usize) -> Vec<Flow> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(id, &(s, d, size, at, is_write))| {
+            let src = (s % nodes as u64) as usize;
+            let mut dst = (d % nodes as u64) as usize;
+            if dst == src {
+                dst = (dst + 1) % nodes;
+            }
+            Flow {
+                id,
+                src,
+                dst,
+                size: 1 + size % 8192,
+                arrival: Time::from_ns(at % 30_000),
+                kind: if is_write {
+                    FlowKind::Write
+                } else {
+                    FlowKind::Read
+                },
+            }
+        })
+        .collect()
+}
+
+/// Decodes fault specs against a topology (valid link/switch targets;
+/// leaf switches are spared from SwitchDown so sources keep existing —
+/// killing a leaf is exercised through its links instead).
+fn decode_faults(specs: &[(u8, u64, u64)], topo: &Topology) -> Vec<FaultEvent> {
+    let links = topo.links().len() as u64;
+    let switches = topo.switch_count() as u64;
+    specs
+        .iter()
+        .map(|&(kind, target, at)| FaultEvent {
+            at: Time::from_ns(2_000 + at % 40_000),
+            kind: match kind % 3 {
+                0 => FaultKind::LinkDown((target % links) as u32),
+                1 => FaultKind::SwitchDown((target % switches) as u32),
+                _ => FaultKind::DegradeLink {
+                    link: (target % links) as u32,
+                    extra: Duration::from_ns(50 + at % 500),
+                },
+            },
+        })
+        .collect()
+}
+
+proptest! {
+    /// Random leaf–spine fabrics under random workloads, faults, and
+    /// config corners: every shard count in 1..=4 is bit-identical to
+    /// the sequential run.
+    #[test]
+    fn lockstep_on_leaf_spine(
+        leaves in 2usize..5,
+        spines in 1usize..3,
+        npl in 2usize..5,
+        uplinks in 1usize..3,
+        flow_specs in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()),
+            1..24,
+        ),
+        fault_specs in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..3),
+        shards in 1usize..=4,
+        batching in any::<bool>(),
+        x in 1usize..4,
+        cancel in any::<bool>(),
+        ip_on in any::<bool>(),
+    ) {
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(leaves, spines, npl, uplinks));
+        let flows = decode_flows(&flow_specs, topo.nodes());
+        let proto = TopoEdm::new(TopoEdmConfig {
+            batch_small_messages: batching,
+            max_active_per_pair: x,
+            cancel_stale_demand: cancel,
+            ip: if ip_on { IpTraffic::load(0.3) } else { IpTraffic::default() },
+            faults: decode_faults(&fault_specs, &topo),
+            reroute_delay: Duration::from_us(2),
+            ..TopoEdmConfig::default()
+        });
+        assert_lockstep(&proto, &topo, &flows, shards)?;
+    }
+
+    /// Random connected arbitrary-adjacency fabrics (a spanning tree
+    /// plus extra trunks), including zero-propagation trunks that force
+    /// shard contraction, under random workloads and faults.
+    #[test]
+    fn lockstep_on_arbitrary_adjacency(
+        switches in 2usize..7,
+        tree_seed in any::<u64>(),
+        extra in proptest::collection::vec((0u32..7, 0u32..7), 0..5),
+        trunk_prop_sel in 0u8..3,
+        flow_specs in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()),
+            1..16,
+        ),
+        fault_specs in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..3),
+        shards in 2usize..=4,
+    ) {
+        // Two nodes per switch so every switch is a leaf and every pair
+        // of hosts can talk; a pseudo-random parent chain guarantees
+        // connectivity.
+        let attach: Vec<u32> = (0..switches as u32).flat_map(|s| [s, s]).collect();
+        let mut trunks: Vec<(u32, u32)> = (1..switches as u32).map(|s| {
+            let parent = (tree_seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add(s as u64 * 7)
+                % s as u64) as u32;
+            (parent, s)
+        }).collect();
+        for &(a, b) in &extra {
+            let (a, b) = (a % switches as u32, b % switches as u32);
+            if a != b {
+                trunks.push((a.min(b), a.max(b)));
+            }
+        }
+        let trunk_prop_ns = [0u64, 2, 10][trunk_prop_sel as usize];
+        let trunk = LinkParams {
+            propagation: Duration::from_ns(trunk_prop_ns),
+            ..LinkParams::default()
+        };
+        let topo = Topology::from_adjacency(
+            switches,
+            &attach,
+            &trunks,
+            LinkParams::default(),
+            trunk,
+        );
+        if trunk_prop_ns == 0 {
+            // Zero-latency trunks contract everything into one shard.
+            prop_assert_eq!(
+                ShardPlan::new(&topo, &TopoEdmConfig::default(), shards).shards(),
+                1
+            );
+        }
+        let flows = decode_flows(&flow_specs, topo.nodes());
+        let proto = TopoEdm::new(TopoEdmConfig {
+            faults: decode_faults(&fault_specs, &topo),
+            reroute_delay: Duration::from_us(2),
+            ..TopoEdmConfig::default()
+        });
+        assert_lockstep(&proto, &topo, &flows, shards)?;
+    }
+
+    /// A single-switch topology has no trunks — zero lookahead — so a
+    /// sharded request must refuse parallelism (degenerate to 1 shard)
+    /// and still produce the sequential result.
+    #[test]
+    fn zero_lookahead_degenerates_to_sequential(
+        nodes in 2usize..10,
+        flow_specs in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()),
+            1..16,
+        ),
+        shards in 2usize..=4,
+    ) {
+        let topo = Topology::single_switch(nodes, LinkParams::default());
+        prop_assert_eq!(
+            ShardPlan::new(&topo, &TopoEdmConfig::default(), shards).shards(),
+            1
+        );
+        let flows = decode_flows(&flow_specs, nodes);
+        assert_lockstep(&TopoEdm::default(), &topo, &flows, shards)?;
+    }
+}
+
+/// Fixed-workload lockstep at the benchmark scale: the 288-node
+/// leaf–spine fabric under rack-aware load with a mid-run spine kill and
+/// background IP. Named so CI can invoke the 2- and 4-shard checks
+/// directly.
+fn lockstep_288(shards: usize) {
+    let topo = Topology::leaf_spine(LeafSpine::symmetric(4, 2, 72, 36));
+    let flows = edm_workloads::RackAwareWorkload {
+        nodes: 288,
+        racks: 4,
+        link: edm_sim::Bandwidth::from_gbps(100),
+        load: 0.6,
+        size: 64,
+        write_fraction: 0.5,
+        local_fraction: 0.5,
+        count: 400,
+    }
+    .generate(42);
+    let span = flows.last().unwrap().arrival;
+    let proto = TopoEdm::new(TopoEdmConfig {
+        ip: IpTraffic::load(0.25),
+        faults: vec![FaultEvent {
+            at: Time::ZERO + span.saturating_since(Time::ZERO) / 2,
+            kind: FaultKind::SwitchDown(4),
+        }],
+        reroute_delay: Duration::from_us(2),
+        ..TopoEdmConfig::default()
+    });
+    let seq = proto.simulate(&topo, &flows);
+    let par = proto.simulate_sharded(&topo, &flows, shards);
+    for (a, b) in seq.outcomes.iter().zip(&par.outcomes) {
+        assert_eq!(
+            a.status, b.status,
+            "{shards} shards diverged on {:?}",
+            a.flow
+        );
+    }
+    assert_eq!(par.reroutes, seq.reroutes);
+    assert_eq!(par.ip_frames, seq.ip_frames);
+    assert_eq!(par.ip_delayed, seq.ip_delayed);
+    assert_eq!(par.events, seq.events);
+    assert!(seq.reroutes > 0, "the spine kill must land mid-run");
+}
+
+#[test]
+fn lockstep_at_2_shards_288_nodes() {
+    lockstep_288(2);
+}
+
+#[test]
+fn lockstep_at_4_shards_288_nodes() {
+    lockstep_288(4);
+}

@@ -6,9 +6,95 @@
 //! node issues requests to uniformly random memory nodes with Poisson
 //! inter-arrival times calibrated so that the *data* bytes offered to each
 //! memory-node link equal `load × capacity`.
+//!
+//! Every compute node draws from its **own splittable RNG stream**
+//! ([`Rng::stream`] keyed by the node id), so arrival generation is a
+//! pure per-node function: chunk the nodes across any number of threads
+//! or shards ([`SyntheticWorkload::generate_par`]) and the merged flow
+//! list is identical to the sequential one.
 
 use edm_core::sim::{Flow, FlowKind};
 use edm_sim::{Bandwidth, Duration, Rng, Time};
+
+/// Generates `count` flows by merging per-node Poisson streams: node
+/// `c`'s arrivals and per-flow draws come only from `Rng::stream(seed,
+/// c)`, so the result is independent of how `computes` is chunked across
+/// `chunks` workers. The merge orders by `(arrival, node)` — exactly the
+/// earliest-next-arrival order a sequential generator would emit.
+fn merge_generate(
+    seed: u64,
+    computes: &[usize],
+    gap: Duration,
+    count: usize,
+    size: u32,
+    chunks: usize,
+    draw: impl Fn(&mut Rng, usize) -> (usize, FlowKind) + Sync,
+) -> Vec<Flow> {
+    if count == 0 || computes.is_empty() {
+        return Vec::new();
+    }
+    // A horizon wide enough to cover `count` flows in expectation, grown
+    // geometrically when a draw-starved run undershoots. Every node's
+    // candidate prefix is a pure function of (seed, node, horizon), and
+    // a larger horizon only extends it, so retries stay deterministic.
+    let mut horizon = gap
+        .as_ps()
+        .max(1)
+        .saturating_mul(2 * (count as u64 / computes.len() as u64 + 2));
+    loop {
+        let gen_node = |c: usize| -> Vec<(Time, usize, usize, FlowKind)> {
+            let mut rng = Rng::stream(seed, c as u64);
+            let mut at = Time::ZERO + rng.exp_duration(gap);
+            let mut out = Vec::new();
+            while at.as_ps() <= horizon {
+                let (dst, kind) = draw(&mut rng, c);
+                out.push((at, c, dst, kind));
+                at += rng.exp_duration(gap);
+            }
+            out
+        };
+        let mut all: Vec<(Time, usize, usize, FlowKind)> = if chunks <= 1 {
+            computes.iter().flat_map(|&c| gen_node(c)).collect()
+        } else {
+            let gen_node = &gen_node;
+            let per = computes.len().div_ceil(chunks);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = computes
+                    .chunks(per)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter().flat_map(|&c| gen_node(c)).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("workload chunk worker panicked"))
+                    .collect()
+            })
+        };
+        if all.len() < count {
+            horizon = horizon.saturating_mul(2);
+            continue;
+        }
+        // Stable sort: same-instant flows of one node keep their
+        // generation order; across nodes the lower node id issues first.
+        all.sort_by_key(|&(at, c, _, _)| (at, c));
+        all.truncate(count);
+        return all
+            .into_iter()
+            .enumerate()
+            .map(|(id, (arrival, src, dst, kind))| Flow {
+                id,
+                src,
+                dst,
+                size,
+                arrival,
+                kind,
+            })
+            .collect();
+    }
+}
 
 /// Generator for the all-to-all microbenchmark.
 #[derive(Debug, Clone, Copy)]
@@ -63,52 +149,47 @@ impl SyntheticWorkload {
         Duration::from_ps((1e12 / msgs_per_sec).round() as u64)
     }
 
-    /// Generates the flow list, deterministically from `seed`.
+    /// Generates the flow list, deterministically from `seed`. Each
+    /// compute node draws from its own [`Rng::stream`], so the output is
+    /// identical to [`SyntheticWorkload::generate_par`] at any chunk
+    /// count.
     ///
     /// # Panics
     ///
     /// Panics if the cluster has fewer than 2 nodes or `load` is out of
     /// range.
     pub fn generate(&self, seed: u64) -> Vec<Flow> {
+        self.generate_par(seed, 1)
+    }
+
+    /// [`SyntheticWorkload::generate`] with per-node stream generation
+    /// fanned out over `chunks` threads. The flow list is bit-identical
+    /// for every chunk count.
+    pub fn generate_par(&self, seed: u64, chunks: usize) -> Vec<Flow> {
         assert!(
             self.nodes >= 2,
             "need at least one compute and one memory node"
         );
-        let mut rng = Rng::seed_from(seed);
         let computes = self.compute_nodes();
         let memories = self.memory_nodes();
-        let gap = self.mean_gap();
-        // Per-compute-node independent Poisson processes.
-        let mut next_at: Vec<Time> = (0..computes)
-            .map(|_| Time::ZERO + rng.exp_duration(gap))
-            .collect();
-        let mut flows = Vec::with_capacity(self.count);
-        for id in 0..self.count {
-            // The compute node with the earliest next arrival fires.
-            let (src, _) = next_at
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .expect("non-empty");
-            let arrival = next_at[src];
-            next_at[src] = arrival + rng.exp_duration(gap);
-            let dst = computes + rng.below(memories as u64) as usize;
-            let kind = if rng.chance(self.write_fraction) {
-                FlowKind::Write
-            } else {
-                FlowKind::Read
-            };
-            flows.push(Flow {
-                id,
-                src,
-                dst,
-                size: self.size,
-                arrival,
-                kind,
-            });
-        }
-        flows.sort_by_key(|f| f.arrival);
-        flows
+        let nodes: Vec<usize> = (0..computes).collect();
+        merge_generate(
+            seed,
+            &nodes,
+            self.mean_gap(),
+            self.count,
+            self.size,
+            chunks,
+            |rng, _src| {
+                let dst = computes + rng.below(memories as u64) as usize;
+                let kind = if rng.chance(self.write_fraction) {
+                    FlowKind::Write
+                } else {
+                    FlowKind::Read
+                };
+                (dst, kind)
+            },
+        )
     }
 }
 
@@ -152,13 +233,23 @@ impl RackAwareWorkload {
         (rack * npr + npr / 2)..((rack + 1) * npr)
     }
 
-    /// Generates the flow list, deterministically from `seed`.
+    /// Generates the flow list, deterministically from `seed`. Each
+    /// compute node draws from its own [`Rng::stream`], so the output is
+    /// identical to [`RackAwareWorkload::generate_par`] at any chunk
+    /// count.
     ///
     /// # Panics
     ///
     /// Panics unless nodes divide evenly into racks of even size ≥ 2,
     /// and `load` is in range.
     pub fn generate(&self, seed: u64) -> Vec<Flow> {
+        self.generate_par(seed, 1)
+    }
+
+    /// [`RackAwareWorkload::generate`] with per-node stream generation
+    /// fanned out over `chunks` threads. The flow list is bit-identical
+    /// for every chunk count.
+    pub fn generate_par(&self, seed: u64, chunks: usize) -> Vec<Flow> {
         assert!(self.racks >= 1, "need a rack");
         assert!(
             self.nodes.is_multiple_of(self.racks),
@@ -185,52 +276,37 @@ impl RackAwareWorkload {
             count: self.count,
         }
         .mean_gap();
-        let mut rng = Rng::seed_from(seed);
         let half = npr / 2;
         let computes: Vec<usize> = (0..self.nodes).filter(|n| n % npr < half).collect();
-        let mut next_at: Vec<Time> = computes
-            .iter()
-            .map(|_| Time::ZERO + rng.exp_duration(gap))
-            .collect();
-        let mut flows = Vec::with_capacity(self.count);
-        for id in 0..self.count {
-            let (ci, _) = next_at
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &t)| t)
-                .expect("non-empty");
-            let arrival = next_at[ci];
-            next_at[ci] = arrival + rng.exp_duration(gap);
-            let src = computes[ci];
-            let rack = src / npr;
-            let dst = if self.racks == 1 || rng.chance(self.local_fraction) {
-                let m = self.rack_memory(rack);
-                m.start + rng.below(half as u64) as usize
-            } else {
-                // Uniform over other racks' memory nodes.
-                let pick = rng.below(((self.racks - 1) * half) as u64) as usize;
-                let mut other = pick / half;
-                if other >= rack {
-                    other += 1;
-                }
-                self.rack_memory(other).start + pick % half
-            };
-            let kind = if rng.chance(self.write_fraction) {
-                FlowKind::Write
-            } else {
-                FlowKind::Read
-            };
-            flows.push(Flow {
-                id,
-                src,
-                dst,
-                size: self.size,
-                arrival,
-                kind,
-            });
-        }
-        flows.sort_by_key(|f| f.arrival);
-        flows
+        merge_generate(
+            seed,
+            &computes,
+            gap,
+            self.count,
+            self.size,
+            chunks,
+            |rng, src| {
+                let rack = src / npr;
+                let dst = if self.racks == 1 || rng.chance(self.local_fraction) {
+                    let m = self.rack_memory(rack);
+                    m.start + rng.below(half as u64) as usize
+                } else {
+                    // Uniform over other racks' memory nodes.
+                    let pick = rng.below(((self.racks - 1) * half) as u64) as usize;
+                    let mut other = pick / half;
+                    if other >= rack {
+                        other += 1;
+                    }
+                    self.rack_memory(other).start + pick % half
+                };
+                let kind = if rng.chance(self.write_fraction) {
+                    FlowKind::Write
+                } else {
+                    FlowKind::Read
+                };
+                (dst, kind)
+            },
+        )
     }
 }
 
@@ -359,6 +435,26 @@ mod tests {
         let a = rack_wl(0.3).generate(5);
         assert_eq!(a, rack_wl(0.3).generate(5));
         assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+    }
+
+    #[test]
+    fn chunked_generation_is_bit_identical() {
+        // Per-node splittable streams: the flow list must not depend on
+        // how nodes are chunked across threads — the property that lets
+        // per-shard arrival generation stay deterministic at any shard
+        // count.
+        for seed in [0u64, 7, 42, 0xDEAD] {
+            let w = wl(0.6);
+            let reference = w.generate(seed);
+            for chunks in [1usize, 2, 3, 8, 64] {
+                assert_eq!(w.generate_par(seed, chunks), reference, "seed {seed}");
+            }
+            let r = rack_wl(0.4);
+            let reference = r.generate(seed);
+            for chunks in [1usize, 2, 5, 16] {
+                assert_eq!(r.generate_par(seed, chunks), reference, "seed {seed}");
+            }
+        }
     }
 
     #[test]
