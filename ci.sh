@@ -38,11 +38,21 @@ run_harness_bins() {
 }
 
 run_bench_json() {
-    EDM_BENCH_ITERS=2 cargo run -q --release -p edm-bench --bin bench_json -- \
+    EDM_BENCH_ITERS=2 EDM_MEM_FLOWS=20000 \
+        cargo run -q --release -p edm-bench --bin bench_json -- \
         --out "$(mktemp -d)" > /dev/null
 }
 
-PROP_CRATES=(edm-core edm-phy edm-sched edm-memory edm-sim edm-topo)
+# Reduced-scale streaming-lifecycle smoke: 100k flows through the
+# 288-node leaf-spine must complete under a hard RSS ceiling (the full
+# 1M run peaks near 10 MB; 256 MB is an order-of-magnitude leak guard).
+run_million_flows_smoke() {
+    EDM_FLOWS=100000 EDM_RSS_CEILING_MB=256 \
+        cargo run -q --release -p edm-bench --bin million_flows -- \
+        --out "$(mktemp -d)" > /dev/null
+}
+
+PROP_CRATES=(edm-core edm-phy edm-sched edm-memory edm-sim edm-topo edm-workloads)
 
 # One cargo invocation builds every release test binary, then the
 # per-crate suites run as concurrent background jobs (cargo only takes
@@ -104,6 +114,8 @@ step "examples run end-to-end" run_examples
 step "criterion benches smoke-run (no measurement)" run_bench_smoke
 step "fast harness bins run end-to-end (incl. 2-shard engine)" run_harness_bins
 step "bench_json emits machine-readable baselines" run_bench_json
+step "million_flows 100k-flow smoke under 256 MB RSS ceiling" \
+    run_million_flows_smoke
 step "property suites at ${PROPTEST_CASES:=1024} cases (concurrent per crate)" \
     run_prop_suites
 

@@ -5,11 +5,16 @@
 //! Run:
 //!   `cargo run --release -p edm-bench --bin bench_json [-- --out DIR]`
 //!
-//! Optional env: `EDM_BENCH_ITERS` (samples per benchmark, default 20).
+//! Optional env: `EDM_BENCH_ITERS` (samples per benchmark, default 20)
+//! and `EDM_MEM_FLOWS` (scale of the `mem` group's streaming run,
+//! default 50,000 — the committed `BENCH_mem.json` comes from the
+//! dedicated `million_flows` binary at full 1M scale).
 //!
 //! Each `BENCH_<group>.json` holds `{"group", "unit", "results": [{"name",
 //! "min_ns", "mean_ns", "iters"}]}` — minima are the regression-tracking
-//! signal (means absorb machine noise).
+//! signal (means absorb machine noise). `BENCH_mem.json` (group `mem`)
+//! instead reports the streaming-lifecycle memory benchmark: peak RSS,
+//! active-flow high-water marks, and streamed-vs-exact tail percentiles.
 
 use edm_baselines::prelude::*;
 use edm_bench::hold;
@@ -297,4 +302,9 @@ fn main() {
     write_group(&out_dir, "sched", &sched_group(iters));
     write_group(&out_dir, "topo", &topo_group(iters));
     write_par_group(&out_dir, &par_group(iters));
+    let mem_flows: usize = std::env::var("EDM_MEM_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    edm_bench::mem::measure(mem_flows, 1).write(&out_dir);
 }

@@ -12,6 +12,7 @@
 //! | `preemption` | §4.2.1 ablation — interference from IP traffic |
 //! | `sched_scaling` | §3.1.3 ablation — scheduling latency vs port count |
 //! | `topo_sweep` | Multi-switch leaf–spine × oversubscription × IP sweep |
+//! | `million_flows` | Streaming-lifecycle memory benchmark → `BENCH_mem.json` |
 //! | `bench_json` | Machine-readable `BENCH_*.json` perf baselines |
 //!
 //! Each binary prints a self-describing table; every multi-point sweep
@@ -21,6 +22,8 @@
 
 use edm_core::sim::{solo_mct, ClusterConfig, FabricProtocol, Flow, FlowKind};
 use edm_sim::{Duration, Time};
+
+pub mod mem;
 
 pub mod scenarios {
     //! Shared benchmark scenarios. The criterion benches and the
@@ -85,10 +88,15 @@ pub mod scenarios {
         edm_topo::Topology::leaf_spine(leaf_spine_288_spec(oversub))
     }
 
-    /// Rack-aware traffic for [`leaf_spine_288`]: `local` of each compute
-    /// node's requests stay in-rack, the rest cross the spines. 64 B
-    /// messages, 50:50 read/write, seed 42.
-    pub fn rack_flows_288(load: f64, local: f64, count: usize) -> Vec<Flow> {
+    /// The rack-aware workload spec behind [`rack_flows_288`]: `local` of
+    /// each compute node's requests stay in-rack, the rest cross the
+    /// spines. 64 B messages, 50:50 read/write. Call `.generate(42)` to
+    /// materialize or `.source(42)` to stream the identical flows.
+    pub fn rack_workload_288(
+        load: f64,
+        local: f64,
+        count: usize,
+    ) -> edm_workloads::RackAwareWorkload {
         edm_workloads::RackAwareWorkload {
             nodes: 288,
             racks: 4,
@@ -99,7 +107,11 @@ pub mod scenarios {
             local_fraction: local,
             count,
         }
-        .generate(42)
+    }
+
+    /// Rack-aware traffic for [`leaf_spine_288`], materialized (seed 42).
+    pub fn rack_flows_288(load: f64, local: f64, count: usize) -> Vec<Flow> {
+        rack_workload_288(load, local, count).generate(42)
     }
 }
 

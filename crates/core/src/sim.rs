@@ -359,9 +359,16 @@ enum MsgBody {
 struct MsgState {
     body: MsgBody,
     delivered: u32,
+    /// Bytes granted so far — the in-flight watermark that decides when a
+    /// cancelled message's slot can be reclaimed (no grants outstanding).
+    granted: u32,
     next_sub: u32,
     /// Scheduler msg_id this message was notified under (sanity checks).
     msg_id: u8,
+    /// Whether the ungranted remainder was withdrawn ([`SwitchDomain::cancel`]).
+    /// A cancelled message never completes; its slot frees once every
+    /// already-granted chunk has landed.
+    cancelled: bool,
     /// Next in-flight message of the same pair — the pair's grant FIFO as
     /// an intrusive list through the slab (slot index + 1; 0 = last).
     /// The zero sentinel keeps the per-pair slabs calloc-cheap.
@@ -412,6 +419,11 @@ pub struct SwitchDomain {
     /// msg-id allocator (bits 32..40, wraps at 256).
     pair_meta: Vec<u64>,
     targets: Vec<MsgState>,
+    /// Retired message slots awaiting reuse (LIFO). Slots return here when
+    /// a message completes or a cancelled message's last in-flight chunk
+    /// lands, so `targets` grows to the in-flight high-water mark — not
+    /// the total message count — under streaming workloads.
+    free_slots: Vec<u32>,
     /// Pending offers blocked on the per-pair X limit.
     backlog: std::collections::VecDeque<DomainOffer>,
     /// Monotone grant counter (the [`DomainGrant::gseq`] source).
@@ -439,6 +451,7 @@ impl SwitchDomain {
             pair_fifo: vec![0; pairs],
             pair_meta: vec![0; pairs],
             targets: Vec::new(),
+            free_slots: Vec::new(),
             backlog: std::collections::VecDeque::new(),
             grant_seq: 0,
             poll_at: None,
@@ -471,6 +484,20 @@ impl SwitchDomain {
             && self.scheduler.dst_port_free(dst, now)
     }
 
+    /// High-water mark of the message slab: the most messages ever
+    /// simultaneously resident. Under streaming churn this is bounded by
+    /// peak in-flight messages, not total messages — the assertion the
+    /// slab-reuse tests pin.
+    pub fn msg_slab_high_water(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Messages currently resident (admitted or draining in-flight
+    /// chunks): slab size minus retired slots awaiting reuse.
+    pub fn msg_slots_live(&self) -> usize {
+        self.targets.len() - self.free_slots.len()
+    }
+
     /// Flat index of a (src port, dst port) pair.
     fn pair_idx(&self, src: u16, dst: u16) -> usize {
         src as usize * self.ports + dst as usize
@@ -492,19 +519,32 @@ impl SwitchDomain {
         }
     }
 
-    /// Links a freshly admitted message into its pair's grant FIFO.
+    /// Links a freshly admitted message into its pair's grant FIFO,
+    /// reusing a retired slot when one is free.
     fn push_msg(&mut self, pi: usize, msg_id: u8, body: MsgBody) {
         let meta = self.pair_meta[pi];
         self.pair_meta[pi] = (meta & !0xFF_0000_0000) | (msg_id.wrapping_add(1) as u64) << 32;
-        self.targets.push(MsgState {
+        let state = MsgState {
             body,
             delivered: 0,
+            granted: 0,
             next_sub: 0,
             msg_id,
+            cancelled: false,
             next_in_pair: 0,
-        });
-        // Append to the pair's grant FIFO (index + 1 encoding).
-        let slot = self.targets.len() as u32;
+        };
+        // Slot index + 1 encoding, as in the pair FIFO words.
+        let slot = match self.free_slots.pop() {
+            Some(free) => {
+                self.targets[free as usize] = state;
+                free + 1
+            }
+            None => {
+                self.targets.push(state);
+                self.targets.len() as u32
+            }
+        };
+        // Append to the pair's grant FIFO.
         let fifo = self.pair_fifo[pi];
         let (head, tail) = (fifo as u32, (fifo >> 32) as u32);
         if head == 0 {
@@ -672,6 +712,7 @@ impl SwitchDomain {
                     next as u64 | (fifo & 0xFFFF_FFFF_0000_0000)
                 };
             }
+            self.targets[slot].granted += g.chunk_bytes;
             let gseq = self.grant_seq;
             self.grant_seq += 1;
             self.grants_scratch.push(DomainGrant {
@@ -710,6 +751,15 @@ impl SwitchDomain {
     ) -> bool {
         let st = &mut self.targets[slot as usize];
         st.delivered += bytes;
+        if st.cancelled {
+            // No completion can fire; the slot retires once the last
+            // already-granted chunk lands.
+            debug_assert!(st.delivered <= st.granted, "delivery past cancellation");
+            if st.delivered >= st.granted {
+                self.free_slots.push(slot);
+            }
+            return false;
+        }
         let total = match &st.body {
             MsgBody::Single {
                 token,
@@ -736,7 +786,10 @@ impl SwitchDomain {
         debug_assert!(st.delivered <= total, "over-delivery");
         if st.delivered >= total {
             debug_assert_eq!(st.next_sub, st.sub_count(), "all sub-offers done");
-            // A pair slot freed: admit backlogged demand.
+            // Retire the message: its slot returns to the free list (the
+            // backlog admission below may reuse it immediately), and the
+            // freed pair slot admits backlogged demand.
+            self.free_slots.push(slot);
             self.admit_from_backlog(now);
             true
         } else {
@@ -802,6 +855,14 @@ impl SwitchDomain {
                 if prev != 0 {
                     self.targets[(prev - 1) as usize].next_in_pair = next;
                 }
+                // The message can no longer complete; retire its slot now
+                // if nothing is in flight, else when the last granted
+                // chunk lands ([`SwitchDomain::deliver`]).
+                let st = &mut self.targets[slot];
+                st.cancelled = true;
+                if st.delivered >= st.granted {
+                    self.free_slots.push(slot as u32);
+                }
                 // The admission slot freed: admit backlogged demand.
                 self.admit_from_backlog(now);
                 return true;
@@ -815,29 +876,111 @@ impl SwitchDomain {
 
 #[derive(Debug, Clone)]
 enum EdmEv {
-    /// A flow's demand reaches the switch.
-    DemandArrives { flow_idx: usize },
+    /// A flow's demand reaches the switch. Carries the flow by value:
+    /// lazily admitted worlds never hold a `Vec<Flow>`.
+    DemandArrives { idx: u32, flow: Flow },
     /// Scheduler poll.
     Poll,
     /// A chunk's last byte reaches the flow's data destination.
     ChunkDelivered { slot: u32, bytes: u32 },
 }
 
-struct EdmWorld {
-    cluster: ClusterConfig,
-    flows: Vec<Flow>,
-    domain: SwitchDomain,
-    max_active_per_pair: usize,
-    completed: Vec<Option<Time>>,
+/// When a flow's demand reaches the switch: half an RTT after issue
+/// (RREQ or `/N/` flight).
+fn demand_time(cluster: &ClusterConfig, flow: &Flow) -> Time {
+    flow.arrival + cluster.pipeline_latency / 2 + cluster.prop_delay + cluster.link.tx_time_bytes(8)
 }
 
-impl World for EdmWorld {
+/// A flow resident in the [`EdmWorld`] active slab.
+struct ActiveFlow {
+    /// Position in the input order (the sink key).
+    idx: u32,
+    flow: Flow,
+}
+
+/// Memory/lifecycle statistics from a streamed single-switch run
+/// ([`EdmProtocol::simulate_streamed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdmStreamStats {
+    /// Flows admitted and completed.
+    pub completed: u64,
+    /// Most flows simultaneously resident (admitted, not yet retired).
+    pub active_high_water: usize,
+    /// High-water mark of the switch's message slab
+    /// ([`SwitchDomain::msg_slab_high_water`]).
+    pub msg_slab_high_water: usize,
+}
+
+/// The single-switch EDM world, generic over how results leave (`sink`,
+/// called once per completion with the flow's input position) and where
+/// arrivals come from (an optional lazy `source` pulled one flow ahead).
+/// Memory is O(active flows): a retired flow's slab slot, pair-FIFO
+/// link, and msg-id return to free lists.
+struct EdmWorld<F, I> {
+    cluster: ClusterConfig,
+    domain: SwitchDomain,
+    max_active_per_pair: usize,
+    /// Active-flow slab, indexed by the domain offer token.
+    active: Vec<Option<ActiveFlow>>,
+    free: Vec<u32>,
+    live: usize,
+    active_hwm: usize,
+    completed: u64,
+    sink: F,
+    /// Lazy arrival source and the input position of its next flow. Each
+    /// admission pulls (at most) one successor, so only one pending
+    /// arrival is ever queued.
+    source: Option<(I, u32)>,
+}
+
+impl<F: FnMut(u32, FlowOutcome), I: Iterator<Item = Flow>> EdmWorld<F, I> {
+    /// Admits a flow into the active slab, returning its token.
+    fn admit(&mut self, idx: u32, flow: Flow) -> u32 {
+        let entry = ActiveFlow { idx, flow };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.active[s as usize].is_none());
+                self.active[s as usize] = Some(entry);
+                s
+            }
+            None => {
+                self.active.push(Some(entry));
+                (self.active.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        self.active_hwm = self.active_hwm.max(self.live);
+        slot
+    }
+
+    /// Pulls the next arrival from the source (if any) and schedules its
+    /// demand. Sources emit nondecreasing arrivals, so the demand time
+    /// (a constant offset past arrival) never lands in the past.
+    fn pull_next(&mut self, q: &mut EventQueue<EdmEv>) {
+        let Some((source, next_idx)) = self.source.as_mut() else {
+            return;
+        };
+        let Some(flow) = source.next() else {
+            return;
+        };
+        let idx = *next_idx;
+        *next_idx += 1;
+        q.schedule_ordered(
+            demand_time(&self.cluster, &flow),
+            evord::demand(idx),
+            EdmEv::DemandArrives { idx, flow },
+        );
+    }
+}
+
+impl<F: FnMut(u32, FlowOutcome), I: Iterator<Item = Flow>> World for EdmWorld<F, I> {
     type Event = EdmEv;
 
     fn handle(&mut self, now: Time, ev: EdmEv, q: &mut EventQueue<EdmEv>) {
         match ev {
-            EdmEv::DemandArrives { flow_idx } => {
-                let flow = &self.flows[flow_idx];
+            EdmEv::DemandArrives { idx, flow } => {
+                self.pull_next(q);
+                let token = self.admit(idx, flow);
                 let (s, d) = flow.data_direction();
                 let offer = DomainOffer {
                     src: s,
@@ -845,7 +988,7 @@ impl World for EdmWorld {
                     bytes: flow.size,
                     limit: self.max_active_per_pair,
                     batch_key: 0,
-                    token: flow_idx as u64,
+                    token: token as u64,
                 };
                 if self.domain.offer(now, offer) && self.domain.note_poll_wanted(now) {
                     q.schedule_ordered(now, evord::poll(0), EdmEv::Poll);
@@ -882,14 +1025,111 @@ impl World for EdmWorld {
                 }
             }
             EdmEv::ChunkDelivered { slot, bytes } => {
-                let completed = &mut self.completed;
-                let want_poll = self.domain.deliver(now, slot, bytes, |token, _bytes| {
-                    completed[token as usize] = Some(now);
+                let EdmWorld {
+                    domain,
+                    active,
+                    free,
+                    live,
+                    completed,
+                    sink,
+                    ..
+                } = self;
+                let want_poll = domain.deliver(now, slot, bytes, |token, _bytes| {
+                    // Retire the flow: emit its outcome, return its slot.
+                    let entry = active[token as usize]
+                        .take()
+                        .expect("completion for a live flow");
+                    *live -= 1;
+                    *completed += 1;
+                    free.push(token as u32);
+                    sink(
+                        entry.idx,
+                        FlowOutcome {
+                            flow: entry.flow,
+                            completed: now,
+                        },
+                    );
                 });
                 if want_poll && self.domain.has_demand() && self.domain.note_poll_wanted(now) {
                     q.schedule_ordered(now, evord::poll(0), EdmEv::Poll);
                 }
             }
+        }
+    }
+}
+
+impl EdmProtocol {
+    fn scheduler_config(&self, cluster: &ClusterConfig) -> SchedulerConfig {
+        SchedulerConfig {
+            ports: cluster.nodes,
+            chunk_bytes: self.chunk_bytes,
+            link: cluster.link,
+            policy: self.policy,
+            max_active_per_pair: self.max_active_per_pair,
+            clock: edm_sched::ASIC_CLOCK,
+        }
+    }
+
+    fn world<F: FnMut(u32, FlowOutcome), I: Iterator<Item = Flow>>(
+        &self,
+        cluster: &ClusterConfig,
+        sink: F,
+        source: Option<(I, u32)>,
+    ) -> EdmWorld<F, I> {
+        EdmWorld {
+            cluster: *cluster,
+            domain: SwitchDomain::new(self.scheduler_config(cluster), self.batch_small_messages),
+            max_active_per_pair: self.max_active_per_pair,
+            active: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            active_hwm: 0,
+            completed: 0,
+            sink,
+            source,
+        }
+    }
+
+    /// Simulates a *stream* of arrivals in O(active flows) memory:
+    /// arrivals are pulled from `source` one at a time (lazy admission),
+    /// each completion streams to `sink` and its state retires to free
+    /// lists. Bit-identical to [`FabricProtocol::simulate`] on the same
+    /// flow sequence.
+    ///
+    /// `source` must yield flows in nondecreasing arrival order (every
+    /// `FlowSource` in `edm-workloads` does); outcomes reach `sink` in
+    /// completion order, not input order.
+    pub fn simulate_streamed<I, F>(
+        &mut self,
+        cluster: &ClusterConfig,
+        source: I,
+        mut sink: F,
+    ) -> EdmStreamStats
+    where
+        I: Iterator<Item = Flow>,
+        F: FnMut(FlowOutcome),
+    {
+        let mut source = source;
+        let first = source.next();
+        let world = self.world(cluster, |_idx, o| sink(o), Some((source, 1)));
+        let mut engine = Engine::new(world);
+        if let Some(flow) = first {
+            engine.queue_mut().schedule_ordered(
+                demand_time(cluster, &flow),
+                evord::demand(0),
+                EdmEv::DemandArrives { idx: 0, flow },
+            );
+        }
+        engine.run();
+        if sim_debug() {
+            eprintln!("[edm-sim] events dispatched: {}", engine.steps());
+        }
+        let world = engine.into_world();
+        assert_eq!(world.live, 0, "flows stalled without completing");
+        EdmStreamStats {
+            completed: world.completed,
+            active_high_water: world.active_hwm,
+            msg_slab_high_water: world.domain.msg_slab_high_water(),
         }
     }
 }
@@ -900,47 +1140,34 @@ impl FabricProtocol for EdmProtocol {
     }
 
     fn simulate(&mut self, cluster: &ClusterConfig, flows: &[Flow]) -> SimResult {
-        let sched_cfg = SchedulerConfig {
-            ports: cluster.nodes,
-            chunk_bytes: self.chunk_bytes,
-            link: cluster.link,
-            policy: self.policy,
-            max_active_per_pair: self.max_active_per_pair,
-            clock: edm_sched::ASIC_CLOCK,
-        };
-        let world = EdmWorld {
-            cluster: *cluster,
-            flows: flows.to_vec(),
-            domain: SwitchDomain::new(sched_cfg, self.batch_small_messages),
-            max_active_per_pair: self.max_active_per_pair,
-            completed: vec![None; flows.len()],
-        };
-        let mut engine = Engine::new(world);
-        for (i, f) in flows.iter().enumerate() {
-            // Demand reaches the switch half an RTT after issue (RREQ or
-            // /N/ flight).
-            let at = f.arrival
-                + cluster.pipeline_latency / 2
-                + cluster.prop_delay
-                + cluster.link.tx_time_bytes(8);
-            engine.queue_mut().schedule_ordered(
-                at,
-                evord::demand(i as u32),
-                EdmEv::DemandArrives { flow_idx: i },
+        // The collecting sink keys outcomes by input position, so input
+        // order is preserved even for unsorted arrival lists.
+        let mut results: Vec<Option<FlowOutcome>> = vec![None; flows.len()];
+        {
+            let world = self.world(
+                cluster,
+                |idx, o| results[idx as usize] = Some(o),
+                None::<(std::iter::Empty<Flow>, u32)>,
             );
+            let mut engine = Engine::new(world);
+            for (i, f) in flows.iter().enumerate() {
+                engine.queue_mut().schedule_ordered(
+                    demand_time(cluster, f),
+                    evord::demand(i as u32),
+                    EdmEv::DemandArrives {
+                        idx: i as u32,
+                        flow: *f,
+                    },
+                );
+            }
+            engine.run();
+            if sim_debug() {
+                eprintln!("[edm-sim] events dispatched: {}", engine.steps());
+            }
         }
-        engine.run();
-        if sim_debug() {
-            eprintln!("[edm-sim] events dispatched: {}", engine.steps());
-        }
-        let world = engine.into_world();
-        let outcomes = flows
-            .iter()
-            .enumerate()
-            .map(|(i, &flow)| FlowOutcome {
-                flow,
-                completed: world.completed[i].expect("all flows complete when the queue drains"),
-            })
+        let outcomes = results
+            .into_iter()
+            .map(|o| o.expect("all flows complete when the queue drains"))
             .collect();
         SimResult {
             protocol: self.name(),
@@ -1177,6 +1404,107 @@ mod tests {
         let (grants, _, _) = dom.poll(Time::ZERO);
         let gseqs: Vec<u64> = grants.iter().map(|g| g.gseq).collect();
         assert_eq!(gseqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn streamed_simulate_is_bit_identical_to_vec_path() {
+        // Lazy admission from a source must not perturb a single event:
+        // same flows in sorted-arrival order, same completions.
+        let c = cluster(16);
+        let flows: Vec<Flow> = (0..60)
+            .map(|i| {
+                let size = 64 + 96 * (i as u32 % 5);
+                let mut f = write_flow(i, i % 8, 8 + (i * 3) % 8, size, (i as u64 * 7) % 200);
+                if i % 3 == 0 {
+                    f.kind = FlowKind::Read;
+                }
+                f
+            })
+            .collect();
+        let mut sorted = flows.clone();
+        sorted.sort_by_key(|f| f.arrival);
+        for (id, f) in sorted.iter_mut().enumerate() {
+            f.id = id;
+        }
+        for batching in [false, true] {
+            let mut proto = EdmProtocol {
+                batch_small_messages: batching,
+                ..EdmProtocol::default()
+            };
+            let reference = proto.simulate(&c, &sorted);
+            let mut streamed = Vec::new();
+            let stats = proto.simulate_streamed(&c, sorted.iter().copied(), |o| streamed.push(o));
+            assert_eq!(stats.completed, sorted.len() as u64);
+            streamed.sort_by_key(|o| o.flow.id);
+            assert_eq!(streamed, reference.outcomes, "batching={batching}");
+            assert!(stats.active_high_water <= sorted.len());
+            assert!(stats.active_high_water >= 1);
+        }
+    }
+
+    #[test]
+    fn streamed_waves_bound_slab_high_water() {
+        // N sequential waves of the same hot-pair burst: retirement must
+        // recycle slots, so the slab high-water mark tracks one wave's
+        // in-flight footprint, not the total flow count.
+        let c = cluster(4);
+        let wave = 8usize;
+        let hwm_of = |waves: usize| {
+            let flows = (0..waves * wave).map(|i| {
+                // Waves 40 us apart: each drains before the next starts.
+                write_flow(i, 0, 1, 256, (i / wave) as u64 * 40_000)
+            });
+            EdmProtocol::default().simulate_streamed(&c, flows, |_| {})
+        };
+        let one = hwm_of(1);
+        let many = hwm_of(12);
+        assert_eq!(
+            many.msg_slab_high_water, one.msg_slab_high_water,
+            "slab must not grow across waves"
+        );
+        assert_eq!(many.active_high_water, one.active_high_water);
+        assert_eq!(many.completed, 12 * wave as u64);
+    }
+
+    #[test]
+    fn domain_slots_recycle_after_completion_and_cancel() {
+        let mut dom = SwitchDomain::new(edm_sched::SchedulerConfig::default_for_ports(4), false);
+        assert!(dom.offer(Time::ZERO, pair_offer(1, 100)));
+        assert_eq!(dom.msg_slots_live(), 1);
+        // Deliver the full message in one chunk: slot retires.
+        let (grants, _, _) = dom.poll(Time::ZERO);
+        let g = grants[0];
+        let mut done = Vec::new();
+        dom.deliver(Time::ZERO, g.slot, g.chunk_bytes, |t, b| done.push((t, b)));
+        assert_eq!(done, vec![(1, 100)]);
+        assert_eq!(dom.msg_slots_live(), 0);
+        let hwm = dom.msg_slab_high_water();
+        // A second message reuses the retired slot.
+        assert!(dom.offer(Time::ZERO, pair_offer(2, 100)));
+        assert_eq!(dom.msg_slab_high_water(), hwm, "no slab growth");
+        // Cancel with nothing in flight retires immediately.
+        assert!(dom.cancel(Time::ZERO, 0, 1, 2));
+        assert_eq!(dom.msg_slots_live(), 0);
+        assert_eq!(dom.msg_slab_high_water(), hwm);
+    }
+
+    #[test]
+    fn cancelled_slot_retires_only_after_inflight_chunks_land() {
+        let mut dom = SwitchDomain::new(edm_sched::SchedulerConfig::default_for_ports(4), false);
+        // Multi-chunk message; grant one chunk, then cancel the rest.
+        assert!(dom.offer(Time::ZERO, pair_offer(1, 1000)));
+        let (grants, _, _) = dom.poll(Time::ZERO);
+        assert_eq!(grants.len(), 1);
+        let g = grants[0];
+        assert!(g.chunk_bytes < 1000, "must leave a remainder in flight");
+        assert!(dom.cancel(Time::ZERO, 0, 1, 1));
+        assert_eq!(dom.msg_slots_live(), 1, "in-flight chunk pins the slot");
+        // The granted chunk lands: no completion fires, the slot frees.
+        let completed = dom.deliver(Time::from_ns(100), g.slot, g.chunk_bytes, |_, _| {
+            panic!("cancelled message must not complete")
+        });
+        assert!(!completed);
+        assert_eq!(dom.msg_slots_live(), 0);
     }
 
     #[test]

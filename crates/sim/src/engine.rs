@@ -715,9 +715,17 @@ pub struct Engine<W: World> {
 impl<W: World> Engine<W> {
     /// Creates an engine around `world` with an empty event queue.
     pub fn new(world: W) -> Self {
+        Engine::with_queue(world, EventQueue::new())
+    }
+
+    /// Creates an engine around `world` with a pre-seeded event queue —
+    /// for setups that must mutate the world and schedule seed events in
+    /// the same pass (e.g. admitting pre-loaded flows) before handing
+    /// both to the engine.
+    pub fn with_queue(world: W, queue: EventQueue<W::Event>) -> Self {
         Engine {
             world,
-            queue: EventQueue::new(),
+            queue,
             now: Time::ZERO,
             steps: 0,
         }

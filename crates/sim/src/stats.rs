@@ -1,10 +1,32 @@
 //! Statistics collection for experiment harnesses.
+//!
+//! Two percentile collectors with an explicit division of labor:
+//!
+//! * [`Summary`] retains **every sample** and answers *exact*
+//!   nearest-rank percentiles. Memory is O(total samples), so it is the
+//!   reference implementation — use it for small runs and as the oracle
+//!   that pins [`LogHistogram`]'s error bound in tests.
+//! * [`LogHistogram`] keeps a **fixed ~30 KB** of log-spaced buckets
+//!   regardless of sample count, is mergeable across shards, and bounds
+//!   its percentile error by the relative bucket width (< 2⁻⁶ ≈ 1.6 %).
+//!   Use it whenever the sample count is unbounded — e.g. the streaming
+//!   million-flow harnesses, where retaining per-flow samples would make
+//!   RSS scale with *total* flows instead of *active* flows.
+//!
+//! [`Throughput`] complements them with a windowed completion counter
+//! (ops and bytes per fixed window of simulated time).
 
-use crate::time::Duration;
+use crate::time::{Duration, Time};
 
 /// A sample-collecting summary: mean, variance, min/max, and exact
-/// percentiles (samples are retained; experiments here collect at most a few
-/// million samples, well within memory).
+/// nearest-rank percentiles.
+///
+/// Samples are **retained**: memory is O(count), and `percentile` sorts
+/// (amortized) — fine for the classic few-thousand-flow experiments, and
+/// exactly what makes it the oracle for [`LogHistogram`]'s error-bound
+/// tests. Do *not* feed it an unbounded stream; for million-flow runs
+/// record into a [`LogHistogram`] instead and keep RSS independent of
+/// total sample count.
 ///
 /// ```
 /// use edm_sim::Summary;
@@ -191,6 +213,260 @@ impl Histogram {
     }
 }
 
+/// Sub-bucket resolution bits for [`LogHistogram`]: each power-of-two
+/// octave is split into `2^SUB_BITS = 64` linear sub-buckets, so the
+/// relative bucket width — and therefore the percentile error bound — is
+/// `2^-SUB_BITS = 1/64`.
+const SUB_BITS: u32 = 6;
+const SUB: usize = 1 << SUB_BITS;
+/// Bucket count: one linear region `[0, 64)` plus `63 - SUB_BITS + 1`
+/// octaves of `64` sub-buckets each (covers all of `u64`).
+const LOG_BUCKETS: usize = SUB + (63 - SUB_BITS as usize + 1) * SUB;
+
+/// A log-bucketed histogram over `u64` values with bounded memory and
+/// bounded relative error — the streaming counterpart to [`Summary`].
+///
+/// Values below 64 land in exact unit-width buckets; larger values fall
+/// into one of 64 linear sub-buckets per power-of-two octave (the
+/// HDR-histogram layout). [`percentile`](LogHistogram::percentile)
+/// returns the *inclusive upper bound* of the bucket holding the
+/// nearest-rank sample, so the reported quantile `q̂` satisfies
+/// `q ≤ q̂ < q · (1 + 1/64)` relative to the exact nearest-rank value
+/// `q` (and is exact for values `< 64`). Memory is a fixed
+/// `3776 × 8 B ≈ 30 KB` regardless of sample count, and histograms from
+/// independent shards [`merge`](LogHistogram::merge) by bucket-wise
+/// addition with no loss beyond the bucketing itself.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Upper bound on the relative error of [`percentile`](Self::percentile):
+    /// the reported value overshoots the exact nearest-rank sample by less
+    /// than this fraction of the sample's value.
+    pub const MAX_RELATIVE_ERROR: f64 = 1.0 / SUB as f64;
+
+    /// Creates an empty histogram (all ~3.7k buckets zeroed, ≈30 KB).
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: vec![0; LOG_BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value: identity below `SUB`, then
+    /// `(octave << SUB_BITS) | sub` where `sub` is the top `SUB_BITS`
+    /// bits after the leading one.
+    fn bucket_index(v: u64) -> usize {
+        if v < SUB as u64 {
+            return v as usize;
+        }
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let octave = (msb - SUB_BITS + 1) as usize;
+        let sub = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        (octave << SUB_BITS) | sub
+    }
+
+    /// Smallest value mapping to bucket `i` (inverse of `bucket_index`).
+    fn bucket_low(i: usize) -> u64 {
+        if i < SUB {
+            return i as u64;
+        }
+        let octave = (i >> SUB_BITS) as u32;
+        let sub = (i & (SUB - 1)) as u64;
+        (SUB as u64 + sub) << (octave - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bucket_high(i: usize) -> u64 {
+        if i < SUB {
+            return i as u64;
+        }
+        let octave = (i >> SUB_BITS) as u32;
+        Self::bucket_low(i) + ((1u64 << (octave - 1)) - 1)
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.total += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Records a duration, in picoseconds (the simulator's native unit,
+    /// so integer latencies bucket exactly).
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(d.as_ps());
+    }
+
+    /// Total values recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no values have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest value recorded (exact, not bucketed). Zero if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The `p`-th percentile (nearest-rank over buckets), `p` in
+    /// `[0, 100]`. Returns the inclusive upper bound of the bucket
+    /// containing the nearest-rank sample — never less than the exact
+    /// value, and within [`MAX_RELATIVE_ERROR`](Self::MAX_RELATIVE_ERROR)
+    /// above it. Zero if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Cap at the true max so p100 is exact.
+                return Self::bucket_high(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds another histogram's counts into this one (shard merge).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Windowed throughput accumulator: completions and bytes per fixed
+/// window of simulated time.
+///
+/// Memory is O(simulated span / window) — independent of how many flows
+/// pass through — and two accumulators with the same window merge by
+/// element-wise addition, so per-shard accumulators combine exactly.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    window: Duration,
+    ops: Vec<u64>,
+    bytes: Vec<u64>,
+    total_ops: u64,
+    total_bytes: u64,
+}
+
+impl Throughput {
+    /// Creates an accumulator with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Duration) -> Self {
+        assert!(window > Duration::ZERO, "window must be positive");
+        Throughput {
+            window,
+            ops: Vec::new(),
+            bytes: Vec::new(),
+            total_ops: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Records one completion of `bytes` bytes at simulated time `at`.
+    pub fn record(&mut self, at: Time, bytes: u64) {
+        let idx = (at.as_ps() / self.window.as_ps()) as usize;
+        if idx >= self.ops.len() {
+            self.ops.resize(idx + 1, 0);
+            self.bytes.resize(idx + 1, 0);
+        }
+        self.ops[idx] += 1;
+        self.bytes[idx] += bytes;
+        self.total_ops += 1;
+        self.total_bytes += bytes;
+    }
+
+    /// The window size.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Number of windows touched so far (index of the last + 1).
+    pub fn windows(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Completions in window `i` (0 beyond the recorded span).
+    pub fn ops_in(&self, i: usize) -> u64 {
+        self.ops.get(i).copied().unwrap_or(0)
+    }
+
+    /// Bytes completed in window `i` (0 beyond the recorded span).
+    pub fn bytes_in(&self, i: usize) -> u64 {
+        self.bytes.get(i).copied().unwrap_or(0)
+    }
+
+    /// Total completions recorded.
+    pub fn total_ops(&self) -> u64 {
+        self.total_ops
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Peak completions in any single window.
+    pub fn peak_ops(&self) -> u64 {
+        self.ops.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean completions per window over the touched span. Zero if empty.
+    pub fn mean_ops_per_window(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        self.total_ops as f64 / self.ops.len() as f64
+    }
+
+    /// Adds another accumulator's windows into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window sizes differ.
+    pub fn merge(&mut self, other: &Throughput) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge throughput accumulators with different windows"
+        );
+        if other.ops.len() > self.ops.len() {
+            self.ops.resize(other.ops.len(), 0);
+            self.bytes.resize(other.bytes.len(), 0);
+        }
+        for (i, (&o, &b)) in other.ops.iter().zip(&other.bytes).enumerate() {
+            self.ops[i] += o;
+            self.bytes[i] += b;
+        }
+        self.total_ops += other.total_ops;
+        self.total_bytes += other.total_bytes;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +514,107 @@ mod tests {
         let mut s = Summary::new();
         s.record_duration(Duration::from_ns(300));
         assert_eq!(s.mean(), 300.0);
+    }
+
+    #[test]
+    fn log_histogram_small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 64);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(50.0), 31);
+        assert_eq!(h.percentile(100.0), 63);
+    }
+
+    #[test]
+    fn log_histogram_bucket_roundtrip() {
+        // Every bucket boundary maps into its own bucket, and the
+        // inclusive bounds tile the u64 range without gaps or overlap.
+        for i in 1..LOG_BUCKETS {
+            let low = LogHistogram::bucket_low(i);
+            let high = LogHistogram::bucket_high(i);
+            assert_eq!(LogHistogram::bucket_index(low), i, "low of bucket {i}");
+            assert_eq!(LogHistogram::bucket_index(high), i, "high of bucket {i}");
+            assert_eq!(
+                LogHistogram::bucket_high(i - 1).wrapping_add(1),
+                low,
+                "gap before bucket {i}"
+            );
+        }
+        assert_eq!(LogHistogram::bucket_high(LOG_BUCKETS - 1), u64::MAX);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), LOG_BUCKETS - 1);
+    }
+
+    #[test]
+    fn log_histogram_error_is_bounded() {
+        let mut h = LogHistogram::new();
+        let mut exact = Summary::new();
+        let mut v = 1u64;
+        for i in 0..10_000u64 {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(i) % 1_000_000_007;
+            h.record(v);
+            exact.record(v as f64);
+        }
+        for p in [50.0, 90.0, 99.0, 99.9, 99.99] {
+            let approx = h.percentile(p) as f64;
+            let truth = exact.percentile(p);
+            assert!(approx >= truth, "p{p}: {approx} < exact {truth}");
+            assert!(
+                approx <= truth * (1.0 + LogHistogram::MAX_RELATIVE_ERROR),
+                "p{p}: {approx} exceeds error bound over exact {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn log_histogram_merge_matches_combined() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in [3u64, 77, 1024, 90_000, 12, 500_000] {
+            all.record(v);
+            if v % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        for p in [10.0, 50.0, 99.0] {
+            assert_eq!(a.percentile(p), all.percentile(p));
+        }
+    }
+
+    #[test]
+    fn throughput_windows_and_merge() {
+        let w = Duration::from_ns(100);
+        let mut t = Throughput::new(w);
+        t.record(Time::from_ns(10), 64);
+        t.record(Time::from_ns(99), 64);
+        t.record(Time::from_ns(100), 128);
+        t.record(Time::from_ns(350), 64);
+        assert_eq!(t.windows(), 4);
+        assert_eq!(t.ops_in(0), 2);
+        assert_eq!(t.ops_in(1), 1);
+        assert_eq!(t.ops_in(2), 0);
+        assert_eq!(t.bytes_in(1), 128);
+        assert_eq!(t.peak_ops(), 2);
+        assert_eq!(t.total_ops(), 4);
+        assert_eq!(t.total_bytes(), 320);
+        assert_eq!(t.mean_ops_per_window(), 1.0);
+
+        let mut other = Throughput::new(w);
+        other.record(Time::from_ns(120), 32);
+        other.record(Time::from_ns(600), 32);
+        t.merge(&other);
+        assert_eq!(t.windows(), 7);
+        assert_eq!(t.ops_in(1), 2);
+        assert_eq!(t.bytes_in(1), 160);
+        assert_eq!(t.total_ops(), 6);
     }
 
     #[test]

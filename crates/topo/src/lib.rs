@@ -58,6 +58,7 @@ pub use shard::ShardPlan;
 pub use topology::{Endpoint, Hop, LeafSpine, Link, LinkParams, Route, SwitchRole, Topology};
 pub use world::{
     FaultEvent, FaultKind, FlowStatus, TopoEdm, TopoEdmConfig, TopoOutcome, TopoResult,
+    TopoStreamStats,
 };
 
 use edm_core::sim::ClusterConfig;

@@ -83,6 +83,35 @@
 //! lower bound in A/B tests); offers folded into a §3.1.2 mega message
 //! keep that pessimism either way, since their notification covers the
 //! whole batch.
+//!
+//! # Streaming flow lifecycle
+//!
+//! Flow state lives in a base-offset ring keyed by admission index
+//! (ids are dense and admitted in order), populated by
+//! *admission* and — in fault-free, unbatched runs — drained by
+//! *retirement*, so resident state tracks the concurrently-active flow
+//! population rather than the total offered load:
+//!
+//! * **Admission.** [`TopoEdm::simulate_streamed`] pulls arrivals lazily
+//!   from a time-ordered iterator (any `edm_workloads` `FlowSource`):
+//!   each `Admit` event routes one flow, creates its runtime entry, and
+//!   schedules the next arrival's admission — exactly one pending
+//!   arrival is materialized at any instant. The materialized
+//!   [`TopoEdm::simulate`] path admits its whole slice before the run;
+//!   both paths schedule bit-identical demand events.
+//! * **Retirement.** When a flow reaches a terminal state and no future
+//!   event can reference it — guaranteed when the run has no faults (no
+//!   stale-epoch zombie chunks, no reroutes) and no §3.1.2 batching (no
+//!   cross-flow mega messages) — its entry is removed between events,
+//!   and the per-switch message slots, pair-FIFO links, and backlog
+//!   words it held return to the [`SwitchDomain`] free lists. Fault or
+//!   batching runs keep terminal entries resident, as before: in-flight
+//!   zombie chunks still resolve their path context through them.
+//! * **Sinking.** Terminal outcomes stream to a sink callback the moment
+//!   they are decided instead of accumulating in a `Vec`. The `Vec`
+//!   paths use a collecting sink, preserving their API and results
+//!   bit-for-bit; shard 0 holds the sink in sharded runs (it observes
+//!   every terminal transition — local settles plus barrier credits).
 
 use crate::ip::{IpModel, IpTraffic};
 use crate::shard::ShardPlan;
@@ -298,6 +327,41 @@ impl TopoResult {
     }
 }
 
+/// Aggregate counters of one streaming run ([`TopoEdm::simulate_streamed`]
+/// / [`TopoEdm::simulate_sharded_streamed`]) — everything the run retains
+/// once per-flow outcomes have streamed to the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopoStreamStats {
+    /// Flows pulled from the source and admitted (delivered + failed once
+    /// the run drains).
+    pub admitted: u64,
+    /// Flows whose every byte reached its destination.
+    pub delivered: u64,
+    /// Flows that could not complete (unroutable at admission, or fabric
+    /// partition mid-run).
+    pub failed: u64,
+    /// Successful re-routes after faults.
+    pub reroutes: u64,
+    /// Background IP frames generated on crossed links.
+    pub ip_frames: u64,
+    /// Memory-chunk link crossings that hit an in-flight IP frame.
+    pub ip_delayed: u64,
+    /// Simulation events dispatched (admission events are free: the
+    /// materialized path has none, and the tallies must match).
+    pub events: u64,
+    /// Peak number of concurrently-resident flow entries — with eager
+    /// retirement (no faults, no batching) this is the active-flow
+    /// population peak, independent of how many flows the source emits
+    /// in total. Sharded runs may report slightly more than the
+    /// sequential run: delivery credits retire replicas at window
+    /// barriers, a beat after the sequential run retires them.
+    pub active_high_water: usize,
+    /// Peak message-slot slab size summed over every switch scheduler —
+    /// proof of slot reuse: with retirement it tracks concurrent
+    /// messages, not total messages.
+    pub msg_slots_high_water: usize,
+}
+
 /// The multi-switch EDM protocol.
 ///
 /// [`TopoEdm::simulate`] runs sequentially; [`TopoEdm::simulate_sharded`]
@@ -328,14 +392,21 @@ impl TopoEdm {
     /// zero-size messages) and if a flow stalls without a terminal state
     /// (a model invariant violation).
     pub fn simulate(&self, topo: &Topology, flows: &[Flow]) -> TopoResult {
-        let plan = Arc::new(ShardPlan::solo(topo.switch_count()));
-        let (world, seeds) = self.build_world(topo, flows, plan, 0);
-        let mut engine = Engine::new(world);
-        for (t, ord, ev) in seeds {
-            engine.queue_mut().schedule_ordered(t, ord, ev);
-        }
-        engine.run();
-        TopoEdm::collect(vec![engine.into_world()])
+        let mut results: Vec<Option<TopoOutcome>> = vec![None; flows.len()];
+        let tally = {
+            let sink = |id: u32, o: TopoOutcome| results[id as usize] = Some(o);
+            let plan = Arc::new(ShardPlan::solo(topo.switch_count()));
+            let mut world = self.build_world(topo, plan, 0, Some(sink), NO_SOURCE);
+            let mut q = EventQueue::new();
+            self.seed_faults(&mut q);
+            for (i, &f) in flows.iter().enumerate() {
+                world.admit(i as u32, f, &mut q);
+            }
+            let mut engine = Engine::with_queue(world, q);
+            engine.run();
+            TopoEdm::tally(&[engine.into_world()])
+        };
+        TopoEdm::into_result(results, tally)
     }
 
     /// [`TopoEdm::simulate`], sharded over up to `shards` cores.
@@ -353,36 +424,167 @@ impl TopoEdm {
         if plan.shards() == 1 {
             return self.simulate(topo, flows);
         }
-        let inputs: Vec<(TopoWorld, EventQueue<TopoEv>)> = (0..plan.shards() as u32)
+        let mut results: Vec<Option<TopoOutcome>> = vec![None; flows.len()];
+        let tally = {
+            // Shard 0 holds the collecting sink; replicas elsewhere run
+            // the same terminal transitions without reporting them.
+            let mut sink = Some(|id: u32, o: TopoOutcome| results[id as usize] = Some(o));
+            let inputs: Vec<_> = (0..plan.shards() as u32)
+                .map(|me| {
+                    let mut world =
+                        self.build_world(topo, plan.clone(), me, sink.take(), NO_SOURCE);
+                    let mut q = EventQueue::new();
+                    self.seed_faults(&mut q);
+                    for (i, &f) in flows.iter().enumerate() {
+                        world.admit(i as u32, f, &mut q);
+                    }
+                    (world, q)
+                })
+                .collect();
+            TopoEdm::tally(&run_sharded(inputs, &self.sharded_config(&plan)))
+        };
+        TopoEdm::into_result(results, tally)
+    }
+
+    /// Streams a simulation: arrivals are pulled lazily from `source`
+    /// (must be time-ordered — every `edm_workloads` `FlowSource` is) and
+    /// per-flow outcomes are pushed to `sink` the moment they are
+    /// decided. With no faults and no §3.1.2 batching, completed flows
+    /// *retire* — their routing entry, switch message slots, pair-FIFO
+    /// links, and backlog words all return to free lists — so resident
+    /// memory tracks the concurrently-active flow population, not the
+    /// total flow count ([`TopoStreamStats::active_high_water`]).
+    ///
+    /// Fault-free streamed runs are bit-identical to materializing the
+    /// source and calling [`TopoEdm::simulate`] (pinned by proptest).
+    /// With faults, admission routes each flow on the topology *as of
+    /// its arrival* — late flows route around known failures — whereas
+    /// the materialized path routes everything up front; both are valid
+    /// models, but they are not lockstep.
+    ///
+    /// # Panics
+    ///
+    /// As [`TopoEdm::simulate`]; additionally if `source` yields
+    /// arrivals out of time order.
+    pub fn simulate_streamed<I, F>(&self, topo: &Topology, source: I, sink: F) -> TopoStreamStats
+    where
+        I: Iterator<Item = Flow>,
+        F: FnMut(TopoOutcome),
+    {
+        let mut sink = sink;
+        let plan = Arc::new(ShardPlan::solo(topo.switch_count()));
+        let mut source = source;
+        let first = source.next();
+        let mut world = self.build_world(
+            topo,
+            plan,
+            0,
+            Some(move |_id: u32, o: TopoOutcome| sink(o)),
+            Some((source, 1)),
+        );
+        let mut q = EventQueue::new();
+        self.seed_faults(&mut q);
+        if let Some(f) = first {
+            q.schedule_ordered(
+                f.arrival,
+                evord::demand(0),
+                TopoEv::Admit { id: 0, flow: f },
+            );
+        }
+        let mut engine = Engine::with_queue(world, q);
+        engine.run();
+        world = engine.into_world();
+        TopoEdm::stream_stats(&[world])
+    }
+
+    /// [`TopoEdm::simulate_streamed`], sharded over up to `shards` cores
+    /// — bit-identical to the sequential streamed run (each shard
+    /// replays its own clone of the source, so flow-state replicas stay
+    /// lockstep; the sink lives in shard 0).
+    ///
+    /// # Panics
+    ///
+    /// As [`TopoEdm::simulate_streamed`].
+    pub fn simulate_sharded_streamed<I, F>(
+        &self,
+        topo: &Topology,
+        source: I,
+        sink: F,
+        shards: usize,
+    ) -> TopoStreamStats
+    where
+        I: Iterator<Item = Flow> + Clone + Send,
+        F: FnMut(TopoOutcome) + Send,
+    {
+        let plan = Arc::new(ShardPlan::new(topo, &self.config, shards));
+        if plan.shards() == 1 {
+            return self.simulate_streamed(topo, source, sink);
+        }
+        let mut sink = sink;
+        let mut sink_slot = Some(move |_id: u32, o: TopoOutcome| sink(o));
+        let mut source = source;
+        let first = source.next();
+        let inputs: Vec<_> = (0..plan.shards() as u32)
             .map(|me| {
-                let (world, seeds) = self.build_world(topo, flows, plan.clone(), me);
+                let world = self.build_world(
+                    topo,
+                    plan.clone(),
+                    me,
+                    sink_slot.take(),
+                    Some((source.clone(), 1)),
+                );
                 let mut q = EventQueue::new();
-                for (t, ord, ev) in seeds {
-                    q.schedule_ordered(t, ord, ev);
+                self.seed_faults(&mut q);
+                if let Some(f) = first {
+                    q.schedule_ordered(
+                        f.arrival,
+                        evord::demand(0),
+                        TopoEv::Admit { id: 0, flow: f },
+                    );
                 }
                 (world, q)
             })
             .collect();
-        let mut cuts: Vec<Time> = self.config.faults.iter().map(|f| f.at).collect();
-        cuts.sort_unstable();
-        let cfg = ShardedConfig {
-            lookahead: plan.lookahead(),
-            cuts,
-        };
-        TopoEdm::collect(run_sharded(inputs, &cfg))
+        TopoEdm::stream_stats(&run_sharded(inputs, &self.sharded_config(&plan)))
     }
 
-    /// Builds one shard's world (for the solo plan: the whole world) and
-    /// its seed events. Every shard computes identical replicated state
-    /// (routes, statuses); only domain ownership and demand seeding
-    /// differ.
-    fn build_world(
+    /// Fault events, replicated into every shard's queue; a fault at
+    /// time T precedes any same-instant demand by order-key rank.
+    fn seed_faults(&self, q: &mut EventQueue<TopoEv>) {
+        for (i, f) in self.config.faults.iter().enumerate() {
+            q.schedule_ordered(
+                f.at,
+                evord::fault(i as u32),
+                TopoEv::Fault { idx: i as u32 },
+            );
+        }
+    }
+
+    fn sharded_config(&self, plan: &ShardPlan) -> ShardedConfig {
+        let mut cuts: Vec<Time> = self.config.faults.iter().map(|f| f.at).collect();
+        cuts.sort_unstable();
+        ShardedConfig {
+            lookahead: plan.lookahead(),
+            cuts,
+        }
+    }
+
+    /// Builds one shard's world (for the solo plan: the whole world),
+    /// with no flows admitted yet. Every shard computes identical
+    /// replicated flow state as admissions run; only domain ownership,
+    /// demand seeding, and sink placement differ.
+    fn build_world<S, I>(
         &self,
         topo: &Topology,
-        flows: &[Flow],
         plan: Arc<ShardPlan>,
         me: u32,
-    ) -> (TopoWorld, Vec<(Time, u64, TopoEv)>) {
+        sink: Option<S>,
+        source: Option<(I, u32)>,
+    ) -> TopoWorld<S, I>
+    where
+        S: FnMut(u32, TopoOutcome),
+        I: Iterator<Item = Flow>,
+    {
         let topo = topo.clone();
         let link_count = topo.links().len();
         let domains = (0..topo.switch_count() as u32)
@@ -403,79 +605,48 @@ impl TopoEdm {
                 ))
             })
             .collect();
-        let mut world = TopoWorld {
+        TopoWorld {
             ip: IpModel::new(self.config.ip, link_count),
+            // A terminal flow provably has zero outstanding references
+            // only when no zombie chunk can exist (no faults) and no
+            // mega message can outlive a member flow (no batching).
+            // Retirement only pays on streamed runs — the materialized
+            // paths hold an O(flows) results vector regardless, and
+            // skipping it keeps `rt` a flat append-only table there.
+            eager_retire: source.is_some()
+                && self.config.faults.is_empty()
+                && !self.config.batch_small_messages,
             cfg: self.config.clone(),
             topo,
-            flows: flows.to_vec(),
-            rt: flows
-                .iter()
-                .map(|_| FlowRt {
-                    routes: Vec::with_capacity(1),
-                    epoch: 0,
-                    delivered: 0,
-                    inject_bytes: 0,
-                    status: RtStatus::Active,
-                })
-                .collect(),
+            rt: RtMap::default(),
             domains,
             plan,
             me,
             reroutes: 0,
             events: 0,
             outbox: Vec::new(),
-        };
-        // Fault events are replicated into every shard; a fault at time T
-        // precedes any same-instant demand by order-key rank.
-        let mut seeds: Vec<(Time, u64, TopoEv)> = self
-            .config
-            .faults
-            .iter()
-            .enumerate()
-            .map(|(i, f)| {
-                (
-                    f.at,
-                    evord::fault(i as u32),
-                    TopoEv::Fault { idx: i as u32 },
-                )
-            })
-            .collect();
-        for (i, f) in flows.iter().enumerate() {
-            let (ds, dd) = f.data_direction();
-            match world.topo.route(ds as usize, dd as usize, f.id as u64) {
-                Some(r) => {
-                    let h0 = r.hops[0].switch;
-                    world.rt[i].routes.push(Some(r));
-                    world.rt[i].inject_bytes = f.size;
-                    // Host-node events are pinned to the data source's
-                    // leaf shard.
-                    if world.plan.shard_of(h0) == me {
-                        let t = world.demand_time(i, f.arrival);
-                        seeds.push((
-                            t,
-                            evord::demand(i as u32),
-                            TopoEv::Demand {
-                                flow: i as u32,
-                                epoch: 0,
-                            },
-                        ));
-                    }
-                }
-                None => {
-                    world.rt[i].routes.push(None);
-                    world.rt[i].status = RtStatus::Failed(f.arrival);
-                }
-            }
+            sink,
+            source,
+            retired: Vec::new(),
+            admitted: 0,
+            delivered_n: 0,
+            failed_n: 0,
+            active_hwm: 0,
         }
-        (world, seeds)
     }
 
-    /// Merges per-shard worlds into the result. Replicated flow state is
-    /// identical across shards (debug-asserted); owned counters sum.
-    fn collect(worlds: Vec<TopoWorld>) -> TopoResult {
+    /// Merges per-shard counters. Replicated flow state is identical
+    /// across shards (debug-asserted); owned counters sum.
+    fn tally<S, I>(worlds: &[TopoWorld<S, I>]) -> (u64, u64, u64, u64)
+    where
+        S: FnMut(u32, TopoOutcome),
+        I: Iterator<Item = Flow>,
+    {
         #[cfg(debug_assertions)]
         for w in &worlds[1..] {
-            for (fi, (a, b)) in worlds[0].rt.iter().zip(&w.rt).enumerate() {
+            debug_assert_eq!(worlds[0].rt.len(), w.rt.len(), "resident replica diverged");
+            for (fi, a) in worlds[0].rt.iter() {
+                let b = &w.rt[fi];
                 debug_assert_eq!(a.status, b.status, "flow {fi} status replica diverged");
                 debug_assert_eq!(a.epoch, b.epoch, "flow {fi} epoch replica diverged");
                 debug_assert_eq!(
@@ -487,28 +658,57 @@ impl TopoEdm {
         let events = worlds.iter().map(|w| w.events).sum();
         let ip_frames = worlds.iter().map(|w| w.ip.frames()).sum();
         let ip_delayed = worlds.iter().map(|w| w.ip.delayed()).sum();
-        let w0 = &worlds[0];
-        let outcomes = w0
-            .flows
-            .iter()
+        (worlds[0].reroutes, ip_frames, ip_delayed, events)
+    }
+
+    /// Assembles a [`TopoResult`] from the collecting sink's outcomes.
+    fn into_result(
+        results: Vec<Option<TopoOutcome>>,
+        (reroutes, ip_frames, ip_delayed, events): (u64, u64, u64, u64),
+    ) -> TopoResult {
+        let outcomes = results
+            .into_iter()
             .enumerate()
-            .map(|(i, &flow)| TopoOutcome {
-                flow,
-                status: match w0.rt[i].status {
-                    RtStatus::Done(t) => FlowStatus::Delivered(t),
-                    RtStatus::Failed(t) => FlowStatus::Failed(t),
-                    RtStatus::Active => {
-                        panic!("flow {i} stalled without a terminal state")
-                    }
-                },
-            })
+            .map(|(i, o)| o.unwrap_or_else(|| panic!("flow {i} stalled without a terminal state")))
             .collect();
         TopoResult {
             outcomes,
-            reroutes: w0.reroutes,
+            reroutes,
             ip_frames,
             ip_delayed,
             events,
+        }
+    }
+
+    /// Assembles the aggregate stats of a streamed run.
+    fn stream_stats<S, I>(worlds: &[TopoWorld<S, I>]) -> TopoStreamStats
+    where
+        S: FnMut(u32, TopoOutcome),
+        I: Iterator<Item = Flow>,
+    {
+        let (reroutes, ip_frames, ip_delayed, events) = TopoEdm::tally(worlds);
+        let w0 = &worlds[0];
+        assert_eq!(
+            w0.admitted,
+            w0.delivered_n + w0.failed_n,
+            "a flow stalled without a terminal state"
+        );
+        // Each switch is owned by exactly one shard, so slab peaks sum.
+        let msg_slots_high_water = worlds
+            .iter()
+            .flat_map(|w| w.domains.iter().flatten())
+            .map(|d| d.msg_slab_high_water())
+            .sum();
+        TopoStreamStats {
+            admitted: w0.admitted,
+            delivered: w0.delivered_n,
+            failed: w0.failed_n,
+            reroutes,
+            ip_frames,
+            ip_delayed,
+            events,
+            active_high_water: w0.active_hwm,
+            msg_slots_high_water,
         }
     }
 
@@ -542,6 +742,9 @@ enum RtStatus {
 /// through barrier-synced broadcasts.
 #[derive(Debug)]
 struct FlowRt {
+    /// The admitted flow (moved in at admission; the world keeps no
+    /// separate flow list).
+    flow: Flow,
     /// Route per epoch; `routes[epoch]` is the live one (`None` while a
     /// reroute is pending). Old epochs stay resident so in-flight zombie
     /// chunks can still resolve their path context.
@@ -555,8 +758,116 @@ struct FlowRt {
     status: RtStatus,
 }
 
+/// Flow state keyed by admission index: live flows plus — in fault or
+/// batching runs — terminal entries whose route context may still be
+/// referenced.
+///
+/// Ids are dense and admitted in increasing order, and retirement is
+/// FIFO-ish (flows complete within a bounded window of their arrival),
+/// so the store is a base-offset ring of `Option` slots rather than a
+/// hash map: O(1) direct indexing on the event hot path (a map's
+/// hashing is an order of magnitude slower in unoptimized builds, where
+/// the 2× topo-vs-single-switch cost gate runs), memory O(live
+/// id-span), and iteration is naturally in admission order — the
+/// deterministic order `bump_affected` needs, with no sort.
+#[derive(Debug, Default)]
+struct RtMap {
+    /// Id of slot 0. Advances when the dead prefix is compacted away.
+    base: u32,
+    slots: Vec<Option<FlowRt>>,
+    /// Occupied slots.
+    live: usize,
+    /// Leading `None` slots (already-retired ids below every live one),
+    /// compacted away once they dominate the vector.
+    dead_prefix: usize,
+}
+
+impl RtMap {
+    /// Inserts `rt` for `id`. Ids must be inserted in increasing order
+    /// (admission order); skipped ids — flows that failed at admission —
+    /// leave holes.
+    fn insert(&mut self, id: u32, rt: FlowRt) {
+        let idx = (id - self.base) as usize;
+        debug_assert!(idx >= self.slots.len(), "ids admit in increasing order");
+        self.slots.resize_with(idx, || None);
+        self.slots.push(Some(rt));
+        self.live += 1;
+    }
+
+    fn get_mut(&mut self, id: u32) -> Option<&mut FlowRt> {
+        // `wrapping_sub` folds the `id < base` miss into the bounds
+        // check (the wrapped index is astronomically out of range).
+        match self.slots.get_mut(id.wrapping_sub(self.base) as usize) {
+            Some(Some(rt)) => Some(rt),
+            _ => None,
+        }
+    }
+
+    /// Removes `id`. When retired ids below every live id come to
+    /// dominate the vector, the dead prefix is compacted away (amortized
+    /// O(1)), so the footprint tracks the live id-span.
+    fn remove(&mut self, id: u32) -> Option<FlowRt> {
+        let idx = id.checked_sub(self.base)? as usize;
+        let rt = self.slots.get_mut(idx)?.take()?;
+        self.live -= 1;
+        if idx == self.dead_prefix {
+            let mut dp = self.dead_prefix + 1;
+            while dp < self.slots.len() && self.slots[dp].is_none() {
+                dp += 1;
+            }
+            self.dead_prefix = dp;
+            if dp >= 64 && dp * 2 >= self.slots.len() {
+                self.slots.drain(..dp);
+                self.base += dp as u32;
+                self.dead_prefix = 0;
+            }
+        }
+        Some(rt)
+    }
+
+    /// Resident (live) entries.
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Live `(id, entry)` pairs in increasing (admission) order.
+    fn iter(&self) -> impl Iterator<Item = (u32, &FlowRt)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|rt| (self.base + i as u32, rt)))
+    }
+
+    /// Live ids in increasing (admission) order.
+    fn ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.iter().map(|(id, _)| id)
+    }
+}
+
+impl std::ops::Index<u32> for RtMap {
+    type Output = FlowRt;
+    fn index(&self, id: u32) -> &FlowRt {
+        // One subtraction plus one slice index: the materialized paths
+        // never compact (`base` stays 0), so this is as cheap as the
+        // flat `Vec<FlowRt>` it replaced — which keeps the leaf-spine
+        // per-flow cost inside the `topo_scale` 2x gate in debug builds.
+        match self.slots[id.wrapping_sub(self.base) as usize] {
+            Some(ref rt) => rt,
+            None => panic!("flow {id} is not resident"),
+        }
+    }
+}
+
+/// Type of the absent streaming source in the materialized paths.
+type NoSource = std::iter::Empty<Flow>;
+const NO_SOURCE: Option<(NoSource, u32)> = None;
+
 #[derive(Debug, Clone, Copy)]
 enum TopoEv {
+    /// A flow's arrival instant: route it, create its runtime entry,
+    /// and pull the next arrival from the streaming source (the
+    /// materialized paths admit before the run and never see this).
+    Admit { id: u32, flow: Flow },
     /// A flow's demand reaches its hop-0 switch.
     Demand { flow: u32, epoch: u32 },
     /// One switch's scheduler poll.
@@ -611,8 +922,8 @@ fn pack(flow: u32, epoch: u32) -> u64 {
     flow as u64 | (epoch as u64) << 32
 }
 
-fn unpack(token: u64) -> (usize, u32) {
-    (token as u32 as usize, (token >> 32) as u32)
+fn unpack(token: u64) -> (u32, u32) {
+    (token as u32, (token >> 32) as u32)
 }
 
 /// Batching key: flows fold into one mega message only when they share
@@ -661,11 +972,13 @@ fn lane_side(topo: &Topology, link: u32, granting: u32) -> u8 {
     }
 }
 
-struct TopoWorld {
+struct TopoWorld<S, I> {
     cfg: TopoEdmConfig,
     topo: Topology,
-    flows: Vec<Flow>,
-    rt: Vec<FlowRt>,
+    /// Per-flow runtime state, inserted at admission and — in eager
+    /// mode — removed at retirement, so `rt.len()` tracks the *active*
+    /// flow population rather than the total offered load.
+    rt: RtMap,
     /// `Some` only for switches this shard owns (all of them for the
     /// sequential solo plan).
     domains: Vec<Option<SwitchDomain>>,
@@ -674,12 +987,120 @@ struct TopoWorld {
     me: u32,
     reroutes: u64,
     /// Dispatched-event tally mirroring the sequential count: `Arrive`
-    /// halves and non-primary fault/reroute replicas are not counted.
+    /// halves, `Admit`s, and non-primary fault/reroute replicas are not
+    /// counted.
     events: u64,
     outbox: Vec<Envelope<TopoMsg>>,
+    /// Terminal-outcome sink — `Some` only in shard 0, which observes
+    /// every terminal transition (local settles plus barrier credits).
+    sink: Option<S>,
+    /// Streaming arrival source and the next admission index; `None`
+    /// once drained (or always, for the materialized paths).
+    source: Option<(I, u32)>,
+    /// Whether terminal flows leave `rt` immediately: true only on
+    /// streamed runs (the materialized paths are O(flows) resident
+    /// anyway) with no faults (no zombie chunks, no reroutes) and no
+    /// §3.1.2 batching (no cross-flow megas) — the conditions under
+    /// which a terminal entry provably has zero outstanding references.
+    eager_retire: bool,
+    /// Flows whose terminal transition happened inside the current event
+    /// dispatch; drained between events (eager mode only).
+    retired: Vec<u32>,
+    admitted: u64,
+    delivered_n: u64,
+    failed_n: u64,
+    /// Peak of `rt.len()` — the active-flow high-water mark.
+    active_hwm: usize,
 }
 
-impl TopoWorld {
+impl<S, I> TopoWorld<S, I>
+where
+    S: FnMut(u32, TopoOutcome),
+    I: Iterator<Item = Flow>,
+{
+    /// Reports one terminal outcome: counted on every replica, pushed to
+    /// the sink only where it lives (shard 0).
+    fn emit(&mut self, id: u32, outcome: TopoOutcome) {
+        match outcome.status {
+            FlowStatus::Delivered(_) => self.delivered_n += 1,
+            FlowStatus::Failed(_) => self.failed_n += 1,
+        }
+        if let Some(s) = self.sink.as_mut() {
+            s(id, outcome);
+        }
+    }
+
+    /// Admits one flow: route it, create its runtime entry, and (on the
+    /// hop-0 shard) schedule its demand flight. Unroutable flows fail
+    /// immediately and never get an entry. The materialized paths call
+    /// this for the whole slice before the run; the streaming path calls
+    /// it from `Admit` events at each flow's arrival instant — the
+    /// demand events produced are bit-identical either way.
+    fn admit(&mut self, id: u32, flow: Flow, q: &mut EventQueue<TopoEv>) {
+        self.admitted += 1;
+        let (ds, dd) = flow.data_direction();
+        let Some(route) = self.topo.route(ds as usize, dd as usize, flow.id as u64) else {
+            self.emit(
+                id,
+                TopoOutcome {
+                    flow,
+                    status: FlowStatus::Failed(flow.arrival),
+                },
+            );
+            return;
+        };
+        let h0 = route.hops[0].switch;
+        self.rt.insert(
+            id,
+            FlowRt {
+                flow,
+                routes: vec![Some(route)],
+                epoch: 0,
+                delivered: 0,
+                inject_bytes: flow.size,
+                status: RtStatus::Active,
+            },
+        );
+        self.active_hwm = self.active_hwm.max(self.rt.len());
+        // Host-node events are pinned to the data source's leaf shard.
+        if self.local(h0) {
+            let t = self.demand_time(id, flow.arrival);
+            q.schedule_ordered(t, evord::demand(id), TopoEv::Demand { flow: id, epoch: 0 });
+        }
+    }
+
+    /// Pulls the next arrival from the streaming source and schedules its
+    /// admission — exactly one pending arrival is materialized at a time.
+    fn pull_next(&mut self, now: Time, q: &mut EventQueue<TopoEv>) {
+        let Some((source, next_id)) = self.source.as_mut() else {
+            return;
+        };
+        match source.next() {
+            Some(flow) => {
+                assert!(
+                    flow.arrival >= now,
+                    "streamed sources must emit time-ordered arrivals"
+                );
+                let id = *next_id;
+                *next_id += 1;
+                q.schedule_ordered(flow.arrival, evord::demand(id), TopoEv::Admit { id, flow });
+            }
+            None => self.source = None,
+        }
+    }
+
+    /// Removes entries whose terminal transition was observed during the
+    /// last event (the list is only ever fed in eager mode).
+    #[inline]
+    fn flush_retired(&mut self) {
+        if self.retired.is_empty() {
+            return;
+        }
+        for id in self.retired.drain(..) {
+            let gone = self.rt.remove(id);
+            debug_assert!(gone.is_some(), "flow {id} retired twice");
+        }
+    }
     /// Whether `switch` belongs to this shard.
     fn local(&self, switch: u32) -> bool {
         self.plan.shard_of(switch) == self.me
@@ -690,9 +1111,9 @@ impl TopoWorld {
     /// reads — the RREQ's forwarding across the trunk path to the
     /// data-source leaf (control blocks ride repurposed IFG slots, §3.2,
     /// so they pay latency but no scheduling).
-    fn demand_time(&self, fi: usize, base: Time) -> Time {
-        let f = &self.flows[fi];
+    fn demand_time(&self, fi: u32, base: Time) -> Time {
         let rt = &self.rt[fi];
+        let f = &rt.flow;
         let route = rt.routes[rt.epoch as usize].as_ref().expect("route set");
         let origin_link = self.topo.node_link(f.src);
         let mut t = base + access_half(&self.cfg, &self.topo, origin_link);
@@ -707,8 +1128,10 @@ impl TopoWorld {
         t
     }
 
-    /// The next element after `from_switch` on a chunk's route (resident
-    /// also for stale epochs).
+    /// The next element after `from_switch` on a chunk's route. The
+    /// entry is resident whenever a chunk references it: stale epochs
+    /// keep their routes, and retirement only removes entries with no
+    /// in-flight chunks.
     fn chunk_next(&self, token: u64, from_switch: u32) -> Endpoint {
         let (fi, ep) = unpack(token);
         let route = self.rt[fi].routes[ep as usize]
@@ -745,7 +1168,9 @@ impl TopoWorld {
         for g in grants {
             let (fi, ep) = unpack(g.token);
             // Zombie (stale-epoch) grants still consume their ports: the
-            // chunk flies and is dropped downstream.
+            // chunk flies and is dropped downstream. The entry is
+            // resident: flows with granted-but-unsettled chunks never
+            // retire.
             let route = rt[fi].routes[ep as usize]
                 .as_ref()
                 .expect("grant for an offered epoch");
@@ -855,9 +1280,12 @@ impl TopoWorld {
         let TopoWorld {
             domains,
             rt,
-            flows,
             plan,
             outbox,
+            sink,
+            retired,
+            eager_retire,
+            delivered_n,
             ..
         } = self;
         let multi = plan.shards() > 1;
@@ -869,16 +1297,31 @@ impl TopoWorld {
                 return;
             }
             let (cfi, cep) = unpack(tok);
-            let r = &mut rt[cfi];
+            let r = rt.get_mut(cfi).expect("credit for a resident flow");
             // Late bytes of a pre-fault epoch were already re-sent;
             // crediting them would double-count.
             if r.epoch != cep || r.status != RtStatus::Active {
                 return;
             }
             r.delivered += sub_bytes;
-            if r.delivered >= flows[cfi].size {
-                debug_assert_eq!(r.delivered, flows[cfi].size);
+            if r.delivered >= r.flow.size {
+                debug_assert_eq!(r.delivered, r.flow.size);
                 r.status = RtStatus::Done(now);
+                *delivered_n += 1;
+                if let Some(s) = sink.as_mut() {
+                    s(
+                        cfi,
+                        TopoOutcome {
+                            flow: r.flow,
+                            status: FlowStatus::Delivered(now),
+                        },
+                    );
+                }
+                if *eager_retire {
+                    // Deferred to the end of this dispatch: `rt` is
+                    // mutably borrowed for the whole delivery pass.
+                    retired.push(cfi);
+                }
             }
             if multi {
                 // Replicate the credit to every other shard's flow-state
@@ -886,9 +1329,9 @@ impl TopoWorld {
                 outbox.push(Envelope {
                     to: Recipient::Broadcast,
                     at: now,
-                    ord: evord::credit(cfi as u32),
+                    ord: evord::credit(cfi),
                     msg: TopoMsg::Credit {
-                        flow: cfi as u32,
+                        flow: cfi,
                         bytes: sub_bytes,
                     },
                 });
@@ -975,8 +1418,13 @@ impl TopoWorld {
         pred: impl Fn(&Route) -> bool,
     ) {
         let reroute_at = now + self.cfg.reroute_delay;
+        // Bump in admission-index order — the ring iterates ids
+        // ascending, so reroute scheduling and demand revocation are
+        // deterministic. (Materialized first: the loop mutates entries.)
+        let ids: Vec<u32> = self.rt.ids().collect();
         let mut bumped: Vec<(u32, u32, Hop)> = Vec::new();
-        for (fi, r) in self.rt.iter_mut().enumerate() {
+        for fi in ids {
+            let r = self.rt.get_mut(fi).expect("listed above");
             if r.status != RtStatus::Active {
                 continue;
             }
@@ -986,14 +1434,14 @@ impl TopoWorld {
             if !pred(route) {
                 continue;
             }
-            bumped.push((fi as u32, r.epoch, route.hops[0]));
+            bumped.push((fi, r.epoch, route.hops[0]));
             r.epoch += 1;
             r.routes.push(None);
             q.schedule_ordered(
                 reroute_at,
-                evord::reroute(fi as u32),
+                evord::reroute(fi),
                 TopoEv::Reroute {
-                    flow: fi as u32,
+                    flow: fi,
                     epoch: r.epoch,
                 },
             );
@@ -1029,12 +1477,17 @@ impl TopoWorld {
     /// parallel [`ShardWorld`] drivers.
     fn dispatch(&mut self, now: Time, ev: TopoEv, q: &mut EventQueue<TopoEv>) {
         match ev {
+            TopoEv::Admit { id, flow } => {
+                // Not counted in `events`: the materialized path admits
+                // before the run, and the streamed tally must match it.
+                self.admit(id, flow, q);
+                self.pull_next(now, q);
+            }
             TopoEv::Demand { flow, epoch } => {
                 self.events += 1;
-                let fi = flow as usize;
                 let token = pack(flow, epoch);
                 let (h0, bytes, limit, bk) = {
-                    let r = &self.rt[fi];
+                    let r = &self.rt[flow];
                     if r.epoch != epoch || r.status != RtStatus::Active {
                         return;
                     }
@@ -1045,7 +1498,7 @@ impl TopoWorld {
                     // messages must never fold with another flow: the
                     // forwarded chunks carry one token each.
                     let bk = if route.hops.len() == 1 {
-                        batch_key(&self.flows[fi], epoch)
+                        batch_key(&r.flow, epoch)
                     } else {
                         token
                     };
@@ -1146,23 +1599,24 @@ impl TopoWorld {
                 if self.me == 0 {
                     self.events += 1;
                 }
-                let fi = flow as usize;
-                if self.rt[fi].epoch != epoch || self.rt[fi].status != RtStatus::Active {
+                // Reroutes only exist in fault runs, where terminal
+                // entries stay resident — the lookup cannot miss.
+                if self.rt[flow].epoch != epoch || self.rt[flow].status != RtStatus::Active {
                     return;
                 }
-                let f = self.flows[fi];
+                let f = self.rt[flow].flow;
                 let (ds, dd) = f.data_direction();
                 match self.topo.route(ds as usize, dd as usize, f.id as u64) {
                     Some(route) => {
                         let h0 = route.hops[0].switch;
-                        let r = &mut self.rt[fi];
+                        let r = self.rt.get_mut(flow).expect("checked above");
                         r.routes[epoch as usize] = Some(route);
                         debug_assert!(f.size > r.delivered, "completed flows are never bumped");
                         r.inject_bytes = f.size - r.delivered;
                         self.reroutes += 1;
                         if self.local(h0) {
                             let base = now.max(f.arrival);
-                            let t = self.demand_time(fi, base);
+                            let t = self.demand_time(flow, base);
                             q.schedule_ordered(
                                 t,
                                 evord::demand(flow),
@@ -1170,18 +1624,33 @@ impl TopoWorld {
                             );
                         }
                     }
-                    None => self.rt[fi].status = RtStatus::Failed(now),
+                    None => {
+                        self.rt.get_mut(flow).expect("checked above").status =
+                            RtStatus::Failed(now);
+                        self.emit(
+                            flow,
+                            TopoOutcome {
+                                flow: f,
+                                status: FlowStatus::Failed(now),
+                            },
+                        );
+                    }
                 }
             }
         }
     }
 }
 
-impl World for TopoWorld {
+impl<S, I> World for TopoWorld<S, I>
+where
+    S: FnMut(u32, TopoOutcome),
+    I: Iterator<Item = Flow>,
+{
     type Event = TopoEv;
 
     fn handle(&mut self, now: Time, ev: TopoEv, q: &mut EventQueue<TopoEv>) {
         self.dispatch(now, ev, q);
+        self.flush_retired();
         debug_assert!(
             self.outbox.is_empty(),
             "sequential run emitted cross-shard traffic"
@@ -1189,12 +1658,17 @@ impl World for TopoWorld {
     }
 }
 
-impl ShardWorld for TopoWorld {
+impl<S, I> ShardWorld for TopoWorld<S, I>
+where
+    S: FnMut(u32, TopoOutcome) + Send,
+    I: Iterator<Item = Flow> + Send,
+{
     type Event = TopoEv;
     type Msg = TopoMsg;
 
     fn handle(&mut self, now: Time, ev: TopoEv, q: &mut EventQueue<TopoEv>) {
         self.dispatch(now, ev, q);
+        self.flush_retired();
     }
 
     fn drain_outbox(&mut self, sink: &mut Vec<Envelope<TopoMsg>>) {
@@ -1222,13 +1696,29 @@ impl ShardWorld for TopoWorld {
                 // performed the epoch/status checks at credit time, and
                 // replicas are in lockstep at barriers, so the credit
                 // applies unconditionally here.
-                let fi = flow as usize;
-                let r = &mut self.rt[fi];
+                let r = self.rt.get_mut(flow).expect("credit for a resident flow");
                 debug_assert_eq!(r.status, RtStatus::Active, "credit for a settled flow");
                 r.delivered += bytes;
-                if r.delivered >= self.flows[fi].size {
-                    debug_assert_eq!(r.delivered, self.flows[fi].size);
-                    r.status = RtStatus::Done(at);
+                if r.delivered < r.flow.size {
+                    return;
+                }
+                debug_assert_eq!(r.delivered, r.flow.size);
+                r.status = RtStatus::Done(at);
+                let f = r.flow;
+                self.emit(
+                    flow,
+                    TopoOutcome {
+                        flow: f,
+                        status: FlowStatus::Delivered(at),
+                    },
+                );
+                // The credit-shard counterpart of the settle-shard's
+                // deferred retirement: conservative windows guarantee
+                // every chunk event of the flow was dispatched before
+                // its final credit crosses a barrier, so the entry can
+                // go immediately.
+                if self.eager_retire {
+                    self.rt.remove(flow);
                 }
             }
         }
@@ -1453,6 +1943,108 @@ mod tests {
             assert_eq!(par.reroutes, seq.reroutes);
             assert_eq!(par.events, seq.events, "{shards}-shard event tally");
         }
+    }
+
+    #[test]
+    fn streamed_run_is_bit_identical_to_materialized() {
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(4, 2, 8, 4));
+        let flows: Vec<Flow> = (0..96)
+            .map(|i| {
+                write_flow(
+                    i,
+                    i % 16,
+                    16 + ((i * 7) % 16),
+                    64 + 512 * (i as u32 % 3),
+                    40 * i as u64,
+                )
+            })
+            .collect();
+        let proto = TopoEdm::default();
+        let reference = proto.simulate(&topo, &flows);
+        let mut streamed = Vec::new();
+        let stats = proto.simulate_streamed(&topo, flows.iter().copied(), |o| streamed.push(o));
+        assert_eq!(stats.admitted, 96);
+        assert_eq!(stats.delivered, 96);
+        assert_eq!(stats.events, reference.events);
+        streamed.sort_by_key(|o| o.flow.id);
+        for (a, b) in reference.outcomes.iter().zip(&streamed) {
+            assert_eq!(a.status, b.status, "streamed diverged on {:?}", a.flow);
+        }
+        // Retirement really bounded resident state: 96 flows spread over
+        // ~4 µs never all overlap.
+        assert!(
+            stats.active_high_water < 96,
+            "no flow retired (HWM {})",
+            stats.active_high_water
+        );
+    }
+
+    /// N well-separated waves of the same 8-flow pattern must reuse the
+    /// retired wave's flow entries and switch message slots: the
+    /// active-flow and slot high-water marks stay at the single-wave
+    /// footprint no matter how many waves stream through.
+    #[test]
+    fn streamed_waves_bound_resident_state_at_one_wave() {
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 1, 4, 1));
+        let wave_flows = |waves: usize| -> Vec<Flow> {
+            (0..waves)
+                .flat_map(|w| {
+                    (0..8).map(move |i| {
+                        write_flow(w * 8 + i, i % 4, 4 + (i % 4), 2048, 40_000 * w as u64)
+                    })
+                })
+                .collect()
+        };
+        let run = |waves: usize| {
+            let flows = wave_flows(waves);
+            TopoEdm::default().simulate_streamed(&topo, flows.iter().copied(), |_| {})
+        };
+        let one = run(1);
+        let many = run(12);
+        assert_eq!(many.delivered, 96);
+        assert_eq!(
+            many.active_high_water, one.active_high_water,
+            "flow entries did not recycle across waves"
+        );
+        assert_eq!(
+            many.msg_slots_high_water, one.msg_slots_high_water,
+            "switch message slots did not recycle across waves"
+        );
+    }
+
+    #[test]
+    fn streamed_run_with_faults_keeps_context_and_terminates() {
+        // A spine dies mid-run: pre-fault flows reroute (zombie context
+        // stays resident — retirement is off), post-fault arrivals route
+        // around the dead spine at admission.
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 2, 4, 2));
+        let flows: Vec<Flow> = (0..24)
+            .map(|i| write_flow(i, i % 4, 4 + (i % 4), 4096, 2_000 * i as u64))
+            .collect();
+        let proto = TopoEdm::new(TopoEdmConfig {
+            faults: vec![FaultEvent {
+                at: Time::from_us(20),
+                kind: FaultKind::SwitchDown(2), // first spine
+            }],
+            reroute_delay: Duration::from_us(2),
+            ..TopoEdmConfig::default()
+        });
+        let mut outcomes = Vec::new();
+        let stats = proto.simulate_streamed(&topo, flows.iter().copied(), |o| outcomes.push(o));
+        assert_eq!(stats.admitted, 24);
+        assert_eq!(
+            stats.delivered, 24,
+            "the second spine must absorb everything"
+        );
+        assert_eq!(outcomes.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn streamed_source_must_be_time_ordered() {
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 1, 2, 1));
+        let flows = vec![write_flow(0, 0, 2, 64, 500), write_flow(1, 1, 3, 64, 0)];
+        TopoEdm::default().simulate_streamed(&topo, flows.into_iter(), |_| {});
     }
 
     #[test]

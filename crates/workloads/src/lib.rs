@@ -11,14 +11,23 @@
 //!   artifact does (from pre-existing CDF profiles, §A.5.2);
 //! * [`ycsb`] — YCSB key-value operation mixes A/B/F with Zipf-skewed key
 //!   popularity (Figures 6 and 7).
+//!
+//! The synthetic generators come in two consumption shapes: materialized
+//! (`generate`/`generate_par`, building the whole `Vec<Flow>` up front)
+//! and streaming ([`source`] — a pull-based [`FlowSource`] emitting the
+//! bit-identical flow sequence one arrival at a time in O(compute nodes)
+//! memory, for million-flow runs where the materialized list would
+//! dominate RSS).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod source;
 pub mod synthetic;
 pub mod traces;
 pub mod ycsb;
 
+pub use source::{DrawDest, FlowSource, MergeSource};
 pub use synthetic::{RackAwareWorkload, SyntheticWorkload};
 pub use traces::AppTrace;
 pub use ycsb::{YcsbOp, YcsbWorkload};

@@ -13,6 +13,7 @@
 //! or shards ([`SyntheticWorkload::generate_par`]) and the merged flow
 //! list is identical to the sequential one.
 
+use crate::source::{DrawDest, MergeSource};
 use edm_core::sim::{Flow, FlowKind};
 use edm_sim::{Bandwidth, Duration, Rng, Time};
 
@@ -170,9 +171,7 @@ impl SyntheticWorkload {
             self.nodes >= 2,
             "need at least one compute and one memory node"
         );
-        let computes = self.compute_nodes();
-        let memories = self.memory_nodes();
-        let nodes: Vec<usize> = (0..computes).collect();
+        let nodes: Vec<usize> = (0..self.compute_nodes()).collect();
         merge_generate(
             seed,
             &nodes,
@@ -180,16 +179,33 @@ impl SyntheticWorkload {
             self.count,
             self.size,
             chunks,
-            |rng, _src| {
-                let dst = computes + rng.below(memories as u64) as usize;
-                let kind = if rng.chance(self.write_fraction) {
-                    FlowKind::Write
-                } else {
-                    FlowKind::Read
-                };
-                (dst, kind)
-            },
+            |rng, src| self.draw(rng, src),
         )
+    }
+
+    /// A streaming [`crate::source::FlowSource`] that pulls the *exact*
+    /// same flows as [`SyntheticWorkload::generate`] one at a time —
+    /// O(compute nodes) memory instead of O(count). Pinned bit-identical
+    /// by the `prop_source` property suite.
+    pub fn source(&self, seed: u64) -> MergeSource<SyntheticWorkload> {
+        assert!(
+            self.nodes >= 2,
+            "need at least one compute and one memory node"
+        );
+        let nodes: Vec<usize> = (0..self.compute_nodes()).collect();
+        MergeSource::new(seed, nodes, self.mean_gap(), self.count, self.size, *self)
+    }
+}
+
+impl DrawDest for SyntheticWorkload {
+    fn draw(&self, rng: &mut Rng, _src: usize) -> (usize, FlowKind) {
+        let dst = self.compute_nodes() + rng.below(self.memory_nodes() as u64) as usize;
+        let kind = if rng.chance(self.write_fraction) {
+            FlowKind::Write
+        } else {
+            FlowKind::Read
+        };
+        (dst, kind)
     }
 }
 
@@ -250,6 +266,53 @@ impl RackAwareWorkload {
     /// fanned out over `chunks` threads. The flow list is bit-identical
     /// for every chunk count.
     pub fn generate_par(&self, seed: u64, chunks: usize) -> Vec<Flow> {
+        let computes = self.validate_and_computes();
+        merge_generate(
+            seed,
+            &computes,
+            self.mean_gap(),
+            self.count,
+            self.size,
+            chunks,
+            |rng, src| self.draw(rng, src),
+        )
+    }
+
+    /// A streaming [`crate::source::FlowSource`] that pulls the *exact*
+    /// same flows as [`RackAwareWorkload::generate`] one at a time —
+    /// O(compute nodes) memory instead of O(count). Pinned bit-identical
+    /// by the `prop_source` property suite.
+    pub fn source(&self, seed: u64) -> MergeSource<RackAwareWorkload> {
+        let computes = self.validate_and_computes();
+        MergeSource::new(
+            seed,
+            computes,
+            self.mean_gap(),
+            self.count,
+            self.size,
+            *self,
+        )
+    }
+
+    /// Mean inter-arrival gap per compute node for the target load.
+    ///
+    /// Load calibration as in [`SyntheticWorkload::mean_gap`]; the
+    /// compute:memory split is 1:1, so the per-compute rate is
+    /// `load × B / size` regardless of locality.
+    pub fn mean_gap(&self) -> Duration {
+        SyntheticWorkload {
+            nodes: self.nodes,
+            link: self.link,
+            load: self.load,
+            size: self.size,
+            write_fraction: self.write_fraction,
+            count: self.count,
+        }
+        .mean_gap()
+    }
+
+    /// Validates the rack geometry and returns the compute-node list.
+    fn validate_and_computes(&self) -> Vec<usize> {
         assert!(self.racks >= 1, "need a rack");
         assert!(
             self.nodes.is_multiple_of(self.racks),
@@ -264,49 +327,34 @@ impl RackAwareWorkload {
             self.racks > 1 || self.local_fraction >= 1.0 - f64::EPSILON,
             "one rack cannot host remote traffic"
         );
-        // Load calibration as in [`SyntheticWorkload::mean_gap`]; the
-        // compute:memory split is 1:1, so the per-compute rate is
-        // `load × B / size` regardless of locality.
-        let gap = SyntheticWorkload {
-            nodes: self.nodes,
-            link: self.link,
-            load: self.load,
-            size: self.size,
-            write_fraction: self.write_fraction,
-            count: self.count,
-        }
-        .mean_gap();
         let half = npr / 2;
-        let computes: Vec<usize> = (0..self.nodes).filter(|n| n % npr < half).collect();
-        merge_generate(
-            seed,
-            &computes,
-            gap,
-            self.count,
-            self.size,
-            chunks,
-            |rng, src| {
-                let rack = src / npr;
-                let dst = if self.racks == 1 || rng.chance(self.local_fraction) {
-                    let m = self.rack_memory(rack);
-                    m.start + rng.below(half as u64) as usize
-                } else {
-                    // Uniform over other racks' memory nodes.
-                    let pick = rng.below(((self.racks - 1) * half) as u64) as usize;
-                    let mut other = pick / half;
-                    if other >= rack {
-                        other += 1;
-                    }
-                    self.rack_memory(other).start + pick % half
-                };
-                let kind = if rng.chance(self.write_fraction) {
-                    FlowKind::Write
-                } else {
-                    FlowKind::Read
-                };
-                (dst, kind)
-            },
-        )
+        (0..self.nodes).filter(|n| n % npr < half).collect()
+    }
+}
+
+impl DrawDest for RackAwareWorkload {
+    fn draw(&self, rng: &mut Rng, src: usize) -> (usize, FlowKind) {
+        let npr = self.nodes_per_rack();
+        let half = npr / 2;
+        let rack = src / npr;
+        let dst = if self.racks == 1 || rng.chance(self.local_fraction) {
+            let m = self.rack_memory(rack);
+            m.start + rng.below(half as u64) as usize
+        } else {
+            // Uniform over other racks' memory nodes.
+            let pick = rng.below(((self.racks - 1) * half) as u64) as usize;
+            let mut other = pick / half;
+            if other >= rack {
+                other += 1;
+            }
+            self.rack_memory(other).start + pick % half
+        };
+        let kind = if rng.chance(self.write_fraction) {
+            FlowKind::Write
+        } else {
+            FlowKind::Read
+        };
+        (dst, kind)
     }
 }
 

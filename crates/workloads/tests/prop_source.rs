@@ -1,0 +1,71 @@
+//! Property pins for the streaming flow sources: a [`FlowSource`] must
+//! emit the *bit-identical* flow sequence its workload's materialized
+//! `generate()` builds — same arrivals, same ids, same draws — for any
+//! geometry, seed, and prefix length. This is the contract that lets
+//! simulations pull arrivals lazily without perturbing a single result.
+
+use edm_workloads::{FlowSource, RackAwareWorkload, SyntheticWorkload};
+use proptest::prelude::*;
+
+proptest! {
+    /// Synthetic all-to-all: the streamed sequence equals the
+    /// materialized one, and a count-N source is a prefix of a larger
+    /// source over the same seed (streaming scale-up never perturbs
+    /// already-emitted flows).
+    #[test]
+    fn synthetic_source_prefix_equivalence(
+        nodes in 2usize..40,
+        seed in any::<u64>(),
+        count in 1usize..400,
+        load_pct in 5u32..=100,
+        write_pct in 0u32..=100,
+        prefix in 0usize..400,
+    ) {
+        let w = SyntheticWorkload {
+            nodes,
+            link: edm_sim::Bandwidth::from_gbps(100),
+            load: load_pct as f64 / 100.0,
+            size: 64,
+            write_fraction: write_pct as f64 / 100.0,
+            count,
+        };
+        let materialized = w.generate(seed);
+        let streamed: Vec<_> = w.source(seed).collect();
+        prop_assert_eq!(&streamed, &materialized);
+
+        let prefix = prefix.min(count);
+        let mut longer = w;
+        longer.count = count * 4;
+        let long_prefix: Vec<_> = longer.source(seed).take(prefix).collect();
+        prop_assert_eq!(&long_prefix[..], &materialized[..prefix]);
+    }
+
+    /// Rack-aware: same equivalence across rack geometries and locality
+    /// fractions, plus the `remaining()` bookkeeping.
+    #[test]
+    fn rack_source_prefix_equivalence(
+        racks in 1usize..5,
+        npr_half in 1usize..6,
+        seed in any::<u64>(),
+        count in 1usize..300,
+        local_pct in 0u32..=100,
+    ) {
+        let r = RackAwareWorkload {
+            nodes: racks * npr_half * 2,
+            racks,
+            link: edm_sim::Bandwidth::from_gbps(100),
+            load: 0.6,
+            size: 64,
+            write_fraction: 0.5,
+            // One rack cannot host remote traffic.
+            local_fraction: if racks == 1 { 1.0 } else { local_pct as f64 / 100.0 },
+            count,
+        };
+        let materialized = r.generate(seed);
+        let mut source = r.source(seed);
+        prop_assert_eq!(source.remaining(), count);
+        let streamed: Vec<_> = source.by_ref().collect();
+        prop_assert_eq!(source.remaining(), 0);
+        prop_assert_eq!(streamed, materialized);
+    }
+}
