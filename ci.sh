@@ -46,9 +46,22 @@ run_bench_json() {
 # Reduced-scale streaming-lifecycle smoke: 100k flows through the
 # 288-node leaf-spine must complete under a hard RSS ceiling (the full
 # 1M run peaks near 10 MB; 256 MB is an order-of-magnitude leak guard).
+# The second run replays the same scale through a mid-run spine flap, so
+# the flatness and RSS gates also cover the fault path.
 run_million_flows_smoke() {
     EDM_FLOWS=100000 EDM_RSS_CEILING_MB=256 \
         cargo run -q --release -p edm-bench --bin million_flows -- \
+        --out "$(mktemp -d)" > /dev/null
+    EDM_FLOWS=100000 EDM_FAULTS=1 EDM_RSS_CEILING_MB=256 \
+        cargo run -q --release -p edm-bench --bin million_flows -- \
+        --out "$(mktemp -d)" > /dev/null
+}
+
+# Chaos-campaign smoke: seeded fault/repair schedules across scenarios
+# and loads at reduced scale, under the same leak-guard RSS ceiling.
+run_chaos_smoke() {
+    EDM_FLOWS=20000 EDM_RSS_CEILING_MB=256 \
+        cargo run -q --release -p edm-bench --bin chaos_sweep -- \
         --out "$(mktemp -d)" > /dev/null
 }
 
@@ -114,8 +127,10 @@ step "examples run end-to-end" run_examples
 step "criterion benches smoke-run (no measurement)" run_bench_smoke
 step "fast harness bins run end-to-end (incl. 2-shard engine)" run_harness_bins
 step "bench_json emits machine-readable baselines" run_bench_json
-step "million_flows 100k-flow smoke under 256 MB RSS ceiling" \
+step "million_flows 100k-flow smoke under 256 MB RSS ceiling (incl. fault path)" \
     run_million_flows_smoke
+step "chaos_sweep smoke: seeded fault/repair campaign under RSS ceiling" \
+    run_chaos_smoke
 step "property suites at ${PROPTEST_CASES:=1024} cases (concurrent per crate)" \
     run_prop_suites
 

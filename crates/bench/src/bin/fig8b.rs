@@ -9,8 +9,8 @@
 
 use edm_baselines::prelude::*;
 use edm_bench::SoloCurve;
-use edm_core::sim::{ClusterConfig, FlowKind};
-use edm_sim::Bandwidth;
+use edm_core::sim::{ClusterConfig, EdmProtocol, FlowKind};
+use edm_sim::{Bandwidth, Summary};
 use edm_workloads::AppTrace;
 
 fn env_f64(name: &str, default: f64) -> f64 {
@@ -54,14 +54,25 @@ fn main() {
         let protocol = protocol.as_mut();
         let write_curve = SoloCurve::measure(protocol, &cluster, FlowKind::Write, max_size);
         let read_curve = SoloCurve::measure(protocol, &cluster, FlowKind::Read, max_size);
-        let result = protocol.simulate(&cluster, flows);
-        let norm = result.normalized_mct(|f| {
-            let solo = match f.kind {
+        let solo = |f: &edm_core::sim::Flow| {
+            let ns = match f.kind {
                 FlowKind::Write => write_curve.solo_ns(f.size),
                 FlowKind::Read => read_curve.solo_ns(f.size),
             };
-            edm_sim::Duration::from_ns_f64(solo)
-        });
+            edm_sim::Duration::from_ns_f64(ns)
+        };
+        let norm = if protocol.name() == "EDM" {
+            // The EDM point streams the trace through the lazy-admission
+            // path (bit-identical to the materialized run), retiring
+            // flows as they complete instead of retaining every outcome.
+            let mut norm = Summary::new();
+            EdmProtocol::default().simulate_streamed(&cluster, flows.iter().copied(), |o| {
+                norm.record(o.mct().ratio(solo(&o.flow)));
+            });
+            norm
+        } else {
+            protocol.simulate(&cluster, flows).normalized_mct(solo)
+        };
         format!("{:.2}", norm.mean())
     });
     for (ai, app) in apps.iter().enumerate() {

@@ -15,6 +15,9 @@
 //! Env:
 //!   `EDM_FLOWS` — total flows for the full run (default 1,000,000)
 //!   `EDM_SHARDS` — shard count for both runs (default 1, sequential)
+//!   `EDM_FAULTS` — set to `1` to inject a mid-run spine flap (down at
+//!   half the baseline arrival span, back up at three quarters) into
+//!   both runs, so the flatness and RSS gates also cover the fault path
 //!   `EDM_RSS_CEILING_MB` — optional gate: exit non-zero if the process
 //!   peak RSS (`VmHWM`) exceeds this many MB after the full run
 //!
@@ -45,15 +48,27 @@ fn main() {
 
     let flows = env_usize("EDM_FLOWS", 1_000_000);
     let shards = env_usize("EDM_SHARDS", 1);
+    let with_faults = env_usize("EDM_FAULTS", 0) != 0;
     let ceiling_mb = std::env::var("EDM_RSS_CEILING_MB")
         .ok()
         .and_then(|v| v.parse::<u64>().ok());
 
+    let faults = if with_faults {
+        let topo = edm_bench::scenarios::leaf_spine_288(1);
+        edm_bench::faults::mid_run_spine_flap(&topo, mem::baseline_span(flows))
+    } else {
+        Vec::new()
+    };
     println!(
         "million_flows: 288-node leaf-spine, rack-aware load 0.6, \
-         {flows} flows streamed on {shards} shard(s)\n"
+         {flows} flows streamed on {shards} shard(s){}\n",
+        if with_faults {
+            " with a mid-run spine flap"
+        } else {
+            ""
+        }
     );
-    let report = mem::measure(flows, shards);
+    let report = mem::measure_with(flows, shards, &faults);
 
     let fmt_rss = |kb: Option<u64>| {
         kb.map(|v| format!("{:.1} MB", v as f64 / 1024.0))
@@ -75,8 +90,12 @@ fn main() {
         );
     }
     println!(
-        "\nfull run: {} delivered, {} failed, {} events",
-        report.full.stats.delivered, report.full.stats.failed, report.full.stats.events
+        "\nfull run: {} delivered, {} failed, {} retried, {} readmitted, {} events",
+        report.full.stats.delivered,
+        report.full.stats.failed,
+        report.full.stats.retried,
+        report.full.stats.readmitted,
+        report.full.stats.events
     );
     println!(
         "streamed MCT: p50 {:.1} ns, p99 {:.1} ns, p99.9 {:.1} ns, p99.99 {:.1} ns",

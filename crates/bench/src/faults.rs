@@ -1,0 +1,206 @@
+//! Seeded chaos scenarios for the failure-regime benchmarks.
+//!
+//! Each builder derives a deterministic fault *and repair* schedule from
+//! a topology, a simulated span, and a seed, so the `chaos_sweep`
+//! campaign, the `million_flows` fault knob, and the CI smoke all replay
+//! bit-identical schedules. Times are expressed as fractions of the
+//! workload's arrival span: faults land mid-run and heal before the
+//! arrival process ends, which is where recovery is observable.
+
+use edm_sim::{Duration, Rng, Time};
+use edm_topo::{FaultEvent, FaultKind, SwitchRole, Topology};
+
+/// Trunk link ids of a topology (the only links worth flapping — an
+/// access link's death just strands its host).
+fn trunk_links(topo: &Topology) -> Vec<u32> {
+    (0..topo.links().len() as u32)
+        .filter(|&l| topo.link(l).is_trunk())
+        .collect()
+}
+
+/// Switch ids by role.
+fn switches_of(topo: &Topology, role: SwitchRole) -> Vec<u32> {
+    (0..topo.switch_count() as u32)
+        .filter(|&s| topo.switch_role(s) == role)
+        .collect()
+}
+
+/// A point on the span, `num/den` of the way in.
+fn frac(span: Duration, num: u64, den: u64) -> Time {
+    Time::ZERO + (span * num) / den
+}
+
+/// `n` independent single-link flaps: random trunk links go down at
+/// seeded instants in the middle of the span and come back a tenth of
+/// the span later.
+pub fn single_link_flaps(topo: &Topology, span: Duration, n: usize, seed: u64) -> Vec<FaultEvent> {
+    let trunks = trunk_links(topo);
+    let mut rng = Rng::seed_from(seed);
+    let mut ev = Vec::new();
+    for _ in 0..n {
+        let link = trunks[rng.below(trunks.len() as u64) as usize];
+        // Down somewhere in [0.2, 0.7) of the span, up a tenth later.
+        let at = frac(span, 20 + rng.below(50), 100);
+        ev.push(FaultEvent {
+            at,
+            kind: FaultKind::LinkDown(link),
+        });
+        ev.push(FaultEvent {
+            at: at + span / 10,
+            kind: FaultKind::LinkUp(link),
+        });
+    }
+    ev.sort_by_key(|f| f.at);
+    ev
+}
+
+/// One spine dies at 30% of the span and revives at 60%: the classic
+/// mid-run capacity loss with full recovery.
+pub fn spine_kill_revive(topo: &Topology, span: Duration, seed: u64) -> Vec<FaultEvent> {
+    let spines = switches_of(topo, SwitchRole::Spine);
+    assert!(!spines.is_empty(), "scenario needs a spine to kill");
+    let spine = spines[Rng::seed_from(seed).below(spines.len() as u64) as usize];
+    vec![
+        FaultEvent {
+            at: frac(span, 3, 10),
+            kind: FaultKind::SwitchDown(spine),
+        },
+        FaultEvent {
+            at: frac(span, 6, 10),
+            kind: FaultKind::SwitchUp(spine),
+        },
+    ]
+}
+
+/// Rolling rack outages: each leaf switch goes down in turn, staggered
+/// across the middle of the span, and revives after a tenth of it —
+/// flows sourced at a dead rack fail or retry until their rack heals.
+pub fn rolling_rack_outages(topo: &Topology, span: Duration) -> Vec<FaultEvent> {
+    let leaves = switches_of(topo, SwitchRole::Leaf);
+    let n = leaves.len() as u64;
+    let mut ev = Vec::new();
+    for (i, &leaf) in leaves.iter().enumerate() {
+        // Outage windows tile [0.2, 0.8) of the span without overlap.
+        let at = frac(span, 20 + (60 * i as u64) / n, 100);
+        ev.push(FaultEvent {
+            at,
+            kind: FaultKind::SwitchDown(leaf),
+        });
+        ev.push(FaultEvent {
+            at: at + span / 10,
+            kind: FaultKind::SwitchUp(leaf),
+        });
+    }
+    ev.sort_by_key(|f| f.at);
+    ev
+}
+
+/// Correlated degradation: a seeded quarter of the trunk links pick up
+/// `extra` latency at 25% of the span (one failing optics batch), all
+/// retrained back to healthy at 75%.
+pub fn correlated_degradation(
+    topo: &Topology,
+    span: Duration,
+    extra: Duration,
+    seed: u64,
+) -> Vec<FaultEvent> {
+    let mut trunks = trunk_links(topo);
+    let mut rng = Rng::seed_from(seed);
+    // Deterministic partial shuffle: pick max(1, n/4) distinct victims.
+    let victims = (trunks.len() / 4).max(1);
+    for i in 0..victims {
+        let j = i + rng.below((trunks.len() - i) as u64) as usize;
+        trunks.swap(i, j);
+    }
+    let mut ev = Vec::new();
+    for &link in &trunks[..victims] {
+        ev.push(FaultEvent {
+            at: frac(span, 1, 4),
+            kind: FaultKind::DegradeLink { link, extra },
+        });
+        ev.push(FaultEvent {
+            at: frac(span, 3, 4),
+            kind: FaultKind::RestoreLink(link),
+        });
+    }
+    ev
+}
+
+/// The `million_flows` fault knob: one spine flaps mid-run — down at
+/// half the span, up at three quarters.
+pub fn mid_run_spine_flap(topo: &Topology, span: Duration) -> Vec<FaultEvent> {
+    let spines = switches_of(topo, SwitchRole::Spine);
+    assert!(!spines.is_empty(), "fault knob needs a spine");
+    vec![
+        FaultEvent {
+            at: frac(span, 1, 2),
+            kind: FaultKind::SwitchDown(spines[0]),
+        },
+        FaultEvent {
+            at: frac(span, 3, 4),
+            kind: FaultKind::SwitchUp(spines[0]),
+        },
+    ]
+}
+
+/// First fault instant of a schedule (the campaign's incident time for
+/// recovery measurement).
+pub fn first_incident(faults: &[FaultEvent]) -> Option<Time> {
+    faults.iter().map(|f| f.at).min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios;
+
+    #[test]
+    fn schedules_are_deterministic_and_heal_everything() {
+        let topo = scenarios::leaf_spine_288(1);
+        let span = Duration::from_us(500);
+        let a = single_link_flaps(&topo, span, 3, 42);
+        let b = single_link_flaps(&topo, span, 3, 42);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at);
+        }
+        // Every down has a matching up, every degrade a restore.
+        for sched in [
+            a,
+            spine_kill_revive(&topo, span, 42),
+            rolling_rack_outages(&topo, span),
+            correlated_degradation(&topo, span, Duration::from_us(1), 42),
+            mid_run_spine_flap(&topo, span),
+        ] {
+            let (mut broken, mut healed) = (0usize, 0usize);
+            for f in &sched {
+                match f.kind {
+                    FaultKind::LinkDown(_)
+                    | FaultKind::SwitchDown(_)
+                    | FaultKind::DegradeLink { .. } => broken += 1,
+                    FaultKind::LinkUp(_) | FaultKind::SwitchUp(_) | FaultKind::RestoreLink(_) => {
+                        healed += 1
+                    }
+                }
+            }
+            assert_eq!(broken, healed, "unbalanced schedule");
+            assert!(first_incident(&sched).unwrap() > Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn rolling_outages_cover_every_rack_without_overlap() {
+        let topo = scenarios::leaf_spine_288(1);
+        let span = Duration::from_us(1000);
+        let ev = rolling_rack_outages(&topo, span);
+        assert_eq!(ev.len(), 8, "4 leaves x down+up");
+        let downs: Vec<_> = ev
+            .iter()
+            .filter(|f| matches!(f.kind, FaultKind::SwitchDown(_)))
+            .collect();
+        for w in downs.windows(2) {
+            // The next rack goes down only after the previous healed.
+            assert!(w[1].at >= w[0].at + span / 10, "overlapping outages");
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! | `sched_scaling` | §3.1.3 ablation — scheduling latency vs port count |
 //! | `topo_sweep` | Multi-switch leaf–spine × oversubscription × IP sweep |
 //! | `million_flows` | Streaming-lifecycle memory benchmark → `BENCH_mem.json` |
+//! | `chaos_sweep` | Seeded fault/repair campaign → `BENCH_faults.json` |
 //! | `bench_json` | Machine-readable `BENCH_*.json` perf baselines |
 //!
 //! Each binary prints a self-describing table; every multi-point sweep
@@ -23,6 +24,7 @@
 use edm_core::sim::{solo_mct, ClusterConfig, FabricProtocol, Flow, FlowKind};
 use edm_sim::{Duration, Time};
 
+pub mod faults;
 pub mod mem;
 
 pub mod scenarios {

@@ -16,7 +16,7 @@
 
 use crate::scenarios;
 use edm_sim::{Duration, LogHistogram, Summary, Throughput};
-use edm_topo::{FlowStatus, TopoEdm, TopoStreamStats};
+use edm_topo::{FaultEvent, FlowStatus, TopoEdm, TopoEdmConfig, TopoStreamStats};
 
 /// Peak resident-set size of this process so far, in kB (`VmHWM` from
 /// `/proc/self/status`). `None` where procfs is unavailable.
@@ -69,10 +69,19 @@ pub struct MemReport {
 /// Runs the workload at `flows` scale through the streaming path,
 /// folding MCTs into a histogram (and `also` — the exact oracle — when
 /// given).
-fn run_scale(flows: usize, shards: usize, mut also: Option<&mut Summary>) -> ScaleRun {
+fn run_scale(
+    flows: usize,
+    shards: usize,
+    faults: &[FaultEvent],
+    mut also: Option<&mut Summary>,
+) -> ScaleRun {
     let topo = scenarios::leaf_spine_288(1);
     let wl = scenarios::rack_workload_288(0.6, 0.5, flows);
-    let proto = TopoEdm::default();
+    let proto = TopoEdm::new(TopoEdmConfig {
+        faults: faults.to_vec(),
+        max_retries: 3,
+        ..TopoEdmConfig::default()
+    });
     let mut hist = LogHistogram::new();
     let mut throughput = Throughput::new(Duration::from_us(1));
     let stats = {
@@ -112,10 +121,31 @@ fn run_scale(flows: usize, shards: usize, mut also: Option<&mut Summary>) -> Sca
 /// the arrival ramp) — the two properties the streaming lifecycle exists
 /// to provide.
 pub fn measure(flows: usize, shards: usize) -> MemReport {
+    measure_with(flows, shards, &[])
+}
+
+/// Simulated-time span of the baseline (`flows/10`) arrival process —
+/// the anchor for placing fault schedules so the *same* absolute-time
+/// schedule lands mid-stream in both the baseline and the full run.
+pub fn baseline_span(flows: usize) -> Duration {
+    let baseline_flows = (flows / 10).max(1);
+    let last = scenarios::rack_workload_288(0.6, 0.5, baseline_flows)
+        .source(42)
+        .last()
+        .expect("non-empty workload");
+    last.arrival.saturating_since(edm_sim::Time::ZERO)
+}
+
+/// [`measure`], but both runs replay the given fault/repair schedule
+/// (with bounded retries) — the fault-path variant of the flatness and
+/// accuracy gates. The schedule applies at identical absolute times in
+/// both runs; place it inside [`baseline_span`] so the baseline sees it
+/// too.
+pub fn measure_with(flows: usize, shards: usize, faults: &[FaultEvent]) -> MemReport {
     let baseline_flows = (flows / 10).max(1);
     let mut exact = Summary::new();
-    let baseline = run_scale(baseline_flows, shards, Some(&mut exact));
-    let full = run_scale(flows, shards, None);
+    let baseline = run_scale(baseline_flows, shards, faults, Some(&mut exact));
+    let full = run_scale(flows, shards, faults, None);
 
     let mut exact_ns = [0.0; 3];
     let mut streamed_ns = [0.0; 3];
@@ -240,6 +270,20 @@ mod tests {
         // A running test binary occupies at least a megabyte and (sanity
         // cap) less than a terabyte.
         assert!(kb > 1_024 && kb < 1 << 30, "{kb}");
+    }
+
+    #[test]
+    fn fault_path_stays_flat_and_terminal() {
+        // A mid-run spine flap must not break the flatness gates inside
+        // measure_with (they assert), and every flow still terminates.
+        let topo = scenarios::leaf_spine_288(1);
+        let faults = crate::faults::mid_run_spine_flap(&topo, baseline_span(20_000));
+        let report = measure_with(20_000, 1, &faults);
+        assert_eq!(
+            report.full.stats.delivered + report.full.stats.failed,
+            20_000
+        );
+        assert!(report.full.stats.active_high_water < 5_000);
     }
 
     #[test]

@@ -426,7 +426,14 @@ pub struct SwitchDomain {
     free_slots: Vec<u32>,
     /// Pending offers blocked on the per-pair X limit.
     backlog: std::collections::VecDeque<DomainOffer>,
+    /// High-water mark of `targets` across the domain's whole life —
+    /// [`SwitchDomain::purge`] clears the slab but must not erase the
+    /// peak the memory-bound tests pin.
+    slab_hwm: usize,
     /// Monotone grant counter (the [`DomainGrant::gseq`] source).
+    /// Survives [`SwitchDomain::purge`]: resetting it after a switch
+    /// revival could collide [`evord::chunk`] keys with chunks granted
+    /// before the outage.
     grant_seq: u64,
     poll_at: Option<Time>,
     /// Times of poll events currently in the caller's queue (tiny; one
@@ -453,6 +460,7 @@ impl SwitchDomain {
             targets: Vec::new(),
             free_slots: Vec::new(),
             backlog: std::collections::VecDeque::new(),
+            slab_hwm: 0,
             grant_seq: 0,
             poll_at: None,
             scheduled_polls: Vec::new(),
@@ -489,7 +497,7 @@ impl SwitchDomain {
     /// peak in-flight messages, not total messages — the assertion the
     /// slab-reuse tests pin.
     pub fn msg_slab_high_water(&self) -> usize {
-        self.targets.len()
+        self.slab_hwm.max(self.targets.len())
     }
 
     /// Messages currently resident (admitted or draining in-flight
@@ -541,6 +549,7 @@ impl SwitchDomain {
             }
             None => {
                 self.targets.push(state);
+                self.slab_hwm = self.slab_hwm.max(self.targets.len());
                 self.targets.len() as u32
             }
         };
@@ -871,6 +880,54 @@ impl SwitchDomain {
             cur = next;
         }
         false
+    }
+
+    /// Hard-resets the domain after its switch dies, appending to `dead`
+    /// the token of every resident sub-offer that will now never complete
+    /// — backlogged offers plus the uncompleted constituents of every
+    /// scheduled message. Callers release whatever references those
+    /// offers held; cancelled messages report nothing (their references
+    /// were already released at cancellation).
+    ///
+    /// The revived switch comes back like a power-cycled ASIC: cold
+    /// scheduler, empty FIFOs and backlog, no pending polls. Only the
+    /// grant-sequence counter and the slab high-water mark survive — the
+    /// former so post-revival [`evord::chunk`] keys can never collide
+    /// with chunks granted before the outage, the latter so memory-bound
+    /// reporting still sees the true peak. Chunks granted before the
+    /// outage must be fenced off by the caller (generation-stamped
+    /// settle events) and never handed back to [`SwitchDomain::deliver`].
+    pub fn purge(&mut self, dead: &mut Vec<u64>) {
+        for o in &self.backlog {
+            dead.push(o.token);
+        }
+        let mut retired = vec![false; self.targets.len()];
+        for &s in &self.free_slots {
+            retired[s as usize] = true;
+        }
+        for (slot, st) in self.targets.iter().enumerate() {
+            if retired[slot] || st.cancelled {
+                continue;
+            }
+            match &st.body {
+                MsgBody::Single { token, .. } => {
+                    if st.next_sub == 0 {
+                        dead.push(*token);
+                    }
+                }
+                MsgBody::Batch { tokens, .. } => {
+                    dead.extend_from_slice(&tokens[st.next_sub as usize..]);
+                }
+            }
+        }
+        self.scheduler = Scheduler::new(*self.scheduler.config());
+        self.pair_fifo.iter_mut().for_each(|w| *w = 0);
+        self.pair_meta.iter_mut().for_each(|w| *w = 0);
+        self.targets.clear();
+        self.free_slots.clear();
+        self.backlog.clear();
+        self.poll_at = None;
+        self.scheduled_polls.clear();
     }
 }
 
@@ -1505,6 +1562,44 @@ mod tests {
         });
         assert!(!completed);
         assert_eq!(dom.msg_slots_live(), 0);
+    }
+
+    #[test]
+    fn purge_reports_resident_offers_and_cold_starts_the_domain() {
+        let mut dom = SwitchDomain::new(edm_sched::SchedulerConfig::default_for_ports(4), false);
+        // One scheduled multi-chunk message, one cancelled, one backlogged.
+        assert!(dom.offer(Time::ZERO, pair_offer(1, 1000)));
+        let (grants, _, _) = dom.poll(Time::ZERO);
+        let gseq_before = grants[0].gseq;
+        assert!(!dom.offer(Time::ZERO, pair_offer(2, 500)), "X=1 backlogs");
+        assert!(dom.offer(
+            Time::ZERO,
+            DomainOffer {
+                src: 2,
+                dst: 3,
+                bytes: 64,
+                limit: 1,
+                batch_key: 9,
+                token: 9,
+            }
+        ));
+        assert!(dom.cancel(Time::ZERO, 2, 3, 9));
+        let hwm = dom.msg_slab_high_water();
+        let mut dead = Vec::new();
+        dom.purge(&mut dead);
+        dead.sort_unstable();
+        // The cancelled offer's reference was already released; only the
+        // backlogged and scheduled offers report.
+        assert_eq!(dead, vec![1, 2]);
+        assert_eq!(dom.msg_slots_live(), 0);
+        assert!(!dom.has_demand());
+        assert_eq!(dom.msg_slab_high_water(), hwm, "peak survives the purge");
+        // The revived domain schedules fresh demand, with gseq continuing
+        // past the pre-outage grants.
+        assert!(dom.offer(Time::from_ns(50), pair_offer(7, 64)));
+        let (grants, _, _) = dom.poll(Time::from_ns(50));
+        assert_eq!(grants[0].token, 7);
+        assert!(grants[0].gseq > gseq_before, "gseq stays monotone");
     }
 
     #[test]

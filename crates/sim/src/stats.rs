@@ -467,6 +467,127 @@ impl Throughput {
     }
 }
 
+/// Windowed availability accumulator for failure-regime runs: per fixed
+/// window of simulated time, how many flows completed and how many
+/// failed, so a chaos campaign can report goodput-under-failure,
+/// degraded spans, and recovery time after an incident.
+///
+/// Memory is O(simulated span / window) — independent of flow count —
+/// and two accumulators with the same window merge by element-wise
+/// addition, so per-shard accumulators combine exactly.
+#[derive(Debug, Clone)]
+pub struct Availability {
+    window: Duration,
+    delivered: Vec<u64>,
+    failed: Vec<u64>,
+}
+
+impl Availability {
+    /// Creates an accumulator with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: Duration) -> Self {
+        assert!(window > Duration::ZERO, "window must be positive");
+        Availability {
+            window,
+            delivered: Vec::new(),
+            failed: Vec::new(),
+        }
+    }
+
+    fn slot(&mut self, at: Time) -> usize {
+        let idx = (at.as_ps() / self.window.as_ps()) as usize;
+        if idx >= self.delivered.len() {
+            self.delivered.resize(idx + 1, 0);
+            self.failed.resize(idx + 1, 0);
+        }
+        idx
+    }
+
+    /// Records one flow delivered at simulated time `at`.
+    pub fn record_delivery(&mut self, at: Time) {
+        let i = self.slot(at);
+        self.delivered[i] += 1;
+    }
+
+    /// Records one flow failed at simulated time `at`.
+    pub fn record_failure(&mut self, at: Time) {
+        let i = self.slot(at);
+        self.failed[i] += 1;
+    }
+
+    /// The window size.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Number of windows touched so far (index of the last + 1).
+    pub fn windows(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// Deliveries in window `i` (0 beyond the recorded span).
+    pub fn delivered_in(&self, i: usize) -> u64 {
+        self.delivered.get(i).copied().unwrap_or(0)
+    }
+
+    /// Failures in window `i` (0 beyond the recorded span).
+    pub fn failed_in(&self, i: usize) -> u64 {
+        self.failed.get(i).copied().unwrap_or(0)
+    }
+
+    /// Windows with at least one failure.
+    pub fn degraded_windows(&self) -> usize {
+        self.failed.iter().filter(|&&f| f > 0).count()
+    }
+
+    /// Fraction of touched windows with no failure. 1.0 if no window
+    /// was touched.
+    pub fn availability(&self) -> f64 {
+        if self.failed.is_empty() {
+            return 1.0;
+        }
+        1.0 - self.degraded_windows() as f64 / self.failed.len() as f64
+    }
+
+    /// Time from `incident` until the end of the first window at or
+    /// after it that completes at least one flow — the campaign's
+    /// recovery-time metric. `None` if nothing delivers after the
+    /// incident within the recorded span.
+    pub fn recovery_after(&self, incident: Time) -> Option<Duration> {
+        let first = (incident.as_ps() / self.window.as_ps()) as usize;
+        for (i, &d) in self.delivered.iter().enumerate().skip(first) {
+            if d > 0 {
+                let end = Time::ZERO + self.window * (i as u64 + 1);
+                return Some(end.saturating_since(incident));
+            }
+        }
+        None
+    }
+
+    /// Adds another accumulator's windows into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window sizes differ.
+    pub fn merge(&mut self, other: &Availability) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge availability accumulators with different windows"
+        );
+        if other.delivered.len() > self.delivered.len() {
+            self.delivered.resize(other.delivered.len(), 0);
+            self.failed.resize(other.failed.len(), 0);
+        }
+        for (i, (&d, &f)) in other.delivered.iter().zip(&other.failed).enumerate() {
+            self.delivered[i] += d;
+            self.failed[i] += f;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,6 +736,37 @@ mod tests {
         assert_eq!(t.ops_in(1), 2);
         assert_eq!(t.bytes_in(1), 160);
         assert_eq!(t.total_ops(), 6);
+    }
+
+    #[test]
+    fn availability_windows_degradation_and_recovery() {
+        let w = Duration::from_us(10);
+        let mut a = Availability::new(w);
+        // Healthy start, a blackout with failures, then recovery.
+        a.record_delivery(Time::from_us(5));
+        a.record_delivery(Time::from_us(12));
+        a.record_failure(Time::from_us(25));
+        a.record_failure(Time::from_us(33));
+        a.record_delivery(Time::from_us(47));
+        assert_eq!(a.windows(), 5);
+        assert_eq!(a.delivered_in(0), 1);
+        assert_eq!(a.failed_in(2), 1);
+        assert_eq!(a.degraded_windows(), 2);
+        assert_eq!(a.availability(), 0.6);
+        // Incident at 20µs: windows [20,30) and [30,40) deliver nothing;
+        // the first delivering window is [40,50), which ends at 50µs.
+        assert_eq!(
+            a.recovery_after(Time::from_us(20)),
+            Some(Duration::from_us(30))
+        );
+        assert_eq!(a.recovery_after(Time::from_us(60)), None);
+
+        let mut b = Availability::new(w);
+        b.record_failure(Time::from_us(71));
+        a.merge(&b);
+        assert_eq!(a.windows(), 8);
+        assert_eq!(a.failed_in(7), 1);
+        assert_eq!(a.degraded_windows(), 3);
     }
 
     #[test]

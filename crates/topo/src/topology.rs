@@ -499,6 +499,12 @@ impl Topology {
         l.extra_latency += extra;
     }
 
+    /// Clears all accumulated degradation on a link (fiber replaced, FEC
+    /// retrains): its latency returns to the configured propagation.
+    pub fn restore_link(&mut self, link: u32) {
+        self.links[link as usize].extra_latency = Duration::ZERO;
+    }
+
     /// Recomputes the live-element BFS distance matrix. Called by the
     /// failure setters; only needed directly after manual state edits.
     pub fn recompute_routes(&mut self) {
@@ -681,6 +687,25 @@ mod tests {
         t.degrade_link(1, Duration::from_ns(50));
         assert_eq!(t.link(1).latency(), Duration::from_ns(160));
         assert_eq!(t.link(0).latency(), Duration::from_ns(10));
+        t.restore_link(1);
+        assert_eq!(t.link(1).latency(), Duration::from_ns(10));
+        assert_eq!(t.link(1).extra_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn elements_come_back_up_and_routes_return() {
+        let mut t = Topology::leaf_spine(LeafSpine::symmetric(2, 2, 4, 1));
+        t.set_switch_up(2, false);
+        t.set_switch_up(3, false);
+        assert!(t.route(0, 4, 0).is_none(), "partitioned");
+        t.set_switch_up(3, true);
+        let r = t.route(0, 4, 0).expect("healed partition routes again");
+        assert_eq!(r.hops[1].switch, 3);
+        t.set_switch_up(2, true);
+        let spines: std::collections::BTreeSet<u32> = (0..16)
+            .map(|salt| t.route(0, 4, salt).unwrap().hops[1].switch)
+            .collect();
+        assert_eq!(spines.len(), 2, "revived spine rejoins ECMP");
     }
 
     #[test]

@@ -63,7 +63,7 @@
 //! * Final-hop delivery credits broadcast to every shard as state-sync
 //!   records, applied in deterministic order at window barriers.
 //!
-//! # Failures
+//! # Failures and repairs
 //!
 //! [`FaultEvent`]s take links or switches down (or degrade link latency)
 //! mid-run. A failure bumps the *epoch* of every incomplete flow whose
@@ -73,6 +73,22 @@
 //! [`TopoEdmConfig::reroute_delay`], the flow's remaining bytes re-enter
 //! on a freshly computed route, or the flow fails deterministically when
 //! the fabric is partitioned.
+//!
+//! The same schedule carries *repairs*: [`FaultKind::LinkUp`] /
+//! [`FaultKind::SwitchUp`] bring a dead element back (the revived
+//! switch's scheduler cold-starts, [`SwitchDomain::purge`]), and
+//! [`FaultKind::RestoreLink`] clears accumulated degradation. A repair
+//! bumps — after [`TopoEdmConfig::repair_delay`] — every active flow
+//! whose live route is now longer than the healed fabric's shortest
+//! path, so traffic detoured around a failure migrates back. With
+//! [`TopoEdmConfig::max_retries`] > 0, a flow that finds the fabric
+//! partitioned does not fail immediately: it stays active with no route
+//! and probes again under exponential backoff
+//! ([`TopoEdmConfig::retry_backoff`]), re-admitting deterministically if
+//! a repair heals the partition before the budget runs out. Repair
+//! times join fault times as conservative-window cuts — both mutate
+//! replicated topology state that every shard must observe in lockstep,
+//! *after* pending delivery credits have flushed at the barrier.
 //!
 //! With [`TopoEdmConfig::cancel_stale_demand`] (the default), the epoch
 //! bump also *revokes* the bumped flow's unbatched hop-0 message via
@@ -149,6 +165,16 @@ pub enum FaultKind {
         /// Added one-way latency.
         extra: Duration,
     },
+    /// A downed link comes back up. Routes recompute, and flows detoured
+    /// onto longer paths migrate back after
+    /// [`TopoEdmConfig::repair_delay`]. A no-op if the link is up.
+    LinkUp(u32),
+    /// A downed switch comes back up with a cold scheduler (its queued
+    /// state died with it). A no-op if the switch is up.
+    SwitchUp(u32),
+    /// Clears all accumulated [`FaultKind::DegradeLink`] latency on a
+    /// link (fiber replaced, FEC retrained); latency-only, no reroute.
+    RestoreLink(u32),
 }
 
 /// Configuration of the multi-switch EDM protocol.
@@ -175,6 +201,19 @@ pub struct TopoEdmConfig {
     /// Detection + recovery time before a failed flow's remaining bytes
     /// re-enter on a new route.
     pub reroute_delay: Duration,
+    /// Detection time before flows detoured around a failure migrate
+    /// back onto a repaired element's shorter paths ([`FaultKind::LinkUp`]
+    /// / [`FaultKind::SwitchUp`]).
+    pub repair_delay: Duration,
+    /// How many times a flow that finds the fabric partitioned probes
+    /// for a route again before failing for good. 0 (the default)
+    /// preserves the legacy fail-fast semantics: a partition at reroute
+    /// time fails the flow immediately.
+    pub max_retries: u32,
+    /// Backoff before a partitioned flow's first retry probe; doubles on
+    /// every subsequent attempt (the flow-level timeout is the sum of
+    /// the exponential series).
+    pub retry_backoff: Duration,
     /// Whether an epoch bump revokes the bumped flow's unbatched hop-0
     /// message ([`SwitchDomain::cancel`]), so the dead path's backlog
     /// stops counting as demand. On by default; turn off to model a
@@ -199,6 +238,9 @@ impl Default for TopoEdmConfig {
             trunk_max_active_per_pair: 16,
             batch_small_messages: false,
             reroute_delay: Duration::from_us(10),
+            repair_delay: Duration::from_us(10),
+            max_retries: 0,
+            retry_backoff: Duration::from_us(20),
             cancel_stale_demand: true,
             ip: IpTraffic::default(),
             faults: Vec::new(),
@@ -259,6 +301,12 @@ pub struct TopoResult {
     pub outcomes: Vec<TopoOutcome>,
     /// Successful re-routes after faults.
     pub reroutes: u64,
+    /// Retry probes scheduled for partitioned flows
+    /// ([`TopoEdmConfig::max_retries`]).
+    pub retried: u64,
+    /// Partitioned flows that found a route again on a retry probe
+    /// (after a repair healed the partition).
+    pub readmitted: u64,
     /// Background IP frames generated on crossed links.
     pub ip_frames: u64,
     /// Memory-chunk link crossings that hit an in-flight IP frame.
@@ -342,6 +390,12 @@ pub struct TopoStreamStats {
     pub failed: u64,
     /// Successful re-routes after faults.
     pub reroutes: u64,
+    /// Retry probes scheduled for partitioned flows
+    /// ([`TopoEdmConfig::max_retries`]).
+    pub retried: u64,
+    /// Partitioned flows that found a route again on a retry probe
+    /// (after a repair healed the partition).
+    pub readmitted: u64,
     /// Background IP frames generated on crossed links.
     pub ip_frames: u64,
     /// Memory-chunk link crossings that hit an in-flight IP frame.
@@ -350,9 +404,10 @@ pub struct TopoStreamStats {
     /// materialized path has none, and the tallies must match).
     pub events: u64,
     /// Peak number of concurrently-resident flow entries — with eager
-    /// retirement (no faults, no batching) this is the active-flow
-    /// population peak, independent of how many flows the source emits
-    /// in total. Sharded runs may report slightly more than the
+    /// retirement (streamed, unbatched runs; faults included, whose
+    /// zombie references drain through per-flow counts) this is the
+    /// active-flow population peak, independent of how many flows the
+    /// source emits in total. Sharded runs may report slightly more than the
     /// sequential run: delivery credits retire replicas at window
     /// barriers, a beat after the sequential run retires them.
     pub active_high_water: usize,
@@ -605,24 +660,30 @@ impl TopoEdm {
                 ))
             })
             .collect();
+        let gens = vec![0u32; topo.switch_count()];
         TopoWorld {
             ip: IpModel::new(self.config.ip, link_count),
-            // A terminal flow provably has zero outstanding references
-            // only when no zombie chunk can exist (no faults) and no
-            // mega message can outlive a member flow (no batching).
-            // Retirement only pays on streamed runs — the materialized
-            // paths hold an O(flows) results vector regardless, and
-            // skipping it keeps `rt` a flat append-only table there.
-            eager_retire: source.is_some()
-                && self.config.faults.is_empty()
-                && !self.config.batch_small_messages,
+            // A terminal flow retires once its per-flow reference count
+            // drains to zero — every resident offer it holds at an
+            // owned switch is counted, so zombie chunks of fault runs
+            // simply delay retirement instead of disabling it. §3.1.2
+            // mega messages are the one remaining exclusion: grants
+            // resolve their route through the *head* constituent's
+            // entry, which must outlive the whole mega. Retirement only
+            // pays on streamed runs — the materialized paths hold an
+            // O(flows) results vector regardless, and skipping it keeps
+            // `rt` a flat append-only table there.
+            eager_retire: source.is_some() && !self.config.batch_small_messages,
             cfg: self.config.clone(),
             topo,
             rt: RtMap::default(),
             domains,
+            gens,
             plan,
             me,
             reroutes: 0,
+            retried: 0,
+            readmitted: 0,
             events: 0,
             outbox: Vec::new(),
             sink,
@@ -637,7 +698,7 @@ impl TopoEdm {
 
     /// Merges per-shard counters. Replicated flow state is identical
     /// across shards (debug-asserted); owned counters sum.
-    fn tally<S, I>(worlds: &[TopoWorld<S, I>]) -> (u64, u64, u64, u64)
+    fn tally<S, I>(worlds: &[TopoWorld<S, I>]) -> TopoTally
     where
         S: FnMut(u32, TopoOutcome),
         I: Iterator<Item = Flow>,
@@ -655,17 +716,18 @@ impl TopoEdm {
                 );
             }
         }
-        let events = worlds.iter().map(|w| w.events).sum();
-        let ip_frames = worlds.iter().map(|w| w.ip.frames()).sum();
-        let ip_delayed = worlds.iter().map(|w| w.ip.delayed()).sum();
-        (worlds[0].reroutes, ip_frames, ip_delayed, events)
+        TopoTally {
+            reroutes: worlds[0].reroutes,
+            retried: worlds[0].retried,
+            readmitted: worlds[0].readmitted,
+            ip_frames: worlds.iter().map(|w| w.ip.frames()).sum(),
+            ip_delayed: worlds.iter().map(|w| w.ip.delayed()).sum(),
+            events: worlds.iter().map(|w| w.events).sum(),
+        }
     }
 
     /// Assembles a [`TopoResult`] from the collecting sink's outcomes.
-    fn into_result(
-        results: Vec<Option<TopoOutcome>>,
-        (reroutes, ip_frames, ip_delayed, events): (u64, u64, u64, u64),
-    ) -> TopoResult {
+    fn into_result(results: Vec<Option<TopoOutcome>>, t: TopoTally) -> TopoResult {
         let outcomes = results
             .into_iter()
             .enumerate()
@@ -673,10 +735,12 @@ impl TopoEdm {
             .collect();
         TopoResult {
             outcomes,
-            reroutes,
-            ip_frames,
-            ip_delayed,
-            events,
+            reroutes: t.reroutes,
+            retried: t.retried,
+            readmitted: t.readmitted,
+            ip_frames: t.ip_frames,
+            ip_delayed: t.ip_delayed,
+            events: t.events,
         }
     }
 
@@ -686,7 +750,7 @@ impl TopoEdm {
         S: FnMut(u32, TopoOutcome),
         I: Iterator<Item = Flow>,
     {
-        let (reroutes, ip_frames, ip_delayed, events) = TopoEdm::tally(worlds);
+        let t = TopoEdm::tally(worlds);
         let w0 = &worlds[0];
         assert_eq!(
             w0.admitted,
@@ -703,10 +767,12 @@ impl TopoEdm {
             admitted: w0.admitted,
             delivered: w0.delivered_n,
             failed: w0.failed_n,
-            reroutes,
-            ip_frames,
-            ip_delayed,
-            events,
+            reroutes: t.reroutes,
+            retried: t.retried,
+            readmitted: t.readmitted,
+            ip_frames: t.ip_frames,
+            ip_delayed: t.ip_delayed,
+            events: t.events,
             active_high_water: w0.active_hwm,
             msg_slots_high_water,
         }
@@ -727,6 +793,17 @@ impl TopoEdm {
         topo.route(ds as usize, dd as usize, solo.id as u64)?;
         TopoEdm::new(cfg).simulate(topo, &[solo]).outcomes[0].mct()
     }
+}
+
+/// Merged per-shard counters ([`TopoEdm::tally`]).
+#[derive(Debug, Clone, Copy)]
+struct TopoTally {
+    reroutes: u64,
+    retried: u64,
+    readmitted: u64,
+    ip_frames: u64,
+    ip_delayed: u64,
+    events: u64,
 }
 
 /// Runtime status of a flow.
@@ -755,6 +832,13 @@ struct FlowRt {
     delivered: u32,
     /// Bytes offered in the current epoch.
     inject_bytes: u32,
+    /// Outstanding resident offers this flow holds at switches owned by
+    /// *this shard*: +1 per [`SwitchDomain::offer`], −1 when the
+    /// sub-offer completes, is cancelled, or dies with a purged switch.
+    /// A terminal entry retires (eager mode) once the count drains to
+    /// zero — the shard-local proof that no future event can reference
+    /// it, which is what lets streamed *fault* runs stay bounded-memory.
+    refs: u32,
     status: RtStatus,
 }
 
@@ -792,6 +876,13 @@ impl RtMap {
         self.slots.resize_with(idx, || None);
         self.slots.push(Some(rt));
         self.live += 1;
+    }
+
+    fn get(&self, id: u32) -> Option<&FlowRt> {
+        match self.slots.get(id.wrapping_sub(self.base) as usize) {
+            Some(Some(rt)) => Some(rt),
+            _ => None,
+        }
     }
 
     fn get_mut(&mut self, id: u32) -> Option<&mut FlowRt> {
@@ -875,11 +966,15 @@ enum TopoEv {
     /// A granted chunk's last byte reaches its next element: egress
     /// bookkeeping at the granting switch *and* the implicit
     /// notification at the next one (same-shard / final-hop case).
+    /// `gen` is the granting switch's generation at grant time: a chunk
+    /// granted before its switch died must never settle into the
+    /// revived switch's cold slab.
     Chunk {
         token: u64,
         from_switch: u16,
         slot: u32,
         bytes: u32,
+        gen: u32,
     },
     /// The bookkeeping half of a chunk whose next hop lives in another
     /// shard (its `Arrive` half is mailed there with the same order
@@ -889,6 +984,7 @@ enum TopoEv {
         from_switch: u16,
         slot: u32,
         bytes: u32,
+        gen: u32,
     },
     /// The notification half of a cross-shard chunk, merged in at a
     /// window barrier.
@@ -902,6 +998,10 @@ enum TopoEv {
     /// A bumped flow re-enters on a fresh route (replicated; only the
     /// new hop-0 shard seeds the demand).
     Reroute { flow: u32, epoch: u32 },
+    /// A partitioned flow's bounded-backoff probe for a route
+    /// (replicated, [`evord::reroute`]-keyed like the reroute it
+    /// follows — at most one recovery event per flow is ever pending).
+    Retry { flow: u32, epoch: u32, attempt: u32 },
 }
 
 /// Cross-shard traffic.
@@ -982,10 +1082,19 @@ struct TopoWorld<S, I> {
     /// `Some` only for switches this shard owns (all of them for the
     /// sequential solo plan).
     domains: Vec<Option<SwitchDomain>>,
+    /// Per-switch generation, bumped when the switch dies (replicated —
+    /// every shard executes fault events). Chunk/settle events carry
+    /// the generation they were granted under; a mismatch fences
+    /// pre-outage chunks away from the revived switch's cold domain.
+    gens: Vec<u32>,
     ip: IpModel,
     plan: Arc<ShardPlan>,
     me: u32,
     reroutes: u64,
+    /// Retry probes scheduled (replicated count, reported once).
+    retried: u64,
+    /// Partitioned flows re-admitted by a retry probe (replicated).
+    readmitted: u64,
     /// Dispatched-event tally mirroring the sequential count: `Arrive`
     /// halves, `Admit`s, and non-primary fault/reroute replicas are not
     /// counted.
@@ -1040,13 +1149,33 @@ where
         self.admitted += 1;
         let (ds, dd) = flow.data_direction();
         let Some(route) = self.topo.route(ds as usize, dd as usize, flow.id as u64) else {
-            self.emit(
-                id,
-                TopoOutcome {
-                    flow,
-                    status: FlowStatus::Failed(flow.arrival),
-                },
-            );
+            if self.cfg.max_retries > 0 {
+                // A flow arriving into a partition waits it out like a
+                // partitioned reroute does: resident, routeless, with a
+                // bounded retry budget.
+                self.rt.insert(
+                    id,
+                    FlowRt {
+                        flow,
+                        routes: vec![None],
+                        epoch: 0,
+                        delivered: 0,
+                        inject_bytes: flow.size,
+                        refs: 0,
+                        status: RtStatus::Active,
+                    },
+                );
+                self.active_hwm = self.active_hwm.max(self.rt.len());
+                self.retry_or_fail(id, 0, 1, flow.arrival, q);
+            } else {
+                self.emit(
+                    id,
+                    TopoOutcome {
+                        flow,
+                        status: FlowStatus::Failed(flow.arrival),
+                    },
+                );
+            }
             return;
         };
         let h0 = route.hops[0].switch;
@@ -1058,6 +1187,7 @@ where
                 epoch: 0,
                 delivered: 0,
                 inject_bytes: flow.size,
+                refs: 0,
                 status: RtStatus::Active,
             },
         );
@@ -1106,6 +1236,103 @@ where
         self.plan.shard_of(switch) == self.me
     }
 
+    /// Releases one resident-offer reference on `fi` (the offer was
+    /// cancelled or died with its purged switch — completed offers
+    /// release inside the delivery callback instead). Retires the entry
+    /// when it was the last reference on a terminal flow.
+    fn release_ref(&mut self, fi: u32) {
+        let r = self.rt.get_mut(fi).expect("referenced flows are resident");
+        debug_assert!(r.refs > 0, "unbalanced reference release");
+        r.refs -= 1;
+        let retire = r.refs == 0 && r.status != RtStatus::Active;
+        if self.eager_retire && retire {
+            self.rt.remove(fi);
+        }
+    }
+
+    /// Tries to re-enter `flow` on a freshly computed route for `epoch`:
+    /// fills the route, resets the injection remainder, and (on the new
+    /// hop-0 shard) seeds the demand flight. `false` on partition.
+    fn re_enter(&mut self, flow: u32, epoch: u32, now: Time, q: &mut EventQueue<TopoEv>) -> bool {
+        let f = self.rt[flow].flow;
+        let (ds, dd) = f.data_direction();
+        let Some(route) = self.topo.route(ds as usize, dd as usize, f.id as u64) else {
+            return false;
+        };
+        let h0 = route.hops[0].switch;
+        let r = self
+            .rt
+            .get_mut(flow)
+            .expect("re-entering flows are resident");
+        r.routes[epoch as usize] = Some(route);
+        debug_assert!(f.size > r.delivered, "completed flows are never bumped");
+        r.inject_bytes = f.size - r.delivered;
+        if self.local(h0) {
+            let base = now.max(f.arrival);
+            let t = self.demand_time(flow, base);
+            q.schedule_ordered(t, evord::demand(flow), TopoEv::Demand { flow, epoch });
+        }
+        true
+    }
+
+    /// A routeless flow's recovery step: schedules the next bounded,
+    /// exponentially backed-off retry probe, or fails the flow for good
+    /// once the budget is spent. Replicated — every shard runs it
+    /// identically, so the Retry event seeds every queue in lockstep.
+    fn retry_or_fail(
+        &mut self,
+        flow: u32,
+        epoch: u32,
+        attempt: u32,
+        now: Time,
+        q: &mut EventQueue<TopoEv>,
+    ) {
+        if attempt <= self.cfg.max_retries {
+            self.retried += 1;
+            let wait = self.cfg.retry_backoff * (1u64 << (attempt - 1).min(20));
+            q.schedule_ordered(
+                now + wait,
+                evord::reroute(flow),
+                TopoEv::Retry {
+                    flow,
+                    epoch,
+                    attempt,
+                },
+            );
+        } else {
+            let r = self.rt.get_mut(flow).expect("failing flows are resident");
+            r.status = RtStatus::Failed(now);
+            let f = r.flow;
+            let retire = r.refs == 0;
+            self.emit(
+                flow,
+                TopoOutcome {
+                    flow: f,
+                    status: FlowStatus::Failed(now),
+                },
+            );
+            if self.eager_retire && retire {
+                self.rt.remove(flow);
+            }
+        }
+    }
+
+    /// Cold-starts a dying switch's domain (owner shard only), releasing
+    /// the reference of every resident offer that will now never
+    /// complete. The generation bump that fences the switch's in-flight
+    /// chunks happens at the caller (replicated state).
+    fn purge_switch(&mut self, s: u32) {
+        let Some(dom) = self.domains[s as usize].as_mut() else {
+            return;
+        };
+        let mut dead = Vec::new();
+        dom.purge(&mut dead);
+        for tok in dead {
+            let (fi, _ep) = unpack(tok);
+            self.release_ref(fi);
+        }
+    }
+
     /// When a flow's demand reaches its hop-0 switch, issuing at `base`:
     /// one access flight for the write `/N/` or read RREQ, plus — for
     /// reads — the RREQ's forwarding across the trunk path to the
@@ -1128,23 +1355,6 @@ where
         t
     }
 
-    /// The next element after `from_switch` on a chunk's route. The
-    /// entry is resident whenever a chunk references it: stale epochs
-    /// keep their routes, and retirement only removes entries with no
-    /// in-flight chunks.
-    fn chunk_next(&self, token: u64, from_switch: u32) -> Endpoint {
-        let (fi, ep) = unpack(token);
-        let route = self.rt[fi].routes[ep as usize]
-            .as_ref()
-            .expect("chunk of an offered epoch");
-        let h = route
-            .hops
-            .iter()
-            .find(|h| h.switch == from_switch)
-            .expect("chunk granted on its route");
-        self.topo.link_far_end(h.out_link, from_switch)
-    }
-
     /// Runs one scheduling round at `switch`, translating each grant into
     /// its chunk-flight event (split into settle + mailed arrive when the
     /// next hop lives in another shard). Shared by the Poll event handler
@@ -1152,6 +1362,7 @@ where
     fn run_poll(&mut self, switch: u32, now: Time, q: &mut EventQueue<TopoEv>) {
         let TopoWorld {
             domains,
+            gens,
             topo,
             rt,
             cfg,
@@ -1164,6 +1375,7 @@ where
         let dom = domains[switch as usize]
             .as_mut()
             .expect("poll at an owned switch");
+        let gen = gens[switch as usize];
         let (grants, sched_latency, next_wakeup) = dom.poll(now);
         for g in grants {
             let (fi, ep) = unpack(g.token);
@@ -1224,6 +1436,7 @@ where
                         from_switch: switch as u16,
                         slot: g.slot,
                         bytes: g.chunk_bytes,
+                        gen,
                     },
                 ),
                 Some(to) => {
@@ -1238,6 +1451,7 @@ where
                             from_switch: switch as u16,
                             slot: g.slot,
                             bytes: g.chunk_bytes,
+                            gen,
                         },
                     );
                     outbox.push(Envelope {
@@ -1264,6 +1478,7 @@ where
     /// really carried it, so the message state advances and backlogged
     /// demand is admitted — also for zombie chunks (blackholed bandwidth
     /// is still spent). Final-hop chunks credit the destination here.
+    #[allow(clippy::too_many_arguments)]
     fn settle(
         &mut self,
         now: Time,
@@ -1271,12 +1486,38 @@ where
         from_switch: u32,
         slot: u32,
         bytes: u32,
+        gen: u32,
         q: &mut EventQueue<TopoEv>,
     ) {
-        let is_final = matches!(self.chunk_next(token, from_switch), Endpoint::Node(_));
-        if !self.topo.switch_up(from_switch) {
+        // Generation fence: a chunk granted before this switch died must
+        // never index the revived switch's cold slab. While the switch
+        // is still down the fence is redundant with the up-check, but
+        // both stay — a revived switch is up again with a new gen.
+        if self.gens[from_switch as usize] != gen || !self.topo.switch_up(from_switch) {
             return;
         }
+        let is_final = {
+            // A missing entry here can only be a cancelled message's
+            // draining chunk — cancellation released its reference, so
+            // the flow may have retired. Delivery below still runs for
+            // slot bookkeeping, but no completion fires for a cancelled
+            // message, so the flag's value is irrelevant then.
+            let (fi, ep) = unpack(token);
+            self.rt.get(fi).is_some_and(|r| {
+                let route = r.routes[ep as usize]
+                    .as_ref()
+                    .expect("chunk of an offered epoch");
+                let h = route
+                    .hops
+                    .iter()
+                    .find(|h| h.switch == from_switch)
+                    .expect("chunk granted on its route");
+                matches!(
+                    self.topo.link_far_end(h.out_link, from_switch),
+                    Endpoint::Node(_)
+                )
+            })
+        };
         let TopoWorld {
             domains,
             rt,
@@ -1293,48 +1534,53 @@ where
             .as_mut()
             .expect("settle at an owned switch");
         let want_poll = dom.deliver(now, slot, bytes, |tok, sub_bytes| {
-            if !is_final {
-                return;
-            }
             let (cfi, cep) = unpack(tok);
-            let r = rt.get_mut(cfi).expect("credit for a resident flow");
+            // Every completed sub-offer releases the residency reference
+            // it held — stale epochs drain as blackholed bandwidth but
+            // still complete at their granting switch, so references
+            // drain even on fault runs.
+            let r = rt
+                .get_mut(cfi)
+                .expect("a completed sub-offer holds a reference");
+            debug_assert!(r.refs > 0, "unbalanced reference release");
+            r.refs -= 1;
             // Late bytes of a pre-fault epoch were already re-sent;
             // crediting them would double-count.
-            if r.epoch != cep || r.status != RtStatus::Active {
-                return;
-            }
-            r.delivered += sub_bytes;
-            if r.delivered >= r.flow.size {
-                debug_assert_eq!(r.delivered, r.flow.size);
-                r.status = RtStatus::Done(now);
-                *delivered_n += 1;
-                if let Some(s) = sink.as_mut() {
-                    s(
-                        cfi,
-                        TopoOutcome {
-                            flow: r.flow,
-                            status: FlowStatus::Delivered(now),
+            if is_final && r.epoch == cep && r.status == RtStatus::Active {
+                r.delivered += sub_bytes;
+                if r.delivered >= r.flow.size {
+                    debug_assert_eq!(r.delivered, r.flow.size);
+                    r.status = RtStatus::Done(now);
+                    *delivered_n += 1;
+                    if let Some(s) = sink.as_mut() {
+                        s(
+                            cfi,
+                            TopoOutcome {
+                                flow: r.flow,
+                                status: FlowStatus::Delivered(now),
+                            },
+                        );
+                    }
+                }
+                if multi {
+                    // Replicate the credit to every other shard's
+                    // flow-state replica (applied in deterministic
+                    // order at barriers).
+                    outbox.push(Envelope {
+                        to: Recipient::Broadcast,
+                        at: now,
+                        ord: evord::credit(cfi),
+                        msg: TopoMsg::Credit {
+                            flow: cfi,
+                            bytes: sub_bytes,
                         },
-                    );
-                }
-                if *eager_retire {
-                    // Deferred to the end of this dispatch: `rt` is
-                    // mutably borrowed for the whole delivery pass.
-                    retired.push(cfi);
+                    });
                 }
             }
-            if multi {
-                // Replicate the credit to every other shard's flow-state
-                // replica (applied in deterministic order at barriers).
-                outbox.push(Envelope {
-                    to: Recipient::Broadcast,
-                    at: now,
-                    ord: evord::credit(cfi),
-                    msg: TopoMsg::Credit {
-                        flow: cfi,
-                        bytes: sub_bytes,
-                    },
-                });
+            if *eager_retire && r.refs == 0 && r.status != RtStatus::Active {
+                // Deferred to the end of this dispatch: `rt` is
+                // mutably borrowed for the whole delivery pass.
+                retired.push(cfi);
             }
         });
         if want_poll && dom.has_demand() && dom.note_poll_wanted(now) {
@@ -1359,27 +1605,39 @@ where
         q: &mut EventQueue<TopoEv>,
     ) {
         let (fi, ep) = unpack(token);
-        let Endpoint::Port { switch: sw2, .. } = self.chunk_next(token, from_switch) else {
+        // A chunk can outlive its flow's replica on this shard: a
+        // terminal flow retires here while a zombie chunk is still
+        // mailed over from the shard whose switch drains it. Retirement
+        // requires a terminal status, and every post-terminal chunk is
+        // stale-epoch by construction — drop it exactly as the epoch
+        // check below would have.
+        let Some(r) = self.rt.get(fi) else {
+            return;
+        };
+        if r.epoch != ep || r.status != RtStatus::Active {
+            return;
+        }
+        let route = r.routes[ep as usize]
+            .as_ref()
+            .expect("route for the offered epoch");
+        let cur = route
+            .hops
+            .iter()
+            .find(|h| h.switch == from_switch)
+            .expect("chunk granted on its route");
+        let Endpoint::Port { switch: sw2, .. } = self.topo.link_far_end(cur.out_link, from_switch)
+        else {
             return; // reached its destination node: settle credited it
         };
-        let (h, limit) = {
-            let r = &self.rt[fi];
-            if r.epoch != ep || r.status != RtStatus::Active {
-                return;
-            }
-            if !self.topo.switch_up(sw2) {
-                return;
-            }
-            let route = r.routes[ep as usize]
-                .as_ref()
-                .expect("route for the offered epoch");
-            let h = *route
-                .hops
-                .iter()
-                .find(|h| h.switch == sw2)
-                .expect("chunk follows its route");
-            (h, route_limit(&self.cfg, route))
-        };
+        if !self.topo.switch_up(sw2) {
+            return;
+        }
+        let h = *route
+            .hops
+            .iter()
+            .find(|h| h.switch == sw2)
+            .expect("chunk follows its route");
+        let limit = route_limit(&self.cfg, route);
         let offer = DomainOffer {
             src: h.in_port,
             dst: h.out_port,
@@ -1391,6 +1649,10 @@ where
             batch_key: token,
             token,
         };
+        // The resident offer — admitted or backlogged — holds a
+        // reference on the flow until it completes, cancels, or dies
+        // with a purged switch.
+        self.rt.get_mut(fi).expect("checked resident above").refs += 1;
         let dom = self.domains[sw2 as usize]
             .as_mut()
             .expect("arrive at an owned switch");
@@ -1409,15 +1671,18 @@ where
     }
 
     /// Bumps the epoch of every incomplete flow whose live route
-    /// satisfies `pred`, scheduling its recovery and (by default)
-    /// revoking its stale hop-0 demand.
+    /// satisfies `pred`, scheduling its recovery after `delay` and (by
+    /// default) revoking its stale hop-0 demand. Fault bumps reroute
+    /// flows *off* a dead element; repair bumps migrate flows *onto* a
+    /// healed one — same mechanism, different predicate and delay.
     fn bump_affected(
         &mut self,
         now: Time,
+        delay: Duration,
         q: &mut EventQueue<TopoEv>,
-        pred: impl Fn(&Route) -> bool,
+        pred: impl Fn(&Topology, &Flow, &Route) -> bool,
     ) {
-        let reroute_at = now + self.cfg.reroute_delay;
+        let reroute_at = now + delay;
         // Bump in admission-index order — the ring iterates ids
         // ascending, so reroute scheduling and demand revocation are
         // deterministic. (Materialized first: the loop mutates entries.)
@@ -1431,7 +1696,7 @@ where
             let Some(route) = r.routes[r.epoch as usize].as_ref() else {
                 continue;
             };
-            if !pred(route) {
+            if !pred(&self.topo, &r.flow, route) {
                 continue;
             }
             bumped.push((fi, r.epoch, route.hops[0]));
@@ -1460,10 +1725,15 @@ where
             let dom = self.domains[h0.switch as usize]
                 .as_mut()
                 .expect("cancel at an owned switch");
-            if dom.cancel(now, h0.in_port, h0.out_port, pack(flow, old_epoch))
-                && dom.has_demand()
-                && dom.note_poll_wanted(now)
-            {
+            let cancelled = dom.cancel(now, h0.in_port, h0.out_port, pack(flow, old_epoch));
+            let poll = cancelled && dom.has_demand() && dom.note_poll_wanted(now);
+            if cancelled {
+                // The withdrawn offer's reference releases; the flow
+                // itself stays Active (its reroute is pending), so no
+                // retirement can trigger here.
+                self.release_ref(flow);
+            }
+            if poll {
                 q.schedule_ordered(
                     now,
                     evord::poll(h0.switch as u16),
@@ -1487,7 +1757,14 @@ where
                 self.events += 1;
                 let token = pack(flow, epoch);
                 let (h0, bytes, limit, bk) = {
-                    let r = &self.rt[flow];
+                    // The flow can retire before its demand fires: a
+                    // fault between admission and the demand flight
+                    // bumps it, and the bumped epoch can fail (and
+                    // retire, holding no references yet) before this
+                    // event's instant. Stale by construction — drop.
+                    let Some(r) = self.rt.get(flow) else {
+                        return;
+                    };
                     if r.epoch != epoch || r.status != RtStatus::Active {
                         return;
                     }
@@ -1520,6 +1797,8 @@ where
                     batch_key: bk,
                     token,
                 };
+                // The resident hop-0 offer holds a reference on the flow.
+                self.rt.get_mut(flow).expect("checked resident above").refs += 1;
                 let dom = self.domains[h0.switch as usize]
                     .as_mut()
                     .expect("demand at an owned switch");
@@ -1550,9 +1829,10 @@ where
                 from_switch,
                 slot,
                 bytes,
+                gen,
             } => {
                 self.events += 1;
-                self.settle(now, token, from_switch as u32, slot, bytes, q);
+                self.settle(now, token, from_switch as u32, slot, bytes, gen, q);
                 self.arrive(now, token, from_switch as u32, bytes, q);
             }
             TopoEv::Settle {
@@ -1560,11 +1840,12 @@ where
                 from_switch,
                 slot,
                 bytes,
+                gen,
             } => {
                 // Counts as the chunk's one event; its mailed Arrive
                 // half does not.
                 self.events += 1;
-                self.settle(now, token, from_switch as u32, slot, bytes, q);
+                self.settle(now, token, from_switch as u32, slot, bytes, gen, q);
             }
             TopoEv::Arrive {
                 token,
@@ -1579,18 +1860,48 @@ where
                     self.events += 1;
                 }
                 let fault = self.cfg.faults[idx as usize];
+                let (reroute_delay, repair_delay) = (self.cfg.reroute_delay, self.cfg.repair_delay);
                 match fault.kind {
                     FaultKind::LinkDown(l) => {
                         self.topo.set_link_up(l, false);
-                        self.bump_affected(now, q, |route| route.uses_link(l));
+                        self.bump_affected(now, reroute_delay, q, |_, _, route| route.uses_link(l));
                     }
                     FaultKind::SwitchDown(s) => {
-                        self.topo.set_switch_up(s, false);
-                        self.bump_affected(now, q, |route| route.uses_switch(s));
+                        // Idempotence guard: a double-down must not bump
+                        // the generation again (harmless) or re-purge —
+                        // and matches the old behavior, where the second
+                        // strike's bump matched nothing.
+                        if self.topo.switch_up(s) {
+                            self.topo.set_switch_up(s, false);
+                            self.gens[s as usize] += 1;
+                            self.purge_switch(s);
+                            self.bump_affected(now, reroute_delay, q, |_, _, route| {
+                                route.uses_switch(s)
+                            });
+                        }
                     }
                     FaultKind::DegradeLink { link, extra } => {
                         // Latency-only: routes keep flowing, slower.
                         self.topo.degrade_link(link, extra);
+                    }
+                    FaultKind::LinkUp(l) => {
+                        if !self.topo.link(l).is_up() {
+                            self.topo.set_link_up(l, true);
+                            self.bump_improvable(now, repair_delay, q);
+                        }
+                    }
+                    FaultKind::SwitchUp(s) => {
+                        if !self.topo.switch_up(s) {
+                            // The owned domain was purged at SwitchDown;
+                            // the revived switch starts cold, fenced
+                            // from pre-outage chunks by its generation.
+                            self.topo.set_switch_up(s, true);
+                            self.bump_improvable(now, repair_delay, q);
+                        }
+                    }
+                    FaultKind::RestoreLink(l) => {
+                        // Latency-only, like the degradation it clears.
+                        self.topo.restore_link(l);
                     }
                 }
             }
@@ -1599,45 +1910,57 @@ where
                 if self.me == 0 {
                     self.events += 1;
                 }
-                // Reroutes only exist in fault runs, where terminal
-                // entries stay resident — the lookup cannot miss.
+                // A pending reroute pins its flow Active and resident: a
+                // routeless epoch can neither deliver nor be bumped
+                // again — the lookup cannot miss.
                 if self.rt[flow].epoch != epoch || self.rt[flow].status != RtStatus::Active {
                     return;
                 }
-                let f = self.rt[flow].flow;
-                let (ds, dd) = f.data_direction();
-                match self.topo.route(ds as usize, dd as usize, f.id as u64) {
-                    Some(route) => {
-                        let h0 = route.hops[0].switch;
-                        let r = self.rt.get_mut(flow).expect("checked above");
-                        r.routes[epoch as usize] = Some(route);
-                        debug_assert!(f.size > r.delivered, "completed flows are never bumped");
-                        r.inject_bytes = f.size - r.delivered;
-                        self.reroutes += 1;
-                        if self.local(h0) {
-                            let base = now.max(f.arrival);
-                            let t = self.demand_time(flow, base);
-                            q.schedule_ordered(
-                                t,
-                                evord::demand(flow),
-                                TopoEv::Demand { flow, epoch },
-                            );
-                        }
-                    }
-                    None => {
-                        self.rt.get_mut(flow).expect("checked above").status =
-                            RtStatus::Failed(now);
-                        self.emit(
-                            flow,
-                            TopoOutcome {
-                                flow: f,
-                                status: FlowStatus::Failed(now),
-                            },
-                        );
-                    }
+                if self.re_enter(flow, epoch, now, q) {
+                    self.reroutes += 1;
+                } else {
+                    self.retry_or_fail(flow, epoch, 1, now, q);
+                }
+            }
+            TopoEv::Retry {
+                flow,
+                epoch,
+                attempt,
+            } => {
+                // Replicated in every shard; counted once.
+                if self.me == 0 {
+                    self.events += 1;
+                }
+                // Like a pending reroute, a pending retry pins its flow
+                // Active and resident.
+                debug_assert_eq!(self.rt[flow].epoch, epoch, "retry for a stale epoch");
+                debug_assert_eq!(self.rt[flow].status, RtStatus::Active);
+                if self.re_enter(flow, epoch, now, q) {
+                    self.readmitted += 1;
+                } else {
+                    self.retry_or_fail(flow, epoch, attempt + 1, now, q);
                 }
             }
         }
+    }
+
+    /// The repair-side epoch bump: flows whose live route is now longer
+    /// than the healed fabric's shortest path migrate onto it after the
+    /// detection delay. Routeless flows (reroute or retry pending) are
+    /// skipped — their own recovery event will find the better fabric.
+    fn bump_improvable(&mut self, now: Time, delay: Duration, q: &mut EventQueue<TopoEv>) {
+        self.bump_affected(now, delay, q, |topo, flow, route| {
+            let (ds, dd) = flow.data_direction();
+            let a = topo.attach(ds as usize).0;
+            let b = topo.attach(dd as usize).0;
+            match topo.switch_distance(a, b) {
+                // `dist` trunk hops ⇒ `dist + 1` switches on a shortest
+                // path, one `Route::hops` entry each — strictly fewer
+                // than the current detour means a bump pays for itself.
+                Some(dist) => route.hops.len() > dist + 1,
+                None => false,
+            }
+        });
     }
 }
 
@@ -1715,9 +2038,11 @@ where
                 // The credit-shard counterpart of the settle-shard's
                 // deferred retirement: conservative windows guarantee
                 // every chunk event of the flow was dispatched before
-                // its final credit crosses a barrier, so the entry can
-                // go immediately.
-                if self.eager_retire {
+                // its final credit crosses a barrier. Outstanding local
+                // references (fault-run re-offers still resident in an
+                // owned domain here) defer removal to their release.
+                let no_refs = self.rt[flow].refs == 0;
+                if self.eager_retire && no_refs {
                     self.rt.remove(flow);
                 }
             }

@@ -4,7 +4,9 @@
 
 use edm_core::sim::{Flow, FlowKind};
 use edm_sim::{Duration, Time};
-use edm_topo::{FaultEvent, FaultKind, FlowStatus, LeafSpine, TopoEdm, TopoEdmConfig, Topology};
+use edm_topo::{
+    FaultEvent, FaultKind, FlowStatus, LeafSpine, LinkParams, TopoEdm, TopoEdmConfig, Topology,
+};
 use edm_workloads::SyntheticWorkload;
 
 fn write_flow(id: usize, src: usize, dst: usize, size: u32, at_ns: u64) -> Flow {
@@ -122,6 +124,194 @@ fn trunk_link_down_reroutes_over_the_parallel_trunk() {
     assert_eq!(hit.delivered(), 1);
     assert_eq!(hit.reroutes, 1);
     assert!(hit.outcomes[0].mct().unwrap() > base.outcomes[0].mct().unwrap());
+}
+
+#[test]
+fn healed_partition_readmits_timed_out_flows() {
+    // Both spines die at 20µs, severing every cross-leaf flow. With
+    // retries enabled the partitioned flows back off exponentially
+    // (reroute probe at 30µs, retries at 50µs, 90µs, 170µs); spine 5
+    // comes back at 120µs, so the third retry finds a route and the
+    // flows deliver instead of failing.
+    let topo = fabric();
+    let flows = probes();
+    let cfg = TopoEdmConfig {
+        faults: vec![
+            FaultEvent {
+                at: Time::from_us(20),
+                kind: FaultKind::SwitchDown(4),
+            },
+            FaultEvent {
+                at: Time::from_us(20),
+                kind: FaultKind::SwitchDown(5),
+            },
+            FaultEvent {
+                at: Time::from_us(120),
+                kind: FaultKind::SwitchUp(5),
+            },
+        ],
+        max_retries: 8,
+        retry_backoff: Duration::from_us(20),
+        ..TopoEdmConfig::default()
+    };
+    let a = TopoEdm::new(cfg.clone()).simulate(&topo, &flows);
+    assert_eq!(a.delivered(), 3, "the healed partition re-admits A and B");
+    assert_eq!(a.readmitted, 2, "both cross-leaf flows re-enter");
+    assert_eq!(a.retried, 6, "three backoff probes each before the heal");
+
+    // Re-admission is deterministic: bit-identical outcomes on a second
+    // run and under the sharded engine.
+    let b = TopoEdm::new(cfg.clone()).simulate(&topo, &flows);
+    let c = TopoEdm::new(cfg.clone()).simulate_sharded(&topo, &flows, 4);
+    for (x, (y, z)) in a.outcomes.iter().zip(b.outcomes.iter().zip(&c.outcomes)) {
+        assert_eq!(x.status, y.status, "re-admission must be deterministic");
+        assert_eq!(x.status, z.status, "sharded run must match sequential");
+    }
+    assert_eq!(a.readmitted, c.readmitted);
+    assert_eq!(a.retried, c.retried);
+
+    // If the fabric never heals, the same retry budget runs dry and the
+    // flows still fail deterministically.
+    let dead = TopoEdmConfig {
+        faults: cfg.faults[..2].to_vec(),
+        ..cfg
+    };
+    let d = TopoEdm::new(dead).simulate(&topo, &flows);
+    assert_eq!(d.delivered(), 1, "only the same-leaf mouse survives");
+    assert_eq!(d.readmitted, 0);
+    assert!(matches!(d.outcomes[0].status, FlowStatus::Failed(_)));
+}
+
+/// Two hosts on switches 0 and 1: a direct trunk plus a two-hop detour
+/// through switch 2. Killing the direct trunk forces the long way round;
+/// reviving it must migrate the flow back.
+fn detour_fabric() -> Topology {
+    Topology::from_adjacency(
+        3,
+        &[0, 1],
+        &[(0, 1), (0, 2), (2, 1)],
+        LinkParams::default(),
+        LinkParams::default(),
+    )
+}
+
+#[test]
+fn repaired_trunk_pulls_detoured_flows_back_onto_the_short_path() {
+    let topo = detour_fabric();
+    let direct = topo.route(0, 1, 0).unwrap().hops[0].out_link;
+    assert_eq!(topo.route(0, 1, 0).unwrap().hops.len(), 2);
+    let flow = write_flow(0, 0, 1, 2_000_000, 0);
+    // Make the detour visibly expensive: both of its trunks carry 50µs
+    // of accumulated degradation, so every chunk settling over it pays
+    // a tax the repaired direct trunk does not.
+    let slow_detour = |link| FaultEvent {
+        at: Time::from_ns(1),
+        kind: FaultKind::DegradeLink {
+            link,
+            extra: Duration::from_us(50),
+        },
+    };
+    let down = FaultEvent {
+        at: Time::from_us(20),
+        kind: FaultKind::LinkDown(direct),
+    };
+    let up = FaultEvent {
+        at: Time::from_us(60),
+        kind: FaultKind::LinkUp(direct),
+    };
+    let flapped = TopoEdm::new(TopoEdmConfig {
+        // The duplicate LinkUp is a no-op: repairs are idempotent.
+        faults: vec![slow_detour(3), slow_detour(4), down, up, up],
+        ..TopoEdmConfig::default()
+    })
+    .simulate(&topo, &[flow]);
+    assert_eq!(flapped.delivered(), 1);
+    assert_eq!(
+        flapped.reroutes, 2,
+        "one bump onto the detour, one back onto the repaired trunk"
+    );
+
+    let dead = TopoEdm::new(TopoEdmConfig {
+        faults: vec![slow_detour(3), slow_detour(4), down],
+        ..TopoEdmConfig::default()
+    })
+    .simulate(&topo, &[flow]);
+    assert_eq!(dead.delivered(), 1);
+    assert_eq!(dead.reroutes, 1);
+    assert!(
+        flapped.outcomes[0].mct().unwrap() < dead.outcomes[0].mct().unwrap(),
+        "migrating back onto the short path must beat the detour"
+    );
+}
+
+#[test]
+fn equal_length_revival_does_not_churn_detoured_flows() {
+    // Spine 4 dies and comes back; flow A detours to spine 5, an
+    // equal-length path, so the revival must not bump it again — the
+    // run is bit-identical to one where the spine stays dead.
+    let topo = fabric();
+    let flows = probes();
+    let kill = FaultEvent {
+        at: Time::from_us(20),
+        kind: FaultKind::SwitchDown(4),
+    };
+    let revive = FaultEvent {
+        at: Time::from_us(60),
+        kind: FaultKind::SwitchUp(4),
+    };
+    let flapped = TopoEdm::new(TopoEdmConfig {
+        faults: vec![kill, revive],
+        ..TopoEdmConfig::default()
+    })
+    .simulate(&topo, &flows);
+    let dead = TopoEdm::new(TopoEdmConfig {
+        faults: vec![kill],
+        ..TopoEdmConfig::default()
+    })
+    .simulate(&topo, &flows);
+    assert_eq!(flapped.reroutes, 1, "no migration between equal paths");
+    for (x, y) in flapped.outcomes.iter().zip(&dead.outcomes) {
+        assert_eq!(x.status, y.status);
+    }
+}
+
+#[test]
+fn restored_link_sheds_accumulated_degradation() {
+    // The probe flow arrives after the restore: the credit-clocked
+    // pipeline never recovers a mid-flight latency bubble, so a flow
+    // already streaming cannot observe the retrain — one admitted
+    // afterwards rides the clean trunk while the degraded-only run
+    // still pays the tax.
+    let topo = Topology::leaf_spine(LeafSpine::symmetric(2, 1, 4, 1));
+    let trunk = topo.route(0, 4, 0).unwrap().hops[0].out_link;
+    let flow = write_flow(0, 0, 4, 200_000, 50_000);
+    let degrade = FaultEvent {
+        at: Time::from_us(10),
+        kind: FaultKind::DegradeLink {
+            link: trunk,
+            extra: Duration::from_us(2),
+        },
+    };
+    let restore = FaultEvent {
+        at: Time::from_us(40),
+        kind: FaultKind::RestoreLink(trunk),
+    };
+    let healed = TopoEdm::new(TopoEdmConfig {
+        faults: vec![degrade, restore],
+        ..TopoEdmConfig::default()
+    })
+    .simulate(&topo, &[flow]);
+    let sick = TopoEdm::new(TopoEdmConfig {
+        faults: vec![degrade],
+        ..TopoEdmConfig::default()
+    })
+    .simulate(&topo, &[flow]);
+    assert_eq!(healed.delivered(), 1);
+    assert_eq!(sick.delivered(), 1);
+    assert!(
+        healed.outcomes[0].mct().unwrap() < sick.outcomes[0].mct().unwrap(),
+        "the retrained link stops paying the degradation tax"
+    );
 }
 
 #[test]

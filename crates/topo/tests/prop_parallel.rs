@@ -38,6 +38,12 @@ fn assert_lockstep(
         );
     }
     prop_assert_eq!(par.reroutes, seq.reroutes, "reroute count diverged");
+    prop_assert_eq!(par.retried, seq.retried, "retry count diverged");
+    prop_assert_eq!(
+        par.readmitted,
+        seq.readmitted,
+        "re-admission count diverged"
+    );
     prop_assert_eq!(par.ip_frames, seq.ip_frames, "IP frame count diverged");
     prop_assert_eq!(par.ip_delayed, seq.ip_delayed, "IP delay count diverged");
     prop_assert_eq!(par.events, seq.events, "event tally diverged");
@@ -81,13 +87,19 @@ fn decode_faults(specs: &[(u8, u64, u64)], topo: &Topology) -> Vec<FaultEvent> {
         .iter()
         .map(|&(kind, target, at)| FaultEvent {
             at: Time::from_ns(2_000 + at % 40_000),
-            kind: match kind % 3 {
+            kind: match kind % 6 {
                 0 => FaultKind::LinkDown((target % links) as u32),
                 1 => FaultKind::SwitchDown((target % switches) as u32),
-                _ => FaultKind::DegradeLink {
+                2 => FaultKind::DegradeLink {
                     link: (target % links) as u32,
                     extra: Duration::from_ns(50 + at % 500),
                 },
+                // Repairs: revivals of elements that may or may not be
+                // down (no-op when up), so schedules fuzz flap orderings
+                // including up-before-down and double-up.
+                3 => FaultKind::LinkUp((target % links) as u32),
+                4 => FaultKind::SwitchUp((target % switches) as u32),
+                _ => FaultKind::RestoreLink((target % links) as u32),
             },
         })
         .collect()
@@ -107,12 +119,13 @@ proptest! {
             (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()),
             1..24,
         ),
-        fault_specs in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..3),
+        fault_specs in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..4),
         shards in 1usize..=4,
         batching in any::<bool>(),
         x in 1usize..4,
         cancel in any::<bool>(),
         ip_on in any::<bool>(),
+        retries in 0u32..3,
     ) {
         let topo = Topology::leaf_spine(LeafSpine::symmetric(leaves, spines, npl, uplinks));
         let flows = decode_flows(&flow_specs, topo.nodes());
@@ -123,6 +136,8 @@ proptest! {
             ip: if ip_on { IpTraffic::load(0.3) } else { IpTraffic::default() },
             faults: decode_faults(&fault_specs, &topo),
             reroute_delay: Duration::from_us(2),
+            max_retries: retries,
+            retry_backoff: Duration::from_us(5),
             ..TopoEdmConfig::default()
         });
         assert_lockstep(&proto, &topo, &flows, shards)?;
@@ -141,8 +156,9 @@ proptest! {
             (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()),
             1..16,
         ),
-        fault_specs in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..3),
+        fault_specs in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 0..4),
         shards in 2usize..=4,
+        retries in 0u32..3,
     ) {
         // Two nodes per switch so every switch is a leaf and every pair
         // of hosts can talk; a pseudo-random parent chain guarantees
@@ -184,6 +200,8 @@ proptest! {
         let proto = TopoEdm::new(TopoEdmConfig {
             faults: decode_faults(&fault_specs, &topo),
             reroute_delay: Duration::from_us(2),
+            max_retries: retries,
+            retry_backoff: Duration::from_us(5),
             ..TopoEdmConfig::default()
         });
         assert_lockstep(&proto, &topo, &flows, shards)?;
@@ -212,9 +230,9 @@ proptest! {
 }
 
 /// Fixed-workload lockstep at the benchmark scale: the 288-node
-/// leaf–spine fabric under rack-aware load with a mid-run spine kill and
-/// background IP. Named so CI can invoke the 2- and 4-shard checks
-/// directly.
+/// leaf–spine fabric under rack-aware load with a mid-run spine
+/// kill-and-revival flap and background IP. Named so CI can invoke the
+/// 2- and 4-shard checks directly.
 fn lockstep_288(shards: usize) {
     let topo = Topology::leaf_spine(LeafSpine::symmetric(4, 2, 72, 36));
     let flows = edm_workloads::RackAwareWorkload {
@@ -228,14 +246,22 @@ fn lockstep_288(shards: usize) {
         count: 400,
     }
     .generate(42);
-    let span = flows.last().unwrap().arrival;
+    let span = flows.last().unwrap().arrival.saturating_since(Time::ZERO);
     let proto = TopoEdm::new(TopoEdmConfig {
         ip: IpTraffic::load(0.25),
-        faults: vec![FaultEvent {
-            at: Time::ZERO + span.saturating_since(Time::ZERO) / 2,
-            kind: FaultKind::SwitchDown(4),
-        }],
+        faults: vec![
+            FaultEvent {
+                at: Time::ZERO + span / 2,
+                kind: FaultKind::SwitchDown(4),
+            },
+            FaultEvent {
+                at: Time::ZERO + (span / 4) * 3,
+                kind: FaultKind::SwitchUp(4),
+            },
+        ],
         reroute_delay: Duration::from_us(2),
+        max_retries: 2,
+        retry_backoff: Duration::from_us(5),
         ..TopoEdmConfig::default()
     });
     let seq = proto.simulate(&topo, &flows);
@@ -248,6 +274,8 @@ fn lockstep_288(shards: usize) {
         );
     }
     assert_eq!(par.reroutes, seq.reroutes);
+    assert_eq!(par.retried, seq.retried);
+    assert_eq!(par.readmitted, seq.readmitted);
     assert_eq!(par.ip_frames, seq.ip_frames);
     assert_eq!(par.ip_delayed, seq.ip_delayed);
     assert_eq!(par.events, seq.events);

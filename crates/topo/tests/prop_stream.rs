@@ -8,8 +8,10 @@
 //! run for every shard count.
 
 use edm_core::sim::{Flow, FlowKind};
-use edm_sim::Time;
-use edm_topo::{FlowStatus, IpTraffic, LeafSpine, TopoEdm, TopoEdmConfig, Topology};
+use edm_sim::{Duration, Time};
+use edm_topo::{
+    FaultEvent, FaultKind, FlowStatus, IpTraffic, LeafSpine, TopoEdm, TopoEdmConfig, Topology,
+};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -116,6 +118,91 @@ proptest! {
         prop_assert_eq!(par.len(), reference.outcomes.len());
         for o in &par {
             prop_assert_eq!(by_id[&o.flow.id], o.status, "sharded streamed diverged on {:?}", o.flow);
+        }
+    }
+
+    /// Streamed runs under random fault *and repair* schedules with
+    /// bounded retries: every admitted flow reaches a terminal state,
+    /// retirement keeps running (the entry high-water can stay below the
+    /// admitted count), and the sharded streamed run is bit-identical to
+    /// the sequential streamed run at every shard count.
+    #[test]
+    fn streamed_fault_repair_lockstep_across_shards(
+        leaves in 2usize..5,
+        spines in 1usize..3,
+        npl in 2usize..5,
+        uplinks in 1usize..3,
+        flow_specs in proptest::collection::vec(
+            (any::<u64>(), any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()),
+            1..24,
+        ),
+        fault_specs in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..4),
+        shards in 1usize..=4,
+        batching in any::<bool>(),
+        retries in 0u32..3,
+    ) {
+        let topo = Topology::leaf_spine(LeafSpine::symmetric(leaves, spines, npl, uplinks));
+        let flows = decode_sorted_flows(&flow_specs, topo.nodes());
+        let links = topo.links().len() as u64;
+        let switches = topo.switch_count() as u64;
+        let faults = fault_specs.iter().map(|&(kind, target, at)| FaultEvent {
+            at: Time::from_ns(2_000 + at % 40_000),
+            kind: match kind % 6 {
+                0 => FaultKind::LinkDown((target % links) as u32),
+                1 => FaultKind::SwitchDown((target % switches) as u32),
+                2 => FaultKind::DegradeLink {
+                    link: (target % links) as u32,
+                    extra: Duration::from_ns(50 + at % 500),
+                },
+                3 => FaultKind::LinkUp((target % links) as u32),
+                4 => FaultKind::SwitchUp((target % switches) as u32),
+                _ => FaultKind::RestoreLink((target % links) as u32),
+            },
+        }).collect::<Vec<_>>();
+        let proto = TopoEdm::new(TopoEdmConfig {
+            batch_small_messages: batching,
+            faults,
+            reroute_delay: Duration::from_us(2),
+            max_retries: retries,
+            retry_backoff: Duration::from_us(5),
+            ..TopoEdmConfig::default()
+        });
+
+        let mut seq = Vec::new();
+        let stats = proto.simulate_streamed(&topo, flows.iter().copied(), |o| seq.push(o));
+        prop_assert_eq!(stats.admitted as usize, flows.len());
+        prop_assert_eq!(
+            stats.delivered + stats.failed,
+            stats.admitted,
+            "every flow must reach a terminal state under faults"
+        );
+        prop_assert!(stats.active_high_water <= flows.len());
+        let by_id: HashMap<usize, FlowStatus> =
+            seq.iter().map(|o| (o.flow.id, o.status)).collect();
+        prop_assert_eq!(by_id.len(), flows.len(), "each flow decided exactly once");
+
+        let mut par = Vec::new();
+        let pstats = proto.simulate_sharded_streamed(
+            &topo,
+            flows.iter().copied(),
+            |o| par.push(o),
+            shards,
+        );
+        prop_assert_eq!(pstats.admitted, stats.admitted);
+        prop_assert_eq!(pstats.delivered, stats.delivered);
+        prop_assert_eq!(pstats.failed, stats.failed);
+        prop_assert_eq!(pstats.retried, stats.retried, "retry count diverged");
+        prop_assert_eq!(pstats.readmitted, stats.readmitted, "re-admission count diverged");
+        prop_assert_eq!(pstats.events, stats.events, "sharded event tally diverged");
+        prop_assert_eq!(pstats.ip_frames, stats.ip_frames);
+        prop_assert_eq!(pstats.ip_delayed, stats.ip_delayed);
+        prop_assert!(pstats.active_high_water >= stats.active_high_water);
+        prop_assert_eq!(par.len(), seq.len());
+        for o in &par {
+            prop_assert_eq!(
+                by_id[&o.flow.id], o.status,
+                "sharded streamed fault run diverged on {:?}", o.flow
+            );
         }
     }
 }
