@@ -57,6 +57,17 @@ run_million_flows_smoke() {
         --out "$(mktemp -d)" > /dev/null
 }
 
+# Approximate-estimator smoke: overlap validation at reduced flow count
+# still asserts the p99 error envelope against the exact engine (the
+# 10x speedup gate arms only at full scale, so the small grid is just
+# an end-to-end wiring check of the delta path).
+run_approx_smoke() {
+    EDM_FLOWS=1000 EDM_GRID_FLOWS=2000 EDM_GRID_VARIANTS=4 \
+        EDM_GRID_PASSES=1 EDM_REPS=1 \
+        cargo run -q --release -p edm-bench --bin approx_sweep -- \
+        --out "$(mktemp -d)" > /dev/null
+}
+
 # Chaos-campaign smoke: seeded fault/repair schedules across scenarios
 # and loads at reduced scale, under the same leak-guard RSS ceiling.
 run_chaos_smoke() {
@@ -129,6 +140,8 @@ step "fast harness bins run end-to-end (incl. 2-shard engine)" run_harness_bins
 step "bench_json emits machine-readable baselines" run_bench_json
 step "million_flows 100k-flow smoke under 256 MB RSS ceiling (incl. fault path)" \
     run_million_flows_smoke
+step "approx_sweep smoke: error envelope vs exact on overlap sizes" \
+    run_approx_smoke
 step "chaos_sweep smoke: seeded fault/repair campaign under RSS ceiling" \
     run_chaos_smoke
 step "property suites at ${PROPTEST_CASES:=1024} cases (concurrent per crate)" \

@@ -1,0 +1,724 @@
+//! Delta decomposition: evaluate a what-if scenario against a cached
+//! healthy base, rebuilding only the clusters the fault actually
+//! touches.
+//!
+//! A what-if grid's per-scenario floor under the from-scratch path is
+//! the full re-bucket of every crossing plus a cache-key hash of every
+//! cluster — ~8 ms at a million crossings even when a fault moved
+//! nothing but one optics latency. [`SweepBase`] keeps, per (topology,
+//! workload) pair, the healthy decomposition *plus* each directed
+//! link's member list in pre-densification form and each base cluster's
+//! simulated delays. [`SweepBase::estimate_delta`] then:
+//!
+//! 1. finds the flows a scenario can have perturbed — rerouted flows
+//!    (via [`resolve_delta`]'s span diff) plus flows crossing a link
+//!    whose latency/bandwidth/liveness changed (their downstream demand
+//!    arrivals shift even when the route holds);
+//! 2. marks every directed link those flows cross (old or new route) as
+//!    *affected* and rebuilds exactly those clusters, merging the
+//!    stored unaffected members with the perturbed flows' re-walked
+//!    crossings — through the same `walk_span` arithmetic
+//!    [`bucket`] uses, so a rebuilt cluster is bit-identical to what a
+//!    from-scratch bucket would produce (`delta_matches_scratch` holds
+//!    the whole path to outcome equality);
+//! 3. replays only the rebuilt clusters (through the shared
+//!    [`SweepCache`], so symmetric rebuilds still dedup) and composes
+//!    flows against base delays plus a small overlay.
+//!
+//! When a fault perturbs most of the fabric (a spine kill rehashes
+//! every leaf's ECMP row), the rebuild would touch more clusters than
+//! it skips; past [`SweepBase::fallback_fraction`] the estimator
+//! falls back to the from-scratch bucket, which is cheaper than a
+//! mostly-total rebuild plus overlay bookkeeping.
+
+use std::hash::{Hash, Hasher};
+
+use crate::compose::{pack_solo_key, SoloProber};
+use crate::decompose::{
+    bucket, resolve_all, resolve_delta, snap_links, walk_span, ClusterProfile, Decomposition,
+    LinkCluster, LinkFlow, ResolvedRoutes, TopoSignature,
+};
+use crate::fxhash::{FxHashMap, FxHasher};
+use crate::{ApproxResult, Combine, SweepCache};
+use edm_core::sim::{Flow, FlowKind};
+use edm_sim::{Bandwidth, Duration, LogHistogram, Time};
+use edm_topo::{FlowStatus, TopoEdmConfig, TopoOutcome, Topology};
+
+/// One stored crossing of the base decomposition, in pre-densification
+/// form (raw switch ports, absolute demand arrival) so an affected
+/// cluster can be rebuilt without re-walking unchanged flows' routes.
+#[derive(Debug, Clone, Copy)]
+struct KeyMember {
+    flow: u32,
+    hop: u8,
+    in_port: u16,
+    out_port: u16,
+    arrival: Time,
+    limit: u32,
+    batchable: bool,
+}
+
+/// First-appearance dense numbering, mirroring the bucket's private
+/// helper: a rebuilt cluster must densify ports in exactly the order a
+/// from-scratch bucket would.
+fn dense(map: &mut Vec<u16>, raw: u16) -> u16 {
+    match map.iter().position(|&p| p == raw) {
+        Some(i) => i as u16,
+        None => {
+            map.push(raw);
+            map.len() as u16 - 1
+        }
+    }
+}
+
+/// A (topology, workload) pair's cached healthy decomposition, ready to
+/// answer what-if scenarios by delta rebuild. Build once per sweep axis
+/// with [`SweepBase::new`], fill the delay side with
+/// [`SweepBase::prime`] (or an external fan-out followed by
+/// [`SweepBase::adopt`]), then call
+/// [`SweepBase::estimate_delta`] per scenario.
+#[derive(Debug)]
+pub struct SweepBase {
+    cfg: TopoEdmConfig,
+    flows: Vec<Flow>,
+    decomp: Decomposition,
+    routes: ResolvedRoutes,
+    sig: TopoSignature,
+    /// Per-link baseline (latency, bandwidth, up) for change detection.
+    link_state: Vec<(Duration, Bandwidth, bool)>,
+    /// Per-switch baseline scheduler reference bandwidth.
+    ref_bw: Vec<Bandwidth>,
+    /// Per directed-link key: granting switch (`u32::MAX` when unused).
+    key_switch: Vec<u32>,
+    /// Per directed-link key: members in flow order.
+    key_members: Vec<Vec<KeyMember>>,
+    /// Per directed-link key: base cluster index (`u32::MAX` when unused).
+    key_cluster: Vec<u32>,
+    /// Per base cluster: simulated delays, adopted from the sweep cache.
+    base_delays: Vec<Box<[Duration]>>,
+    /// Per base cluster: crossing-parameter shape id.
+    base_shape_id: Vec<u8>,
+    shapes: Vec<(Bandwidth, Bandwidth, Duration)>,
+    /// Affected-key fraction above which [`Self::estimate_delta`]
+    /// abandons the delta rebuild for a
+    /// from-scratch bucket. Default 0.6; tests pin it to 0.0/1.0 to
+    /// force either path.
+    pub fallback_fraction: f64,
+}
+
+impl SweepBase {
+    /// Decomposes `flows` on the healthy `topo` and indexes every
+    /// directed link's membership for later delta rebuilds.
+    pub fn new(topo: &Topology, cfg: &TopoEdmConfig, flows: Vec<Flow>) -> Self {
+        let routes = resolve_all(topo, &flows);
+        let decomp = bucket(topo, cfg, &flows, &routes);
+        let sig = TopoSignature::of(topo);
+        let snap = snap_links(topo);
+        let link_state = topo
+            .links()
+            .iter()
+            .map(|l| (l.latency(), l.params.bandwidth, l.is_up()))
+            .collect();
+        let ref_bw = (0..topo.switch_count() as u32)
+            .map(|s| topo.reference_bandwidth(s))
+            .collect();
+        let keyn = snap.len() * 3;
+        let mut key_switch = vec![u32::MAX; keyn];
+        let mut key_members: Vec<Vec<KeyMember>> = vec![Vec::new(); keyn];
+        let mut key_cluster = vec![u32::MAX; keyn];
+        for (i, flow) in flows.iter().enumerate() {
+            let hops = decomp.hops(i);
+            let mut h = 0u8;
+            walk_span(cfg, &snap, flow, routes.span(i), |x| {
+                key_switch[x.key] = x.switch;
+                key_cluster[x.key] = hops.expect("non-empty span has hops")[h as usize].cluster;
+                key_members[x.key].push(KeyMember {
+                    flow: i as u32,
+                    hop: h,
+                    in_port: x.in_port,
+                    out_port: x.out_port,
+                    arrival: x.arrival,
+                    limit: x.limit,
+                    batchable: x.batchable,
+                });
+                h += 1;
+            });
+        }
+        let mut shapes: Vec<(Bandwidth, Bandwidth, Duration)> = Vec::new();
+        let base_shape_id = decomp
+            .clusters
+            .iter()
+            .map(|c| {
+                shape_of(
+                    &mut shapes,
+                    (
+                        c.profile.sched_bandwidth,
+                        c.profile.link_bandwidth,
+                        c.profile.latency,
+                    ),
+                )
+            })
+            .collect();
+        SweepBase {
+            cfg: cfg.clone(),
+            flows,
+            decomp,
+            routes,
+            sig,
+            link_state,
+            ref_bw,
+            key_switch,
+            key_members,
+            key_cluster,
+            base_delays: Vec::new(),
+            base_shape_id,
+            shapes,
+            fallback_fraction: 0.6,
+        }
+    }
+
+    /// The healthy decomposition — fan its clusters out however the
+    /// harness likes, then [`adopt`](Self::adopt) the cache.
+    pub fn decomp(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    /// The flows this base covers.
+    pub fn flows(&self) -> &[Flow] {
+        &self.flows
+    }
+
+    /// Copies every base cluster's delays out of `cache` (which must
+    /// already hold them all — e.g. after a parallel fan-out), so delta
+    /// compositions never contend with the cache for borrows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a base cluster has no cached delays.
+    pub fn adopt(&mut self, cache: &SweepCache) {
+        self.base_delays = self
+            .decomp
+            .clusters
+            .iter()
+            .map(|c| {
+                cache
+                    .peek(c)
+                    .expect("every base cluster cached before adopt")
+                    .to_vec()
+                    .into_boxed_slice()
+            })
+            .collect();
+    }
+
+    /// Serially simulates every base cluster into `cache` and adopts
+    /// the delays — the no-fan-out convenience path.
+    pub fn prime(&mut self, cache: &mut SweepCache) {
+        for c in &self.decomp.clusters {
+            cache.ensure(c, &self.cfg);
+        }
+        self.adopt(cache);
+    }
+
+    /// Estimates one what-if scenario (`what_if` is the base fabric
+    /// with faults applied — [`crate::apply_faults`]) by delta rebuild
+    /// against this base, replaying only clusters the scenario
+    /// perturbs. Outcomes are identical to a from-scratch
+    /// [`crate::ApproxEngine::estimate`] on `what_if`
+    /// (`delta_matches_scratch` pins this); `hop_excess` may count a
+    /// rebuilt cluster separately from an identical retained one where
+    /// a from-scratch dedup would merge them.
+    pub fn estimate_delta(
+        &self,
+        what_if: &Topology,
+        combine: Combine,
+        cache: &mut SweepCache,
+    ) -> ApproxResult {
+        let n = self.flows.len();
+        assert!(
+            self.base_delays.len() == self.decomp.clusters.len(),
+            "prime or adopt the base before estimating deltas"
+        );
+        let routes_new = resolve_delta(what_if, &self.flows, &self.routes, &self.sig);
+        let snap_new = snap_links(what_if);
+
+        // Which flows can the scenario have perturbed? Rerouted flows,
+        // flows crossing a link whose effective parameters changed
+        // (their own and downstream demand arrivals shift), and flows
+        // granted by a switch whose reference bandwidth moved.
+        let mut touched = vec![false; n];
+        let links = what_if.links();
+        for (l, st) in self.link_state.iter().enumerate() {
+            let cur = (
+                links[l].latency(),
+                links[l].params.bandwidth,
+                links[l].is_up(),
+            );
+            if cur != *st {
+                for k in l * 3..l * 3 + 3 {
+                    for m in &self.key_members[k] {
+                        touched[m.flow as usize] = true;
+                    }
+                }
+            }
+        }
+        for (s, &bw) in self.ref_bw.iter().enumerate() {
+            if what_if.reference_bandwidth(s as u32) != bw {
+                for (k, &sw) in self.key_switch.iter().enumerate() {
+                    if sw == s as u32 {
+                        for m in &self.key_members[k] {
+                            touched[m.flow as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        if routes_new.rerouted > 0 {
+            for (i, t) in touched.iter_mut().enumerate() {
+                if !*t && routes_new.span(i) != self.routes.span(i) {
+                    *t = true;
+                }
+            }
+        }
+
+        // Affected directed links: everything a perturbed flow crosses,
+        // on its old or new route.
+        let keyn = self.key_members.len();
+        let mut aff_mark = vec![false; keyn];
+        let mut aff_keys: Vec<usize> = Vec::new();
+        for (i, _) in touched.iter().enumerate().filter(|(_, t)| **t) {
+            for span in [self.routes.span(i), routes_new.span(i)] {
+                for rec in span {
+                    let (_, _, b_sw) = snap_new[rec.link as usize];
+                    let dir = if rec.from_node {
+                        2
+                    } else {
+                        (rec.switch == b_sw) as usize
+                    };
+                    let key = rec.link as usize * 3 + dir;
+                    if !aff_mark[key] {
+                        aff_mark[key] = true;
+                        aff_keys.push(key);
+                    }
+                }
+            }
+        }
+
+        // A mostly-total rebuild is slower than a fresh bucket.
+        if aff_keys.len() as f64 > self.fallback_fraction * self.decomp.link_instances as f64 {
+            let d = bucket(what_if, &self.cfg, &self.flows, &routes_new);
+            for c in &d.clusters {
+                cache.ensure(c, &self.cfg);
+            }
+            return cache.compose(what_if, &self.cfg, &d, combine);
+        }
+
+        // Re-walk the perturbed flows' (new) routes into per-key
+        // addition lists, in flow order.
+        let mut aff_idx = vec![u32::MAX; keyn];
+        for (j, &k) in aff_keys.iter().enumerate() {
+            aff_idx[k] = j as u32;
+        }
+        let mut additions: Vec<Vec<KeyMember>> = vec![Vec::new(); aff_keys.len()];
+        let mut aff_switch: Vec<u32> = aff_keys.iter().map(|&k| self.key_switch[k]).collect();
+        for (i, flow) in self.flows.iter().enumerate() {
+            if !touched[i] {
+                continue;
+            }
+            let mut h = 0u8;
+            walk_span(&self.cfg, &snap_new, flow, routes_new.span(i), |x| {
+                let j = aff_idx[x.key] as usize;
+                if aff_switch[j] == u32::MAX {
+                    aff_switch[j] = x.switch;
+                }
+                additions[j].push(KeyMember {
+                    flow: i as u32,
+                    hop: h,
+                    in_port: x.in_port,
+                    out_port: x.out_port,
+                    arrival: x.arrival,
+                    limit: x.limit,
+                    batchable: x.batchable,
+                });
+                h += 1;
+            });
+        }
+
+        // Rebuild each affected key: stored unaffected members merged
+        // with the additions by flow index — reproducing the bucket's
+        // flow-input member order — then densified and deduplicated.
+        let mut fresh: Vec<LinkCluster> = Vec::new();
+        let mut canonical: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let mut overlay: FxHashMap<u64, (u32, u32)> = FxHashMap::default();
+        let mut consults_overlay = vec![false; n];
+        let (mut emptied, mut created) = (0usize, 0usize);
+        let mut merged: Vec<KeyMember> = Vec::new();
+        for (j, &k) in aff_keys.iter().enumerate() {
+            let stored = &self.key_members[k];
+            let adds = &additions[j];
+            let existed = !stored.is_empty();
+            merged.clear();
+            merged.reserve(stored.len() + adds.len());
+            let (mut a, mut b) = (0usize, 0usize);
+            loop {
+                while a < stored.len() && touched[stored[a].flow as usize] {
+                    a += 1;
+                }
+                match (a < stored.len(), b < adds.len()) {
+                    (false, false) => break,
+                    (true, false) => {
+                        merged.push(stored[a]);
+                        a += 1;
+                    }
+                    (false, true) => {
+                        merged.push(adds[b]);
+                        b += 1;
+                    }
+                    (true, true) => {
+                        if stored[a].flow < adds[b].flow {
+                            merged.push(stored[a]);
+                            a += 1;
+                        } else {
+                            merged.push(adds[b]);
+                            b += 1;
+                        }
+                    }
+                }
+            }
+            if merged.is_empty() {
+                if existed {
+                    emptied += 1;
+                }
+                continue;
+            }
+            if !existed {
+                created += 1;
+            }
+            let (lat, bw, _) = snap_new[k / 3];
+            let sched = what_if.reference_bandwidth(aff_switch[j]);
+            let mut src_map: Vec<u16> = Vec::new();
+            let mut dst_map: Vec<u16> = Vec::new();
+            let members: Vec<LinkFlow> = merged
+                .iter()
+                .map(|m| LinkFlow {
+                    arrival: m.arrival,
+                    bytes: self.flows[m.flow as usize].size,
+                    src: dense(&mut src_map, m.in_port),
+                    dst: dense(&mut dst_map, m.out_port),
+                    limit: m.limit,
+                    batchable: m.batchable,
+                })
+                .collect();
+            let profile = ClusterProfile {
+                sched_bandwidth: sched,
+                link_bandwidth: bw,
+                latency: lat,
+                srcs: src_map.len() as u16,
+                dsts: dst_map.len() as u16,
+                members,
+            };
+            let mut hasher = FxHasher::default();
+            profile.hash(&mut hasher);
+            let candidates = canonical.entry(hasher.finish()).or_default();
+            let fi = match candidates
+                .iter()
+                .find(|&&c| fresh[c as usize].profile == profile)
+            {
+                Some(&c) => {
+                    fresh[c as usize].instances += 1;
+                    c
+                }
+                None => {
+                    let c = fresh.len() as u32;
+                    candidates.push(c);
+                    fresh.push(LinkCluster {
+                        profile,
+                        instances: 1,
+                    });
+                    c
+                }
+            };
+            for (pos, m) in merged.iter().enumerate() {
+                overlay.insert((m.flow as u64) << 8 | m.hop as u64, (fi, pos as u32));
+                consults_overlay[m.flow as usize] = true;
+            }
+        }
+
+        // Replay only the rebuilt clusters (the shared cache dedups
+        // symmetric rebuilds across scenarios too), then copy their
+        // delays out so composition doesn't contend for the cache.
+        for c in &fresh {
+            cache.ensure(c, &self.cfg);
+        }
+        let fresh_delays: Vec<Box<[Duration]>> = fresh
+            .iter()
+            .map(|c| {
+                cache
+                    .peek(c)
+                    .expect("just ensured")
+                    .to_vec()
+                    .into_boxed_slice()
+            })
+            .collect();
+
+        // Merged per-crossing excesses: retained base clusters (those
+        // still serving at least one unaffected directed link) plus the
+        // rebuilt ones.
+        let mut retained = vec![false; self.decomp.clusters.len()];
+        for (k, &c) in self.key_cluster.iter().enumerate() {
+            if c != u32::MAX && !aff_mark[k] {
+                retained[c as usize] = true;
+            }
+        }
+        let mut hop_excess = LogHistogram::new();
+        for (c, r) in retained.iter().enumerate() {
+            if *r {
+                for &q in &self.base_delays[c][..] {
+                    hop_excess.record_duration(q);
+                }
+            }
+        }
+        for d in &fresh_delays {
+            for &q in &d[..] {
+                hop_excess.record_duration(q);
+            }
+        }
+
+        // Compose: per hop, overlay first (covers every member of a
+        // rebuilt cluster, perturbed or not), base otherwise.
+        let mut shapes = self.shapes.clone();
+        let fresh_shape_id: Vec<u8> = fresh
+            .iter()
+            .map(|c| {
+                shape_of(
+                    &mut shapes,
+                    (
+                        c.profile.sched_bandwidth,
+                        c.profile.link_bandwidth,
+                        c.profile.latency,
+                    ),
+                )
+            })
+            .collect();
+        let packable = shapes.len() <= 64;
+        let mut probe = SoloProber::new(&self.cfg, cache.solo_mut());
+        // Per-hop scratch: (rebuilt?, cluster, member), reused across flows.
+        let mut hops: Vec<(bool, u32, u32)> = Vec::new();
+        let outcomes: Vec<TopoOutcome> = (0..n)
+            .map(|i| {
+                let flow = self.flows[i];
+                let span_len = routes_new.span(i).len();
+                if span_len == 0 {
+                    return TopoOutcome {
+                        flow,
+                        status: FlowStatus::Failed(flow.arrival),
+                    };
+                }
+                let base_hops = self.decomp.hops(i);
+                hops.clear();
+                for h in 0..span_len {
+                    let entry = if consults_overlay[i] {
+                        overlay.get(&((i as u64) << 8 | h as u64)).copied()
+                    } else {
+                        None
+                    };
+                    hops.push(match entry {
+                        Some((c, m)) => (true, c, m),
+                        None => {
+                            let hr = base_hops.expect("unperturbed flow keeps its base hops")[h];
+                            (false, hr.cluster, hr.member)
+                        }
+                    });
+                }
+                let id_of = |&(rebuilt, c, _): &(bool, u32, u32)| {
+                    if rebuilt {
+                        fresh_shape_id[c as usize]
+                    } else {
+                        self.base_shape_id[c as usize]
+                    }
+                };
+                let packed = if packable {
+                    pack_solo_key(
+                        flow.size,
+                        flow.kind == FlowKind::Write,
+                        hops.iter().map(id_of),
+                    )
+                } else {
+                    None
+                };
+                let unloaded = probe.unloaded(what_if, &flow, packed, || {
+                    hops.iter().map(|h| shapes[id_of(h) as usize]).collect()
+                });
+                let queued = combine.apply(hops.iter().map(|&(rebuilt, c, m)| {
+                    if rebuilt {
+                        fresh_delays[c as usize][m as usize]
+                    } else {
+                        self.base_delays[c as usize][m as usize]
+                    }
+                }));
+                TopoOutcome {
+                    flow,
+                    status: FlowStatus::Delivered(flow.arrival + unloaded + queued),
+                }
+            })
+            .collect();
+
+        ApproxResult {
+            outcomes,
+            clusters: retained.iter().filter(|&&r| r).count() + fresh.len(),
+            link_instances: self.decomp.link_instances - emptied + created,
+            hop_excess,
+        }
+    }
+}
+
+/// Dense shape-id assignment shared by base construction and delta
+/// composition.
+fn shape_of(
+    shapes: &mut Vec<(Bandwidth, Bandwidth, Duration)>,
+    t: (Bandwidth, Bandwidth, Duration),
+) -> u8 {
+    match shapes.iter().position(|&s| s == t) {
+        Some(i) => i as u8,
+        None => {
+            shapes.push(t);
+            shapes.len() as u8 - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{apply_faults, ApproxEngine};
+    use edm_topo::{FaultKind, LeafSpine};
+
+    fn workload(nodes: usize) -> Vec<Flow> {
+        (0..400usize)
+            .map(|i| Flow {
+                id: i,
+                src: i % nodes,
+                dst: (i * 13 + 7) % nodes,
+                size: 64,
+                arrival: edm_sim::Time::ZERO + Duration::from_ns(i as u64 * 40),
+                kind: if i % 3 == 0 {
+                    FlowKind::Read
+                } else {
+                    FlowKind::Write
+                },
+            })
+            .filter(|f| f.src != f.dst)
+            .collect()
+    }
+
+    fn fault_cases(healthy: &Topology) -> Vec<Vec<FaultKind>> {
+        let trunks: Vec<u32> = healthy
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_trunk())
+            .map(|(i, _)| i as u32)
+            .collect();
+        let access = healthy.node_link(5);
+        vec![
+            vec![],
+            vec![FaultKind::LinkDown(trunks[0])],
+            vec![FaultKind::LinkDown(access)],
+            vec![FaultKind::SwitchDown(4)],
+            vec![FaultKind::DegradeLink {
+                link: trunks[1],
+                extra: Duration::from_ns(500),
+            }],
+            vec![FaultKind::DegradeLink {
+                link: access,
+                extra: Duration::from_ns(300),
+            }],
+            vec![
+                FaultKind::LinkDown(trunks[0]),
+                FaultKind::LinkDown(trunks[trunks.len() / 2]),
+            ],
+        ]
+    }
+
+    /// The delta path's contract: per-flow outcomes identical to a
+    /// from-scratch estimate, under both the rebuild and the fallback
+    /// path (forced via `fallback_fraction`).
+    #[test]
+    fn delta_matches_scratch() {
+        let spec = LeafSpine::symmetric(4, 2, 8, 2);
+        let healthy = Topology::leaf_spine(spec);
+        let cfg = TopoEdmConfig::default();
+        let flows = workload(32);
+        for force in [1.01, 0.0] {
+            let mut base = SweepBase::new(&healthy, &cfg, flows.clone());
+            base.fallback_fraction = force;
+            let mut cache = SweepCache::new();
+            base.prime(&mut cache);
+            for (ci, faults) in fault_cases(&healthy).iter().enumerate() {
+                let mut what_if = Topology::leaf_spine(spec);
+                apply_faults(&mut what_if, faults);
+                let delta = base.estimate_delta(&what_if, Combine::Sum, &mut cache);
+                let scratch = ApproxEngine::new(cfg.clone()).estimate(&what_if, &flows);
+                assert_eq!(delta.outcomes.len(), scratch.outcomes.len());
+                for (i, (d, s)) in delta.outcomes.iter().zip(&scratch.outcomes).enumerate() {
+                    assert_eq!(d.status, s.status, "case {ci}, flow {i}, fallback {force}");
+                }
+            }
+        }
+    }
+
+    /// A repair what-if (base built on a degraded fabric, scenario
+    /// restores it) exercises the unroutable→routable direction.
+    #[test]
+    fn delta_handles_repair_what_if() {
+        let spec = LeafSpine::symmetric(4, 2, 8, 2);
+        let mut degraded = Topology::leaf_spine(spec);
+        let victim = degraded.node_link(3);
+        degraded.set_link_up(victim, false);
+        let cfg = TopoEdmConfig::default();
+        let flows = workload(32);
+        let mut base = SweepBase::new(&degraded, &cfg, flows.clone());
+        let mut cache = SweepCache::new();
+        base.prime(&mut cache);
+        assert!(
+            base.estimate_delta(&degraded, Combine::Sum, &mut cache)
+                .failed()
+                > 0
+        );
+        let repaired = Topology::leaf_spine(spec);
+        let delta = base.estimate_delta(&repaired, Combine::Sum, &mut cache);
+        let scratch = ApproxEngine::new(cfg).estimate(&repaired, &flows);
+        assert_eq!(delta.failed(), 0);
+        for (d, s) in delta.outcomes.iter().zip(&scratch.outcomes) {
+            assert_eq!(d.status, s.status);
+        }
+    }
+
+    /// A single-optic degradation must rebuild (and replay) only the
+    /// clusters along the flows that cross it — the cheapness the
+    /// delta path exists for.
+    #[test]
+    fn degrade_replays_only_affected_clusters() {
+        let spec = LeafSpine::symmetric(4, 2, 8, 2);
+        let healthy = Topology::leaf_spine(spec);
+        let cfg = TopoEdmConfig::default();
+        let flows = workload(32);
+        let mut base = SweepBase::new(&healthy, &cfg, flows.clone());
+        let mut cache = SweepCache::new();
+        base.prime(&mut cache);
+        let cold = cache.misses();
+        let mut what_if = Topology::leaf_spine(spec);
+        apply_faults(
+            &mut what_if,
+            &[FaultKind::DegradeLink {
+                link: healthy.node_link(0),
+                extra: Duration::from_ns(250),
+            }],
+        );
+        base.estimate_delta(&what_if, Combine::Sum, &mut cache);
+        let replays = cache.misses() - cold;
+        assert!(
+            replays * 4 < cold,
+            "one access degradation replayed {replays} of {cold} clusters"
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! `edm-approx` — Parsimon-style link-level decomposition estimator for
+//! datacenter-scale EDM what-if sweeps.
+//!
+//! The exact multi-switch engine ([`edm_topo::TopoEdm`]) answers "what
+//! would this fabric do" by simulating every scheduler event; each
+//! what-if question (a topology size, a failure scenario, a load point)
+//! costs a full run. This crate trades a *measured* accuracy envelope
+//! for orders-of-magnitude cheaper sweeps, following Parsimon's
+//! architecture (NSDI '23) re-expressed over EDM's demand-sparse
+//! scheduler:
+//!
+//! 1. [`decompose`](decompose()) — resolve every flow's salted-ECMP path
+//!    with the exact engine's *own* path choice (bit-identical, pinned
+//!    by `prop_approx`) and slice the flow set onto per-directed-link
+//!    clusters, deduplicating links with identical (bandwidth, latency,
+//!    flow-profile) signatures.
+//! 2. [`simulate_cluster`] — replay each cluster through a miniature
+//!    [`edm_core::sim::SwitchDomain`] (the same scheduler core the exact
+//!    engine runs per switch — not a new queueing model), yielding
+//!    per-crossing queueing excesses as shard-mergeable
+//!    [`edm_sim::LogHistogram`]s. Clusters are independent:
+//!    embarrassingly parallel.
+//! 3. [`compose()`] — per flow, an exact unloaded baseline
+//!    ([`edm_topo::TopoEdm::solo_mct`], memoized per route shape) plus a
+//!    combination of its crossings' excesses ([`Combine`]; the
+//!    documented independence assumption lives there).
+//!
+//! What-if grids go through [`SweepCache`]: scenarios that leave a
+//! link's flow profile untouched (most failure what-ifs) reuse its
+//! simulated delays, so a 100-scenario sweep pays for the clusters that
+//! *changed*, not 100 full decompositions' worth of replays.
+//!
+//! When to trust which engine: the estimator is built for breadth-first
+//! sweeps over placements, failures, and load points, where relative
+//! ordering and ~10% FCT accuracy steer a decision; hand the shortlisted
+//! scenarios to [`edm_topo::TopoEdm`] for exact tails, reroute dynamics,
+//! and background-IP interaction (the estimator ignores
+//! [`edm_topo::TopoEdmConfig::ip`] and models faults as static
+//! topology states, not mid-run transitions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod decompose;
+pub mod delta;
+mod fxhash;
+pub mod linksim;
+
+pub use compose::{compose, compose_cached, ApproxResult, Combine, SoloCache};
+pub use decompose::{
+    bucket, decompose, resolve_all, resolve_delta, resolve_route, ClusterProfile, CrossRec,
+    Decomposition, FlowPath, HopRef, LinkCluster, LinkFlow, ResolvedRoutes, TopoSignature,
+};
+pub use delta::SweepBase;
+pub use linksim::{simulate_batch, simulate_cluster, ClusterDelays};
+
+use crate::fxhash::FxHashMap;
+use crate::linksim::{DomainPool, SoloMemo};
+use edm_core::sim::Flow;
+use edm_sim::Duration;
+use edm_topo::{FaultKind, TopoEdmConfig, Topology};
+
+/// The documented p99 FCT error envelope of the estimator against the
+/// exact engine on the overlap-size validation points: the paper's 64 B
+/// message workloads at loads 0.4/0.7 on healthy and single-fault
+/// 144/288-node fabrics. Asserted by the `error_envelope` suite and the
+/// `approx_sweep` harness, measured into `BENCH_approx.json`. Outside
+/// this regime the error grows — at 1–4 KiB messages under load 0.7 the
+/// measured p99 gap reaches ~15% (per-hop serialization couples links
+/// more strongly, and the per-link replays cannot see cross-link
+/// correlation); `approx_sweep` records one such out-of-envelope point
+/// so the degradation stays visible in committed artifacts.
+pub const P99_ERROR_BOUND: f64 = 0.10;
+
+/// Applies a what-if fault set to a topology as *static* element state
+/// (the estimator's failure model: the fabric is already in its degraded
+/// steady state when the workload runs, unlike the exact engine's
+/// mid-run [`edm_topo::FaultEvent`] transitions).
+pub fn apply_faults(topo: &mut Topology, faults: &[FaultKind]) {
+    for f in faults {
+        match *f {
+            FaultKind::LinkDown(l) => topo.set_link_up(l, false),
+            FaultKind::LinkUp(l) => topo.set_link_up(l, true),
+            FaultKind::SwitchDown(s) => topo.set_switch_up(s, false),
+            FaultKind::SwitchUp(s) => topo.set_switch_up(s, true),
+            FaultKind::DegradeLink { link, extra } => topo.degrade_link(link, extra),
+            FaultKind::RestoreLink(l) => topo.restore_link(l),
+        }
+    }
+}
+
+/// Sweep-level memo: simulated cluster delays keyed by the cluster's
+/// dedup signature, plus the exact unloaded baselines ([`SoloCache`]).
+/// Across a what-if grid most links' flow profiles are identical from
+/// scenario to scenario (a fault only reshapes the clusters of links
+/// whose crossing flows rerouted), so consecutive scenarios hit mostly
+/// cache — the grid pays for the clusters that *changed*.
+/// Cached delays are bare excess slices, not [`ClusterDelays`]: a grid's
+/// cache holds thousands of clusters, and the per-cluster histogram
+/// (~32 KB each) is cheap to rebuild from the excesses at composition
+/// time but expensive to keep resident.
+#[derive(Debug, Default)]
+pub struct SweepCache {
+    map: FxHashMap<ClusterProfile, Box<[Duration]>>,
+    mini: SoloMemo,
+    pool: DomainPool,
+    solo: SoloCache,
+    hits: u64,
+    misses: u64,
+}
+
+impl SweepCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cluster simulations served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cluster simulations actually replayed (or [`insert`](Self::insert)ed).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Exact solo probes run across the sweep so far.
+    pub fn solo_probes(&self) -> usize {
+        self.solo.probes()
+    }
+
+    /// The cached per-member excesses for `cluster`'s signature, without
+    /// tallying — harnesses that fan misses out over worker threads use
+    /// this to split hits from misses, then [`insert`](Self::insert) the
+    /// simulated misses and [`note_hits`](Self::note_hits) the rest.
+    pub fn peek(&self, cluster: &LinkCluster) -> Option<&[Duration]> {
+        self.map.get(&cluster.profile).map(|d| &d[..])
+    }
+
+    /// Records an externally simulated cluster — tallied as a miss.
+    pub fn insert(&mut self, cluster: &LinkCluster, delays: ClusterDelays) {
+        self.misses += 1;
+        self.map
+            .insert(cluster.profile.clone(), delays.excess.into_boxed_slice());
+    }
+
+    /// Tallies cache hits counted externally (the [`peek`](Self::peek) /
+    /// [`insert`](Self::insert) fan-out protocol).
+    pub fn note_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
+    /// Ensures `cluster`'s delays are cached, replaying in-process on a
+    /// miss; tallies either way.
+    pub fn ensure(&mut self, cluster: &LinkCluster, cfg: &TopoEdmConfig) {
+        if self.map.contains_key(&cluster.profile) {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            let d = linksim::simulate_memo(cluster, cfg, &mut self.mini, &mut self.pool);
+            self.map
+                .insert(cluster.profile.clone(), d.excess.into_boxed_slice());
+        }
+    }
+
+    /// The solo-baseline half of the cache, for [`compose_cached`].
+    pub fn solo_mut(&mut self) -> &mut SoloCache {
+        &mut self.solo
+    }
+
+    /// Composes `decomp` against this cache's delays without cloning
+    /// them. Every cluster must already be cached ([`ensure`](Self::ensure)
+    /// or [`insert`](Self::insert)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cluster of `decomp` has no cached delays.
+    pub fn compose(
+        &mut self,
+        topo: &Topology,
+        cfg: &TopoEdmConfig,
+        decomp: &Decomposition,
+        combine: Combine,
+    ) -> ApproxResult {
+        let (map, solo) = (&self.map, &mut self.solo);
+        let delays: Vec<&[Duration]> = decomp
+            .clusters
+            .iter()
+            .map(|c| {
+                map.get(&c.profile)
+                    .map(|d| &d[..])
+                    .expect("every cluster simulated before composition")
+            })
+            .collect();
+        compose_cached(topo, cfg, decomp, &delays, combine, solo)
+    }
+}
+
+/// The approximate engine: decompose → per-link replay → compose, under
+/// one exact-engine configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ApproxEngine {
+    cfg: TopoEdmConfig,
+    /// How per-link excesses combine end to end (see [`Combine`]).
+    pub combine: Combine,
+}
+
+impl ApproxEngine {
+    /// An engine estimating the exact engine under `cfg`.
+    pub fn new(cfg: TopoEdmConfig) -> Self {
+        ApproxEngine {
+            cfg,
+            combine: Combine::default(),
+        }
+    }
+
+    /// The exact-engine configuration being estimated.
+    pub fn config(&self) -> &TopoEdmConfig {
+        &self.cfg
+    }
+
+    /// Estimates per-flow outcomes for `flows` on `topo`, simulating
+    /// every cluster in-process. For grids, use
+    /// [`estimate_cached`](Self::estimate_cached); to fan clusters over
+    /// cores, drive the three stages directly (the `approx_sweep`
+    /// harness pushes [`decompose`](decompose())'s clusters through
+    /// `par_sweep`).
+    pub fn estimate(&self, topo: &Topology, flows: &[Flow]) -> ApproxResult {
+        let mut cache = SweepCache::new();
+        self.estimate_cached(topo, flows, &mut cache)
+    }
+
+    /// Estimates with a sweep-level [`SweepCache`], so unchanged links
+    /// and already-probed route shapes are replayed once per sweep.
+    pub fn estimate_cached(
+        &self,
+        topo: &Topology,
+        flows: &[Flow],
+        cache: &mut SweepCache,
+    ) -> ApproxResult {
+        let d = decompose(topo, &self.cfg, flows);
+        for c in &d.clusters {
+            cache.ensure(c, &self.cfg);
+        }
+        cache.compose(topo, &self.cfg, &d, self.combine)
+    }
+
+    /// Estimates one what-if scenario of a sweep, reusing a baseline
+    /// resolution: only flows the scenario's element changes can have
+    /// rerouted are re-resolved ([`resolve_delta`]), and only clusters
+    /// whose profiles shifted are replayed. `topo` must be the baseline
+    /// fabric with the scenario's faults applied
+    /// ([`apply_faults`]); `baseline`/`base_sig` come from the healthy
+    /// fabric via [`resolve_all`] and [`TopoSignature::of`].
+    pub fn estimate_scenario(
+        &self,
+        topo: &Topology,
+        flows: &[Flow],
+        baseline: &ResolvedRoutes,
+        base_sig: &TopoSignature,
+        cache: &mut SweepCache,
+    ) -> ApproxResult {
+        let routes = resolve_delta(topo, flows, baseline, base_sig);
+        let d = bucket(topo, &self.cfg, flows, &routes);
+        for c in &d.clusters {
+            cache.ensure(c, &self.cfg);
+        }
+        cache.compose(topo, &self.cfg, &d, self.combine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use edm_core::sim::{ClusterConfig, FlowKind};
+    use edm_sim::{Duration, Time};
+    use edm_topo::{cluster_topology, LeafSpine, TopoEdm};
+
+    fn flows(n: usize, nodes: usize, gap_ns: u64) -> Vec<Flow> {
+        (0..n)
+            .map(|i| Flow {
+                id: i,
+                src: i % (nodes / 2),
+                dst: nodes / 2 + (i * 7) % (nodes / 2),
+                size: 64,
+                arrival: Time::ZERO + Duration::from_ns(i as u64 * gap_ns),
+                kind: if i % 3 == 0 {
+                    FlowKind::Read
+                } else {
+                    FlowKind::Write
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sparse_load_estimates_match_exact_closely() {
+        // Widely spaced flows barely contend: estimate and exact agree
+        // to within the mini-model's residual.
+        let topo = cluster_topology(&ClusterConfig::default());
+        let cfg = TopoEdmConfig::default();
+        let fs = flows(200, 144, 2000);
+        let est = ApproxEngine::new(cfg.clone()).estimate(&topo, &fs);
+        let exact = TopoEdm::new(cfg).simulate(&topo, &fs);
+        assert_eq!(est.delivered(), exact.delivered());
+        for (e, x) in est.outcomes.iter().zip(&exact.outcomes) {
+            let (e, x) = (e.mct().unwrap(), x.mct().unwrap());
+            let err = (e.as_ns_f64() - x.as_ns_f64()).abs() / x.as_ns_f64();
+            assert!(err < 0.15, "sparse flow err {err:.3} ({e:?} vs {x:?})");
+        }
+    }
+
+    #[test]
+    fn cache_reuses_unchanged_clusters_across_scenarios() {
+        let spec = LeafSpine::symmetric(4, 2, 4, 2);
+        let cfg = TopoEdmConfig::default();
+        let fs = flows(64, 16, 500);
+        let eng = ApproxEngine::new(cfg);
+        let mut cache = SweepCache::new();
+
+        let healthy = Topology::leaf_spine(spec);
+        eng.estimate_cached(&healthy, &fs, &mut cache);
+        let cold = cache.misses();
+        assert_eq!(cache.hits(), 0);
+
+        // Same scenario again: pure cache.
+        eng.estimate_cached(&healthy, &fs, &mut cache);
+        assert_eq!(cache.misses(), cold);
+
+        // One access link down: only the clusters whose profiles shifted
+        // (rerouted crossings) replay.
+        let mut faulted = Topology::leaf_spine(spec);
+        apply_faults(&mut faulted, &[FaultKind::LinkDown(healthy.node_link(0))]);
+        eng.estimate_cached(&faulted, &fs, &mut cache);
+        assert!(
+            cache.misses() < cold * 2,
+            "fault scenario must mostly reuse: {} cold, {} total misses",
+            cold,
+            cache.misses()
+        );
+    }
+
+    #[test]
+    fn what_if_fault_fails_disconnected_flows() {
+        let mut topo = cluster_topology(&ClusterConfig::default());
+        let victim = topo.node_link(0);
+        apply_faults(&mut topo, &[FaultKind::LinkDown(victim)]);
+        let fs = flows(20, 144, 100);
+        let est = ApproxEngine::default().estimate(&topo, &fs);
+        assert!(est.failed() > 0, "node 0's flows are unroutable");
+        assert_eq!(est.failed() + est.delivered(), fs.len());
+    }
+}

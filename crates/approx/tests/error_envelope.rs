@@ -1,0 +1,119 @@
+//! The error-envelope validation suite: exact-vs-approx comparison on
+//! the overlap sizes both engines can run (144-node single switch,
+//! 288-node leaf–spine), across loads {0.4, 0.7} and a fault scenario.
+//!
+//! Each case simulates the same flow set through [`edm_topo::TopoEdm`]
+//! and estimates it through [`edm_approx::ApproxEngine`], then asserts
+//! the relative FCT error at p50 and p99 stays inside the documented
+//! envelope ([`edm_approx::P99_ERROR_BOUND`]). The `approx_sweep`
+//! harness measures the same quantities into `BENCH_approx.json`; this
+//! suite is the regression gate.
+
+use edm_approx::{apply_faults, ApproxEngine, P99_ERROR_BOUND};
+use edm_core::sim::Flow;
+use edm_sim::{Bandwidth, Summary, Time};
+use edm_topo::{FaultEvent, FaultKind, LeafSpine, TopoEdm, TopoEdmConfig, Topology};
+use edm_workloads::{RackAwareWorkload, SyntheticWorkload};
+
+/// Flow count per validation point — enough for a stable p99 (the p99
+/// rank has ~20 samples above it) while keeping debug-build test time
+/// in seconds.
+const FLOWS: usize = 2000;
+
+fn p(s: &mut Summary, q: f64) -> f64 {
+    assert!(!s.is_empty());
+    s.percentile(q)
+}
+
+/// Runs one exact-vs-approx comparison and asserts the envelope.
+fn assert_envelope(name: &str, topo: &Topology, cfg: &TopoEdmConfig, flows: &[Flow]) {
+    let exact = TopoEdm::new(cfg.clone()).simulate(topo, flows);
+    // The estimator sees the post-fault fabric statically.
+    let mut what_if = topo.clone();
+    let static_faults: Vec<FaultKind> = cfg.faults.iter().map(|f| f.kind).collect();
+    apply_faults(&mut what_if, &static_faults);
+    let mut est_cfg = cfg.clone();
+    est_cfg.faults.clear();
+    let est = ApproxEngine::new(est_cfg).estimate(&what_if, flows);
+
+    assert_eq!(
+        est.delivered(),
+        exact.delivered(),
+        "{name}: both engines must agree on deliverability"
+    );
+    let mut xs = Summary::new();
+    for o in &exact.outcomes {
+        if let Some(m) = o.mct() {
+            xs.record_duration(m);
+        }
+    }
+    let mut es = est.mct_summary();
+    for q in [50.0, 99.0] {
+        let (x, e) = (p(&mut xs, q), p(&mut es, q));
+        let err = (e - x).abs() / x;
+        eprintln!("{name}: p{q:.0} exact {x:.0} ns, approx {e:.0} ns, err {err:.4}");
+        assert!(
+            err <= P99_ERROR_BOUND,
+            "{name}: p{q:.0} error {err:.4} exceeds the documented {P99_ERROR_BOUND} envelope"
+        );
+    }
+}
+
+fn rack_workload(load: f64, count: usize) -> RackAwareWorkload {
+    RackAwareWorkload {
+        nodes: 288,
+        racks: 4,
+        link: Bandwidth::from_gbps(100),
+        load,
+        size: 64,
+        write_fraction: 0.5,
+        local_fraction: 0.5,
+        count,
+    }
+}
+
+#[test]
+fn envelope_single_switch_144() {
+    let topo = edm_topo::cluster_topology(&edm_core::sim::ClusterConfig::default());
+    let cfg = TopoEdmConfig::default();
+    for load in [0.4, 0.7] {
+        let flows = SyntheticWorkload::paper_default(load, 0.5, FLOWS).generate(42);
+        assert_envelope(
+            &format!("single_switch_144/load_{load}"),
+            &topo,
+            &cfg,
+            &flows,
+        );
+    }
+}
+
+#[test]
+fn envelope_leaf_spine_288() {
+    let topo = Topology::leaf_spine(LeafSpine::symmetric(4, 2, 72, 36));
+    let cfg = TopoEdmConfig::default();
+    for load in [0.4, 0.7] {
+        let flows = rack_workload(load, FLOWS).generate(42);
+        assert_envelope(&format!("leaf_spine_288/load_{load}"), &topo, &cfg, &flows);
+    }
+}
+
+#[test]
+fn envelope_fault_scenario_288() {
+    // One spine-side trunk down from t=0: the exact engine injects it as
+    // a fault event before any admission; the estimator models the same
+    // degraded fabric statically. Routed load concentrates on the
+    // surviving uplinks — the envelope must hold there too.
+    let topo = Topology::leaf_spine(LeafSpine::symmetric(4, 2, 72, 36));
+    let trunk = topo
+        .links()
+        .iter()
+        .position(|l| l.is_trunk())
+        .expect("leaf-spine has trunks") as u32;
+    let mut cfg = TopoEdmConfig::default();
+    cfg.faults.push(FaultEvent {
+        at: Time::ZERO,
+        kind: FaultKind::LinkDown(trunk),
+    });
+    let flows = rack_workload(0.7, FLOWS).generate(42);
+    assert_envelope("leaf_spine_288/trunk_down/load_0.7", &topo, &cfg, &flows);
+}

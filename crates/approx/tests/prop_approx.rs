@@ -1,0 +1,122 @@
+//! The path-choice pin: `edm-approx`'s own route resolution
+//! ([`edm_approx::resolve_route`]) must be bit-identical to the exact
+//! engine's salted-ECMP choice ([`edm_topo::admission_route`]) for every
+//! flow on every topology — the decomposition buckets flows onto the
+//! links the *exact* engine would cross, or its per-link replays model
+//! the wrong contention. The two functions are independent derivations
+//! (data direction + flow-id salt), so this suite is a real equivalence
+//! check, not a tautology.
+
+use edm_approx::resolve_route;
+use edm_core::sim::{Flow, FlowKind};
+use edm_sim::Time;
+use edm_topo::{admission_route, LeafSpine, Topology};
+use proptest::prelude::*;
+
+/// Every (src, dst, id, kind) combination routes identically through
+/// both derivations — including the unroutable (`None`) cases.
+fn assert_paths_pinned(t: &Topology, salt0: u64) {
+    let nodes = t.nodes();
+    for src in 0..nodes {
+        for dst in 0..nodes {
+            if src == dst {
+                continue;
+            }
+            for (k, kind) in [FlowKind::Write, FlowKind::Read].into_iter().enumerate() {
+                let flow = Flow {
+                    id: (salt0 as usize)
+                        .wrapping_mul(31)
+                        .wrapping_add(src * nodes + dst + k),
+                    src,
+                    dst,
+                    size: 256,
+                    arrival: Time::ZERO,
+                    kind,
+                };
+                assert_eq!(
+                    resolve_route(t, &flow),
+                    admission_route(t, &flow),
+                    "path divergence for {flow:?}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random leaf–spine shapes, healthy and with one element downed:
+    /// both derivations pick the same path (or agree it does not exist).
+    #[test]
+    fn leaf_spine_path_choice_is_pinned(
+        leaves in 2usize..6,
+        spines in 1usize..4,
+        npl in 2usize..6,
+        uplinks in 1usize..3,
+        salt in any::<u64>(),
+        kill_spine in any::<bool>(),
+    ) {
+        let mut t = Topology::leaf_spine(LeafSpine::symmetric(leaves, spines, npl, uplinks));
+        assert_paths_pinned(&t, salt);
+
+        // Degrade the fabric: drop one trunk (or a whole spine) and
+        // re-pin — reroute-time path choice must agree too.
+        if kill_spine {
+            // With a single spine this partitions all cross-leaf pairs:
+            // the pin then covers the None agreement.
+            t.set_switch_up(leaves as u32, false);
+        } else {
+            let trunk = t
+                .links()
+                .iter()
+                .position(|l| l.is_trunk())
+                .expect("leaf-spine has trunks") as u32;
+            t.set_link_up(trunk, false);
+        }
+        assert_paths_pinned(&t, salt.wrapping_add(1));
+    }
+
+    /// Arbitrary connected adjacency (random spanning tree plus extra
+    /// trunks): same pin, same degraded-fabric re-check.
+    #[test]
+    fn arbitrary_adjacency_path_choice_is_pinned(
+        switches in 2usize..7,
+        attach_seed in any::<u64>(),
+        extra in proptest::collection::vec((0u32..7, 0u32..7), 0..6),
+        salt in any::<u64>(),
+        kill in any::<u64>(),
+    ) {
+        let attach: Vec<u32> = (0..switches as u32).collect();
+        let mut trunks: Vec<(u32, u32)> = (1..switches as u32).map(|s| {
+            let parent = (attach_seed.wrapping_mul(0x9E37_79B9).wrapping_add(s as u64 * 7) % s as u64) as u32;
+            (parent, s)
+        }).collect();
+        for &(a, b) in &extra {
+            let (a, b) = (a % switches as u32, b % switches as u32);
+            if a != b {
+                trunks.push((a.min(b), a.max(b)));
+            }
+        }
+        let mut t = Topology::from_adjacency(
+            switches,
+            &attach,
+            &trunks,
+            Default::default(),
+            Default::default(),
+        );
+        assert_paths_pinned(&t, salt);
+
+        // Drop one pseudo-random trunk; possibly partitioning — the pin
+        // covers the None agreement as much as the Some agreement.
+        let trunk_links: Vec<u32> = t
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_trunk())
+            .map(|(i, _)| i as u32)
+            .collect();
+        if !trunk_links.is_empty() {
+            t.set_link_up(trunk_links[(kill % trunk_links.len() as u64) as usize], false);
+            assert_paths_pinned(&t, salt.wrapping_add(1));
+        }
+    }
+}

@@ -208,6 +208,36 @@ impl MemReport {
             "  \"flows\": {},\n  \"baseline_flows\": {},\n  \"shards\": {},\n",
             self.full.flows, self.baseline.flows, self.shards
         ));
+        // Per-point stream-stat records: one per measured run, so memory
+        // regressions (HWM creep, stalled retirement) are visible in the
+        // committed artifact itself, not only in CI assertion failures.
+        json.push_str("  \"points\": [\n");
+        for (i, (name, r)) in [("baseline", &self.baseline), ("full", &self.full)]
+            .iter()
+            .enumerate()
+        {
+            let s = &r.stats;
+            let comma = if i == 0 { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"flows\": {}, \"active_high_water\": {}, \
+                 \"msg_slots_high_water\": {}, \"admitted\": {}, \"retired\": {}, \
+                 \"delivered\": {}, \"failed\": {}, \"reroutes\": {}, \"retried\": {}, \
+                 \"readmitted\": {}, \"events\": {}, \"peak_rss_kb\": {}}}{comma}\n",
+                r.flows,
+                s.active_high_water,
+                s.msg_slots_high_water,
+                s.admitted,
+                s.delivered + s.failed,
+                s.delivered,
+                s.failed,
+                s.reroutes,
+                s.retried,
+                s.readmitted,
+                s.events,
+                rss(r),
+            ));
+        }
+        json.push_str("  ],\n");
         json.push_str(&format!(
             "  \"peak_rss_kb\": {},\n  \"baseline_peak_rss_kb\": {},\n",
             rss(&self.full),
@@ -301,5 +331,9 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"group\": \"mem\""));
         assert!(json.contains("\"flows\": 20000"));
+        // Both runs appear as per-point stream-stat records.
+        assert!(json.contains("\"name\": \"baseline\""));
+        assert!(json.contains("\"name\": \"full\""));
+        assert!(json.contains("\"retired\": 20000"));
     }
 }

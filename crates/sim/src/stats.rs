@@ -346,6 +346,25 @@ impl LogHistogram {
         self.max
     }
 
+    /// Bucket-midpoint estimate of the mean — the composition helper the
+    /// approximate engine's reports use. Each sample contributes the
+    /// midpoint of its bucket, so the estimate sits within
+    /// [`MAX_RELATIVE_ERROR`](Self::MAX_RELATIVE_ERROR)`/2` of the true
+    /// mean (exact below 64). Zero if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                let mid = (Self::bucket_low(i) + Self::bucket_high(i)) as f64 / 2.0;
+                sum += mid * c as f64;
+            }
+        }
+        sum / self.total as f64
+    }
+
     /// Adds another histogram's counts into this one (shard merge).
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {

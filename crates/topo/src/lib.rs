@@ -57,8 +57,8 @@ pub use ip::IpTraffic;
 pub use shard::ShardPlan;
 pub use topology::{Endpoint, Hop, LeafSpine, Link, LinkParams, Route, SwitchRole, Topology};
 pub use world::{
-    FaultEvent, FaultKind, FlowStatus, TopoEdm, TopoEdmConfig, TopoOutcome, TopoResult,
-    TopoStreamStats,
+    admission_route, FaultEvent, FaultKind, FlowStatus, TopoEdm, TopoEdmConfig, TopoOutcome,
+    TopoResult, TopoStreamStats,
 };
 
 use edm_core::sim::ClusterConfig;

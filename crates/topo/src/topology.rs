@@ -540,6 +540,43 @@ impl Topology {
         (d != UNREACH).then_some(d as usize)
     }
 
+    /// FNV-1a digest of every ECMP decision row, row-major
+    /// `switch_count() × switch_count()`. Row `(s, d)` captures exactly
+    /// what [`route`](Self::route) consults when standing at switch `s`
+    /// bound for destination switch `d`: the live hop distance and the
+    /// eligible minimal-distance trunk list in adjacency order. Two
+    /// topology states with equal digests for every row a path visits —
+    /// and equal endpoint liveness — route that path identically, which
+    /// is what lets what-if sweeps re-resolve only the flows a fault
+    /// actually touches.
+    pub fn route_digests(&self) -> Vec<u64> {
+        let n = self.switches.len();
+        let mut out = vec![0u64; n * n];
+        for s in 0..n {
+            for d in 0..n {
+                if s == d {
+                    continue;
+                }
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                let mut mix = |v: u64| h = (h ^ v).wrapping_mul(0x100_0000_01b3);
+                let d_here = self.dist[s * n + d];
+                mix(d_here as u64);
+                if d_here != UNREACH && d_here != 0 {
+                    for &(nb, link, _, _) in &self.trunks[s] {
+                        if self.links[link as usize].up
+                            && self.switches[nb as usize].up
+                            && self.dist[nb as usize * n + d] as u32 + 1 == d_here as u32
+                        {
+                            mix(link as u64 + 1);
+                        }
+                    }
+                }
+                out[s * n + d] = h;
+            }
+        }
+        out
+    }
+
     /// Routes `src` → `dst` (data direction), spreading equal-cost
     /// choices by `salt`. `None` when no live path exists (failed access
     /// link, dead attach switch, or partitioned fabric).

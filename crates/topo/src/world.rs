@@ -789,8 +789,7 @@ impl TopoEdm {
             arrival: Time::ZERO,
             ..*flow
         };
-        let (ds, dd) = solo.data_direction();
-        topo.route(ds as usize, dd as usize, solo.id as u64)?;
+        admission_route(topo, &solo)?;
         TopoEdm::new(cfg).simulate(topo, &[solo]).outcomes[0].mct()
     }
 }
@@ -1034,6 +1033,19 @@ fn batch_key(flow: &Flow, epoch: u32) -> u64 {
     (s as u64) << 48 | (d as u64) << 32 | epoch as u64
 }
 
+/// The route the engine assigns `flow` on `topo` — the *pinned* path
+/// choice: salted ECMP over the flow's data direction (writes travel
+/// src→dst, reads dst→src), salted by the flow id. [`TopoEdm`] routes
+/// every admission, re-route, and solo probe through exactly this
+/// function, so any engine that wants to agree with the exact
+/// simulation's per-flow paths (the `edm-approx` decomposition
+/// front-end) must reproduce it bit-identically — `prop_approx` pins
+/// that equivalence.
+pub fn admission_route(topo: &Topology, flow: &Flow) -> Option<Route> {
+    let (ds, dd) = flow.data_direction();
+    topo.route(ds as usize, dd as usize, flow.id as u64)
+}
+
 /// Per-pair X for a route: single-hop host pairs keep the paper's X;
 /// multi-hop routes touch aggregated trunk ports.
 fn route_limit(cfg: &TopoEdmConfig, route: &Route) -> usize {
@@ -1147,8 +1159,7 @@ where
     /// demand events produced are bit-identical either way.
     fn admit(&mut self, id: u32, flow: Flow, q: &mut EventQueue<TopoEv>) {
         self.admitted += 1;
-        let (ds, dd) = flow.data_direction();
-        let Some(route) = self.topo.route(ds as usize, dd as usize, flow.id as u64) else {
+        let Some(route) = admission_route(&self.topo, &flow) else {
             if self.cfg.max_retries > 0 {
                 // A flow arriving into a partition waits it out like a
                 // partitioned reroute does: resident, routeless, with a
@@ -1255,8 +1266,7 @@ where
     /// hop-0 shard) seeds the demand flight. `false` on partition.
     fn re_enter(&mut self, flow: u32, epoch: u32, now: Time, q: &mut EventQueue<TopoEv>) -> bool {
         let f = self.rt[flow].flow;
-        let (ds, dd) = f.data_direction();
-        let Some(route) = self.topo.route(ds as usize, dd as usize, f.id as u64) else {
+        let Some(route) = admission_route(&self.topo, &f) else {
             return false;
         };
         let h0 = route.hops[0].switch;

@@ -33,6 +33,20 @@ use std::collections::BinaryHeap;
 pub trait FlowSource: Iterator<Item = Flow> {
     /// Flows not yet emitted.
     fn remaining(&self) -> usize;
+
+    /// Drains the source into a flow list, pre-sized from
+    /// [`remaining`](Self::remaining) — the bridge from streaming
+    /// ingestion to consumers that slice one flow set many ways (the
+    /// `edm-approx` per-link decomposition buckets every flow onto each
+    /// link its route crosses, so it needs the whole set at once).
+    fn materialize(mut self) -> Vec<Flow>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::with_capacity(self.remaining());
+        out.extend(&mut self);
+        out
+    }
 }
 
 /// Per-compute-node destination/kind draw shared by the batch and

@@ -17,10 +17,12 @@
 //! See the crate-level docs of each member for the full story:
 //! [`edm_core`] (the paper's contribution), [`edm_phy`], [`edm_sched`],
 //! [`edm_memory`], [`edm_baselines`], [`edm_workloads`], [`edm_topo`]
-//! (multi-switch fabrics), [`edm_sim`].
+//! (multi-switch fabrics), [`edm_approx`] (fast what-if estimation),
+//! [`edm_sim`].
 
 #![forbid(unsafe_code)]
 
+pub use edm_approx as approx;
 pub use edm_baselines as baselines;
 pub use edm_core::testbed as fabric;
 pub use edm_core::{latency, message, shim, stack, throughput};
