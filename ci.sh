@@ -76,6 +76,17 @@ run_chaos_smoke() {
         --out "$(mktemp -d)" > /dev/null
 }
 
+# Closed-loop application smoke: the reduced grid (3 MLPs x 2 splits,
+# 2 shards) still asserts the acceptance envelope inside the bin —
+# every op completes, residency stays inside the MLP windows, and EDM
+# beats CXL-over-Ethernet on the identical fabric — under the same
+# leak-guard RSS ceiling.
+run_app_smoke() {
+    EDM_APP_GRID=smoke EDM_APP_SHARDS=2 EDM_RSS_CEILING_MB=256 \
+        cargo run -q --release -p edm-bench --bin app_sweep -- \
+        --out "$(mktemp -d)" > /dev/null
+}
+
 PROP_CRATES=(edm-core edm-phy edm-sched edm-memory edm-sim edm-topo edm-workloads)
 
 # One cargo invocation builds every release test binary, then the
@@ -144,6 +155,8 @@ step "approx_sweep smoke: error envelope vs exact on overlap sizes" \
     run_approx_smoke
 step "chaos_sweep smoke: seeded fault/repair campaign under RSS ceiling" \
     run_chaos_smoke
+step "app_sweep smoke: closed-loop YCSB, EDM vs CXL-oE envelope (2 shards)" \
+    run_app_smoke
 step "property suites at ${PROPTEST_CASES:=1024} cases (concurrent per crate)" \
     run_prop_suites
 

@@ -8,7 +8,9 @@
 //! Optional env: `EDM_BENCH_ITERS` (samples per benchmark, default 20)
 //! and `EDM_MEM_FLOWS` (scale of the `mem` group's streaming run,
 //! default 50,000 — the committed `BENCH_mem.json` comes from the
-//! dedicated `million_flows` binary at full 1M scale).
+//! dedicated `million_flows` binary at full 1M scale). The `app` group
+//! likewise runs at smoke scale here; the committed `BENCH_app.json`
+//! comes from the `app_sweep` binary at the full grid.
 //!
 //! Each `BENCH_<group>.json` holds `{"group", "unit", "results": [{"name",
 //! "min_ns", "mean_ns", "iters"}]}` — minima are the regression-tracking
@@ -307,4 +309,7 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(50_000);
     edm_bench::mem::measure(mem_flows, 1).write(&out_dir);
+    // The app group at smoke scale (the committed BENCH_app.json comes
+    // from the dedicated `app_sweep` binary at the full grid).
+    edm_bench::app::measure(edm_bench::app::AppScale::smoke()).write(&out_dir);
 }

@@ -24,6 +24,7 @@
 use edm_core::sim::{solo_mct, ClusterConfig, FabricProtocol, Flow, FlowKind};
 use edm_sim::{Duration, Time};
 
+pub mod app;
 pub mod faults;
 pub mod mem;
 

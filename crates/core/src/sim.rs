@@ -288,6 +288,24 @@ pub mod evord {
     pub fn credit(flow: u32) -> u64 {
         rank(5, flow as u64)
     }
+
+    /// A closed-loop tenant's issue step (keyed by tenant index).
+    /// Application-tier ranks sort after all fabric ranks at one instant:
+    /// the fabric's state at time T is settled before the app observes T.
+    pub fn app_issue(tenant: u32) -> u64 {
+        rank(6, tenant as u64)
+    }
+
+    /// A remote op's memory-service step (keyed by global op sequence).
+    pub fn app_service(op: u32) -> u64 {
+        rank(7, op as u64)
+    }
+
+    /// A remote op's completion observed by its tenant (keyed by global
+    /// op sequence).
+    pub fn app_done(op: u32) -> u64 {
+        rank(8, op as u64)
+    }
 }
 
 // ---------------------------------------------------------------------

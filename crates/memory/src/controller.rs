@@ -110,6 +110,103 @@ impl MemoryController {
     }
 }
 
+/// The memory node's *service-time* interface: DDR4 timing with no
+/// functional store behind it.
+///
+/// The closed-loop application tier (`edm-topo`'s `app` module) simulates
+/// millions of key-value ops where only *when* the DIMM answers matters,
+/// never the bytes — a functional [`Store`] would allocate a page per
+/// touched slot for data nobody reads. `MemoryService` keeps the full
+/// banked open-page contention model (per-bank busy windows, row
+/// hits/misses/conflicts) and the KV access *shapes* — a get is a slot
+/// header probe followed by the value read, a put one header+value write,
+/// an RMW a serialized read→modify→write — while dropping the payload.
+/// Timing equivalence with the functional paths is pinned by
+/// `prop_memory`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryService {
+    timing: DramTiming,
+    gets: u64,
+    puts: u64,
+    rmws: u64,
+}
+
+/// Fixed per-slot header bytes of the KV layout ([`crate::kvstore`]'s
+/// `SLOT_HEADER`): key + value length, read before the value itself.
+pub const KV_SLOT_HEADER: usize = 16;
+
+impl MemoryService {
+    /// Creates a service model with the given DRAM timing configuration.
+    pub fn new(config: DramConfig) -> Self {
+        MemoryService {
+            timing: DramTiming::new(config),
+            gets: 0,
+            puts: 0,
+            rmws: 0,
+        }
+    }
+
+    /// Creates a service model with DDR4-2400 timings.
+    pub fn ddr4() -> Self {
+        MemoryService::new(DramConfig::ddr4_2400())
+    }
+
+    /// The underlying DRAM timing state (row-buffer counters etc.).
+    pub fn timing(&self) -> &DramTiming {
+        &self.timing
+    }
+
+    /// `(gets, puts, rmws)` served so far.
+    pub fn ops(&self) -> (u64, u64, u64) {
+        (self.gets, self.puts, self.rmws)
+    }
+
+    /// Serves a KV *get* of a `value_len`-byte object in the slot at
+    /// `addr`: the slot header read, then the value read chained off its
+    /// completion — the same two-access shape as [`KvStore::get`]
+    /// (which pins this equivalence in `prop_memory`). Returns when the
+    /// value's last burst leaves the DIMM.
+    ///
+    /// [`KvStore::get`]: crate::kvstore::KvStore::get
+    pub fn get(&mut self, now: Time, addr: u64, value_len: usize) -> Time {
+        self.gets += 1;
+        let header = self
+            .timing
+            .access(now, addr, KV_SLOT_HEADER, AccessKind::Read);
+        self.timing
+            .access(
+                header.complete,
+                addr + KV_SLOT_HEADER as u64,
+                value_len,
+                AccessKind::Read,
+            )
+            .complete
+    }
+
+    /// Serves a KV *put* of a `value_len`-byte value into the slot at
+    /// `addr`: header and value land in one write burst train
+    /// ([`KvStore::put`]'s single-access shape).
+    ///
+    /// [`KvStore::put`]: crate::kvstore::KvStore::put
+    pub fn put(&mut self, now: Time, addr: u64, value_len: usize) -> Time {
+        self.puts += 1;
+        self.timing
+            .access(now, addr, KV_SLOT_HEADER + value_len, AccessKind::Write)
+            .complete
+    }
+
+    /// Serves a NIC-side atomic RMW on the word at `addr`: an 8-byte read
+    /// and the write-back chained off its completion, no intervening
+    /// access — the same serialization as [`MemoryController::rmw`].
+    pub fn rmw(&mut self, now: Time, addr: u64) -> Time {
+        self.rmws += 1;
+        let read_t = self.timing.access(now, addr, 8, AccessKind::Read);
+        self.timing
+            .access(read_t.complete, addr, 8, AccessKind::Write)
+            .complete
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,7 +53,7 @@ pub enum AccessKind {
 }
 
 /// Per-bank open-row state plus busy tracking.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DramTiming {
     config: DramConfig,
     /// Open row per bank (`None` = precharged).

@@ -29,7 +29,7 @@ pub mod kvstore;
 pub mod rmw;
 pub mod store;
 
-pub use controller::MemoryController;
+pub use controller::{MemoryController, MemoryService, KV_SLOT_HEADER};
 pub use dram::{DramConfig, DramTiming};
 pub use kvstore::KvStore;
 pub use rmw::{RmwOp, RmwRequest};

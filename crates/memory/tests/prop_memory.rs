@@ -1,11 +1,20 @@
 //! Property-based tests for the memory substrate: the sparse store
 //! behaves like a flat byte array, RMW ops match their scalar semantics,
 //! DRAM timing is causal, and the KV store behaves like a map.
+//!
+//! The timing families pin the DDR4 model exactly — open-page hit vs
+//! miss vs row-conflict latency at arbitrary address pairs, work-
+//! conserving per-bank queueing under same-instant bursts, NIC-side RMW
+//! atomicity against interleaved traffic — and pin the *service-time*
+//! model ([`MemoryService`]) bit-equal to the functional paths
+//! ([`KvStore`] get/put, [`MemoryController`] RMW) that the closed-loop
+//! application tier replaces with it.
 
 use edm_memory::dram::{AccessKind, DramConfig, DramTiming};
+use edm_memory::kvstore::KvError;
 use edm_memory::rmw::{RmwOp, RmwRequest};
-use edm_memory::{KvStore, Store};
-use edm_sim::Time;
+use edm_memory::{KvStore, MemoryController, MemoryService, Store, KV_SLOT_HEADER};
+use edm_sim::{Duration, Time};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -118,5 +127,216 @@ proptest! {
             }
         }
         prop_assert_eq!(kv.len(), reference.len() as u64);
+    }
+
+    /// Open-page timing boundaries, exactly: after any first access, a
+    /// second access pays tCL on a row hit, tRCD+tCL on a fresh bank,
+    /// and tRP+tRCD+tCL on a row conflict — plus one burst per 64 B —
+    /// and the hit/miss/conflict counters classify it the same way.
+    #[test]
+    fn dram_open_page_boundaries(
+        addr1 in 0u64..1_000_000,
+        addr2 in 0u64..1_000_000,
+        len in 1usize..256,
+    ) {
+        let cfg = DramConfig::ddr4_2400();
+        let mut d = DramTiming::new(cfg);
+        let t1 = d.access(Time::ZERO, addr1, 64, AccessKind::Read);
+        let t2 = d.access(t1.complete, addr2, len, AccessKind::Read);
+        let row = |a: u64| a / cfg.row_bytes;
+        let bank = |a: u64| row(a) % cfg.banks as u64;
+        let same_bank = bank(addr2) == bank(addr1);
+        let array = if !same_bank {
+            cfg.t_rcd + cfg.t_cl // fresh bank: row miss
+        } else if row(addr2) == row(addr1) {
+            cfg.t_cl // open-page hit
+        } else {
+            cfg.t_rp + cfg.t_rcd + cfg.t_cl // row conflict
+        };
+        let bursts = (len as u64).div_ceil(64);
+        prop_assert_eq!(
+            t2.complete.saturating_since(t1.complete),
+            array + bursts * cfg.t_burst
+        );
+        prop_assert_eq!(t2.row_hit, same_bank && row(addr2) == row(addr1));
+        prop_assert_eq!(d.row_hits() + d.row_misses() + d.row_conflicts(), 2);
+        prop_assert_eq!(d.row_hits(), u64::from(t2.row_hit));
+    }
+
+    /// Work-conserving bank queueing: a burst of accesses all issued at
+    /// the same instant serializes per bank with no idle gaps — each
+    /// queued access starts exactly when its bank releases — while
+    /// distinct banks proceed independently.
+    #[test]
+    fn bank_queueing_under_bursts(
+        accesses in proptest::collection::vec((0u64..1_000_000, 1usize..256), 2..40),
+    ) {
+        let cfg = DramConfig::ddr4_2400();
+        let mut d = DramTiming::new(cfg);
+        let mut busy: HashMap<u64, Time> = HashMap::new();
+        for &(addr, len) in &accesses {
+            let t = d.access(Time::ZERO, addr, len, AccessKind::Read);
+            let bank = (addr / cfg.row_bytes) % cfg.banks as u64;
+            match busy.get(&bank) {
+                Some(&release) => prop_assert_eq!(
+                    t.start,
+                    release,
+                    "queued access on bank {} must start at release",
+                    bank
+                ),
+                None => prop_assert_eq!(t.start, Time::ZERO),
+            }
+            busy.insert(bank, t.complete);
+        }
+    }
+
+    /// NIC-side RMW atomicity against interleaved traffic: over a small
+    /// set of words under arbitrary interleavings of plain reads, plain
+    /// writes, and every RMW opcode, each RMW observes the complete
+    /// prefix of earlier ops on its word and the final state equals the
+    /// scalar fold.
+    #[test]
+    fn rmw_atomic_across_interleaved_ops(
+        ops in proptest::collection::vec(
+            (0u64..4, 0u8..10, any::<u64>(), any::<u64>(), 0u64..10_000),
+            1..60,
+        ),
+    ) {
+        let mut mc = MemoryController::ddr4();
+        let mut reference = [0u64; 4];
+        let mut now = Time::ZERO;
+        for &(word, sel, a, b, gap) in &ops {
+            now += Duration::from_ps(gap);
+            let addr = word * 8;
+            let w = word as usize;
+            match sel {
+                0 => {
+                    mc.write(now, addr, &a.to_le_bytes());
+                    reference[w] = a;
+                }
+                1 => {
+                    let (data, _) = mc.read(now, addr, 8);
+                    let got = u64::from_le_bytes(data.try_into().expect("8 bytes"));
+                    prop_assert_eq!(got, reference[w]);
+                }
+                s => {
+                    let op = match s {
+                        2 => RmwOp::FetchAdd(a),
+                        3 => RmwOp::Swap(a),
+                        4 => RmwOp::And(a),
+                        5 => RmwOp::Or(a),
+                        6 => RmwOp::Xor(a),
+                        7 => RmwOp::Min(a),
+                        8 => RmwOp::Max(a),
+                        _ => RmwOp::CompareAndSwap { expected: a, desired: b },
+                    };
+                    let (orig, t) = mc.rmw(now, RmwRequest { addr, op });
+                    prop_assert_eq!(orig, reference[w], "RMW must observe the full prefix");
+                    reference[w] = op.apply(reference[w]);
+                    prop_assert!(t.complete > now, "RMW write-back takes time");
+                }
+            }
+        }
+        for (w, &want) in reference.iter().enumerate() {
+            prop_assert_eq!(mc.store().read_u64(w as u64 * 8), want);
+        }
+    }
+
+    /// The fixed-slot store fills to capacity and never evicts: a put
+    /// succeeds exactly while a slot is free (or the key is resident),
+    /// reports `Full` otherwise, and every accepted key stays readable —
+    /// open addressing trades rejections for evictions.
+    #[test]
+    fn kvstore_fills_to_capacity_never_evicts(
+        slots_pow in 2u32..6,
+        keys in proptest::collection::vec(any::<u64>(), 1..80),
+    ) {
+        let slots = 1u64 << slots_pow;
+        let mut kv = KvStore::new(slots, 16);
+        let mut reference: HashMap<u64, [u8; 8]> = HashMap::new();
+        for &k in &keys {
+            let fits = reference.contains_key(&k) || (reference.len() as u64) < slots;
+            let res = kv.put(Time::ZERO, k, &k.to_le_bytes());
+            if fits {
+                prop_assert!(res.is_ok(), "{} of {} slots used, put must fit", reference.len(), slots);
+                reference.insert(k, k.to_le_bytes());
+            } else {
+                prop_assert_eq!(res.unwrap_err(), KvError::Full);
+            }
+        }
+        prop_assert_eq!(kv.len(), reference.len() as u64);
+        for (&k, want) in &reference {
+            prop_assert_eq!(&kv.get(Time::ZERO, k).expect("resident").value, want);
+        }
+        // A key that was never inserted must not read as a value (the
+        // error is NotFound, or Full when every probe slot is taken).
+        let absent = (0..).map(|i| u64::MAX / 2 + i).find(|k| !reference.contains_key(k));
+        prop_assert!(kv.get(Time::ZERO, absent.expect("fresh key")).is_err());
+    }
+
+    /// The service-time model is bit-equal to the functional KV path:
+    /// replaying one op sequence through `KvStore` (functional store +
+    /// DDR4 timing) and `MemoryService` (timing only) yields identical
+    /// completion times for every get and put. 48-byte value capacity
+    /// makes the 64-byte slot stride divide the 8 KB row, so a slot
+    /// never straddles a row boundary — the regime the service model's
+    /// chained header→value get is exact in.
+    #[test]
+    fn memory_service_matches_kvstore_timing(
+        ops in proptest::collection::vec(
+            (0u64..16, any::<bool>(), 1usize..48, 0u64..50_000),
+            1..60,
+        ),
+    ) {
+        let mut kv = KvStore::new(256, 48);
+        let mut svc = MemoryService::ddr4();
+        let mut len_of: HashMap<u64, usize> = HashMap::new();
+        let mut now = Time::ZERO;
+        let mut timed = 0u64;
+        for &(key, is_put, len, gap) in &ops {
+            now += Duration::from_ps(gap);
+            if is_put {
+                let r = kv.put(now, key, &vec![0xAB; len]).expect("ample capacity");
+                let addr = kv.value_addr(key).expect("resident") - KV_SLOT_HEADER as u64;
+                let s = svc.put(now, addr, len);
+                prop_assert_eq!(s, r.complete, "put timing diverged");
+                len_of.insert(key, len);
+                timed += 1;
+            } else if let Some(&stored) = len_of.get(&key) {
+                let addr = kv.value_addr(key).expect("resident") - KV_SLOT_HEADER as u64;
+                let r = kv.get(now, key).expect("resident");
+                let s = svc.get(now, addr, stored);
+                prop_assert_eq!(s, r.complete, "get timing diverged");
+                timed += 1;
+            }
+            // Gets of absent keys are untimed on both paths: skipped.
+        }
+        let (gets, puts, _) = svc.ops();
+        prop_assert_eq!(gets + puts, timed);
+    }
+
+    /// The service-time model is bit-equal to the functional RMW path:
+    /// `MemoryService::rmw` completes exactly when
+    /// `MemoryController::rmw`'s write-back does, for any address/time
+    /// sequence (both chain an 8 B read into an 8 B write).
+    #[test]
+    fn memory_service_matches_controller_rmw_timing(
+        ops in proptest::collection::vec((0u64..10_000, any::<u64>(), 0u64..20_000), 1..40),
+    ) {
+        let mut ctl = MemoryController::ddr4();
+        let mut svc = MemoryService::ddr4();
+        let mut now = Time::ZERO;
+        for &(word, operand, gap) in &ops {
+            now += Duration::from_ps(gap);
+            let addr = word * 8;
+            let (_, t) = ctl.rmw(now, RmwRequest { addr, op: RmwOp::FetchAdd(operand) });
+            let s = svc.rmw(now, addr);
+            prop_assert_eq!(s, t.complete, "RMW timing diverged");
+        }
+        let timing = svc.timing();
+        prop_assert_eq!(
+            timing.row_hits() + timing.row_misses() + timing.row_conflicts(),
+            2 * ops.len() as u64
+        );
     }
 }

@@ -236,7 +236,7 @@ const LOG_BUCKETS: usize = SUB + (63 - SUB_BITS as usize + 1) * SUB;
 /// `3776 × 8 B ≈ 30 KB` regardless of sample count, and histograms from
 /// independent shards [`merge`](LogHistogram::merge) by bucket-wise
 /// addition with no loss beyond the bucketing itself.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogHistogram {
     counts: Vec<u64>,
     total: u64,
@@ -381,7 +381,7 @@ impl LogHistogram {
 /// Memory is O(simulated span / window) — independent of how many flows
 /// pass through — and two accumulators with the same window merge by
 /// element-wise addition, so per-shard accumulators combine exactly.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Throughput {
     window: Duration,
     ops: Vec<u64>,
@@ -494,7 +494,7 @@ impl Throughput {
 /// Memory is O(simulated span / window) — independent of flow count —
 /// and two accumulators with the same window merge by element-wise
 /// addition, so per-shard accumulators combine exactly.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Availability {
     window: Duration,
     delivered: Vec<u64>,

@@ -23,6 +23,14 @@
 //!   conservative logical processes (`edm_sim::sharded`), bit-identical
 //!   to the sequential run at any shard count; [`ShardPlan`] derives the
 //!   switch partition and the trunk-latency lookahead.
+//! * [`app`] — the closed-loop application tier on top of all of it:
+//!   [`TopoEdm::simulate_app`] runs N tenants issuing YCSB-mix
+//!   read/update/RMW operations with think times and bounded MLP
+//!   windows against remote memory nodes (DDR4 service via
+//!   `edm_memory::MemoryService`), over EDM's in-PHY transport or a
+//!   store-and-forward CXL-over-Ethernet baseline on the identical
+//!   fabric; [`TopoEdm::simulate_app_sharded`] is bit-identical at any
+//!   shard count.
 //!
 //! A 1-switch [`Topology`] is the *degenerate* case: [`TopoEdm`] on
 //! [`cluster_topology`] is bit-identical to the legacy single-switch
@@ -48,11 +56,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod app;
 pub mod ip;
 pub mod shard;
 pub mod topology;
 pub mod world;
 
+pub use app::{AppConfig, AppReport, AppTransport, CxlOeConfig};
 pub use ip::IpTraffic;
 pub use shard::ShardPlan;
 pub use topology::{Endpoint, Hop, LeafSpine, Link, LinkParams, Route, SwitchRole, Topology};

@@ -129,6 +129,7 @@
 //!   bit-for-bit; shard 0 holds the sink in sharded runs (it observes
 //!   every terminal transition — local settles plus barrier credits).
 
+use crate::app::{AppEv, AppState};
 use crate::ip::{IpModel, IpTraffic};
 use crate::shard::ShardPlan;
 use crate::topology::{Endpoint, Hop, Route, Topology};
@@ -451,7 +452,7 @@ impl TopoEdm {
         let tally = {
             let sink = |id: u32, o: TopoOutcome| results[id as usize] = Some(o);
             let plan = Arc::new(ShardPlan::solo(topo.switch_count()));
-            let mut world = self.build_world(topo, plan, 0, Some(sink), NO_SOURCE);
+            let mut world = self.build_world(topo, plan, 0, Some(sink), NO_SOURCE, None);
             let mut q = EventQueue::new();
             self.seed_faults(&mut q);
             for (i, &f) in flows.iter().enumerate() {
@@ -487,7 +488,7 @@ impl TopoEdm {
             let inputs: Vec<_> = (0..plan.shards() as u32)
                 .map(|me| {
                     let mut world =
-                        self.build_world(topo, plan.clone(), me, sink.take(), NO_SOURCE);
+                        self.build_world(topo, plan.clone(), me, sink.take(), NO_SOURCE, None);
                     let mut q = EventQueue::new();
                     self.seed_faults(&mut q);
                     for (i, &f) in flows.iter().enumerate() {
@@ -536,6 +537,7 @@ impl TopoEdm {
             0,
             Some(move |_id: u32, o: TopoOutcome| sink(o)),
             Some((source, 1)),
+            None,
         );
         let mut q = EventQueue::new();
         self.seed_faults(&mut q);
@@ -587,6 +589,7 @@ impl TopoEdm {
                     me,
                     sink_slot.take(),
                     Some((source.clone(), 1)),
+                    None,
                 );
                 let mut q = EventQueue::new();
                 self.seed_faults(&mut q);
@@ -605,7 +608,7 @@ impl TopoEdm {
 
     /// Fault events, replicated into every shard's queue; a fault at
     /// time T precedes any same-instant demand by order-key rank.
-    fn seed_faults(&self, q: &mut EventQueue<TopoEv>) {
+    pub(crate) fn seed_faults(&self, q: &mut EventQueue<TopoEv>) {
         for (i, f) in self.config.faults.iter().enumerate() {
             q.schedule_ordered(
                 f.at,
@@ -615,7 +618,7 @@ impl TopoEdm {
         }
     }
 
-    fn sharded_config(&self, plan: &ShardPlan) -> ShardedConfig {
+    pub(crate) fn sharded_config(&self, plan: &ShardPlan) -> ShardedConfig {
         let mut cuts: Vec<Time> = self.config.faults.iter().map(|f| f.at).collect();
         cuts.sort_unstable();
         ShardedConfig {
@@ -628,13 +631,14 @@ impl TopoEdm {
     /// with no flows admitted yet. Every shard computes identical
     /// replicated flow state as admissions run; only domain ownership,
     /// demand seeding, and sink placement differ.
-    fn build_world<S, I>(
+    pub(crate) fn build_world<S, I>(
         &self,
         topo: &Topology,
         plan: Arc<ShardPlan>,
         me: u32,
         sink: Option<S>,
         source: Option<(I, u32)>,
+        app: Option<Box<AppState>>,
     ) -> TopoWorld<S, I>
     where
         S: FnMut(u32, TopoOutcome),
@@ -673,7 +677,10 @@ impl TopoEdm {
             // pays on streamed runs — the materialized paths hold an
             // O(flows) results vector regardless, and skipping it keeps
             // `rt` a flat append-only table there.
-            eager_retire: source.is_some() && !self.config.batch_small_messages,
+            // Closed-loop app runs are streamed by construction (flows
+            // are admitted as ops issue and retire as legs complete), so
+            // they retire eagerly under the same exclusion.
+            eager_retire: (source.is_some() || app.is_some()) && !self.config.batch_small_messages,
             cfg: self.config.clone(),
             topo,
             rt: RtMap::default(),
@@ -693,6 +700,8 @@ impl TopoEdm {
             delivered_n: 0,
             failed_n: 0,
             active_hwm: 0,
+            app,
+            app_done_buf: Vec::new(),
         }
     }
 
@@ -745,7 +754,7 @@ impl TopoEdm {
     }
 
     /// Assembles the aggregate stats of a streamed run.
-    fn stream_stats<S, I>(worlds: &[TopoWorld<S, I>]) -> TopoStreamStats
+    pub(crate) fn stream_stats<S, I>(worlds: &[TopoWorld<S, I>]) -> TopoStreamStats
     where
         S: FnMut(u32, TopoOutcome),
         I: Iterator<Item = Flow>,
@@ -949,11 +958,11 @@ impl std::ops::Index<u32> for RtMap {
 }
 
 /// Type of the absent streaming source in the materialized paths.
-type NoSource = std::iter::Empty<Flow>;
-const NO_SOURCE: Option<(NoSource, u32)> = None;
+pub(crate) type NoSource = std::iter::Empty<Flow>;
+pub(crate) const NO_SOURCE: Option<(NoSource, u32)> = None;
 
 #[derive(Debug, Clone, Copy)]
-enum TopoEv {
+pub(crate) enum TopoEv {
     /// A flow's arrival instant: route it, create its runtime entry,
     /// and pull the next arrival from the streaming source (the
     /// materialized paths admit before the run and never see this).
@@ -1001,11 +1010,16 @@ enum TopoEv {
     /// (replicated, [`evord::reroute`]-keyed like the reroute it
     /// follows — at most one recovery event per flow is ever pending).
     Retry { flow: u32, epoch: u32, attempt: u32 },
+    /// A closed-loop application-tier step (`crate::app`): replicated in
+    /// every shard, keyed by [`evord::app_issue`]/[`evord::app_service`]/
+    /// [`evord::app_done`] so it sorts after all fabric events at one
+    /// instant — the app observes a settled fabric.
+    App(AppEv),
 }
 
 /// Cross-shard traffic.
 #[derive(Debug, Clone, Copy)]
-enum TopoMsg {
+pub(crate) enum TopoMsg {
     /// A chunk's implicit notification at its next-hop switch.
     Arrive {
         token: u64,
@@ -1057,19 +1071,19 @@ fn route_limit(cfg: &TopoEdmConfig, route: &Route) -> usize {
 }
 
 /// One-way latency of a link (propagation + degradation).
-fn link_lat(topo: &Topology, link: u32) -> Duration {
+pub(crate) fn link_lat(topo: &Topology, link: u32) -> Duration {
     topo.link(link).latency()
 }
 
 /// Control-block (8 B) serialization on a link.
-fn tx8(topo: &Topology, link: u32) -> Duration {
+pub(crate) fn tx8(topo: &Topology, link: u32) -> Duration {
     topo.link(link).params.bandwidth.tx_time_bytes(8)
 }
 
 /// Half-RTT of a control block over an access link: half the pipeline,
 /// the link flight, and the block's serialization — identical to the
 /// legacy world's `half`.
-fn access_half(cfg: &TopoEdmConfig, topo: &Topology, link: u32) -> Duration {
+pub(crate) fn access_half(cfg: &TopoEdmConfig, topo: &Topology, link: u32) -> Duration {
     cfg.pipeline_latency / 2 + link_lat(topo, link) + tx8(topo, link)
 }
 
@@ -1084,9 +1098,9 @@ fn lane_side(topo: &Topology, link: u32, granting: u32) -> u8 {
     }
 }
 
-struct TopoWorld<S, I> {
-    cfg: TopoEdmConfig,
-    topo: Topology,
+pub(crate) struct TopoWorld<S, I> {
+    pub(crate) cfg: TopoEdmConfig,
+    pub(crate) topo: Topology,
     /// Per-flow runtime state, inserted at admission and — in eager
     /// mode — removed at retirement, so `rt.len()` tracks the *active*
     /// flow population rather than the total offered load.
@@ -1132,6 +1146,13 @@ struct TopoWorld<S, I> {
     failed_n: u64,
     /// Peak of `rt.len()` — the active-flow high-water mark.
     active_hwm: usize,
+    /// The closed-loop application tier, replicated in every shard
+    /// (`crate::app`); `None` on plain fabric runs.
+    pub(crate) app: Option<Box<AppState>>,
+    /// Flows whose terminal delivery was observed inside the current
+    /// `settle` (whose delivery pass holds `rt` mutably); drained into
+    /// [`TopoWorld::app_flow_done`] immediately after. App runs only.
+    app_done_buf: Vec<u32>,
 }
 
 impl<S, I> TopoWorld<S, I>
@@ -1157,7 +1178,7 @@ where
     /// this for the whole slice before the run; the streaming path calls
     /// it from `Admit` events at each flow's arrival instant — the
     /// demand events produced are bit-identical either way.
-    fn admit(&mut self, id: u32, flow: Flow, q: &mut EventQueue<TopoEv>) {
+    pub(crate) fn admit(&mut self, id: u32, flow: Flow, q: &mut EventQueue<TopoEv>) {
         self.admitted += 1;
         let Some(route) = admission_route(&self.topo, &flow) else {
             if self.cfg.max_retries > 0 {
@@ -1186,6 +1207,7 @@ where
                         status: FlowStatus::Failed(flow.arrival),
                     },
                 );
+                self.app_flow_done(id, flow.arrival, false, q);
             }
             return;
         };
@@ -1324,6 +1346,7 @@ where
             if self.eager_retire && retire {
                 self.rt.remove(flow);
             }
+            self.app_flow_done(flow, now, false, q);
         }
     }
 
@@ -1537,8 +1560,11 @@ where
             retired,
             eager_retire,
             delivered_n,
+            app,
+            app_done_buf,
             ..
         } = self;
+        let app_on = app.is_some();
         let multi = plan.shards() > 1;
         let dom = domains[from_switch as usize]
             .as_mut()
@@ -1562,6 +1588,12 @@ where
                     debug_assert_eq!(r.delivered, r.flow.size);
                     r.status = RtStatus::Done(now);
                     *delivered_n += 1;
+                    if app_on {
+                        // The delivery pass holds `rt` mutably; the app
+                        // hook (which schedules the op's next step) runs
+                        // from the drain right after it.
+                        app_done_buf.push(cfi);
+                    }
                     if let Some(s) = sink.as_mut() {
                         s(
                             cfi,
@@ -1601,6 +1633,15 @@ where
                     switch: from_switch,
                 },
             );
+        }
+        if !self.app_done_buf.is_empty() {
+            let done = std::mem::take(&mut self.app_done_buf);
+            for fi in &done {
+                self.app_flow_done(*fi, now, true, q);
+            }
+            // Hand the allocation back for the next settle.
+            self.app_done_buf = done;
+            self.app_done_buf.clear();
         }
     }
 
@@ -1951,6 +1992,13 @@ where
                     self.retry_or_fail(flow, epoch, attempt + 1, now, q);
                 }
             }
+            TopoEv::App(ev) => {
+                // Replicated in every shard; counted once.
+                if self.me == 0 {
+                    self.events += 1;
+                }
+                self.app_dispatch(now, ev, q);
+            }
         }
     }
 
@@ -2055,6 +2103,11 @@ where
                 if self.eager_retire && no_refs {
                     self.rt.remove(flow);
                 }
+                // Barrier credits apply in (time, flow-keyed order), which
+                // need not match the emitting shard's local settle order —
+                // the hook only writes per-op state and schedules
+                // canonical-keyed events, so the divergence is harmless.
+                self.app_flow_done(flow, at, true, q);
             }
         }
     }

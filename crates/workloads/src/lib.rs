@@ -10,7 +10,11 @@
 //!   GraphLab, Memcached), used to synthesize traces the way the paper's
 //!   artifact does (from pre-existing CDF profiles, §A.5.2);
 //! * [`ycsb`] — YCSB key-value operation mixes A/B/F with Zipf-skewed key
-//!   popularity (Figures 6 and 7).
+//!   popularity (Figures 6 and 7);
+//! * [`closed_loop`] — closed-loop tenant specifications (bounded MLP
+//!   window, think times, local:remote split) consumed by `edm-topo`'s
+//!   end-to-end application tier, where arrival times are outputs of the
+//!   simulation rather than inputs.
 //!
 //! The synthetic generators come in two consumption shapes: materialized
 //! (`generate`/`generate_par`, building the whole `Vec<Flow>` up front)
@@ -22,11 +26,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod closed_loop;
 pub mod source;
 pub mod synthetic;
 pub mod traces;
 pub mod ycsb;
 
+pub use closed_loop::{OpKind, OpMix, TenantOp, TenantSpec};
 pub use source::{DrawDest, FlowSource, MergeSource};
 pub use synthetic::{RackAwareWorkload, SyntheticWorkload};
 pub use traces::AppTrace;

@@ -9,6 +9,8 @@ use edm_phy::frame::blocks_for_frame;
 use edm_phy::mem_codec::blocks_for_message;
 use edm_sched::pim::{min_chunk_for_line_rate, scheduling_latency};
 use edm_sim::Bandwidth;
+use edm_topo::{AppConfig, AppTransport, CxlOeConfig, LeafSpine, TopoEdm, Topology};
+use edm_workloads::{OpMix, TenantSpec, YcsbWorkload};
 
 #[test]
 fn table1_edm_column_is_exact() {
@@ -107,6 +109,85 @@ fn figure7_ordering() {
         / 2.0;
     assert!(edm / cxl < 1.3, "EDM/CXL = {:.2}", edm / cxl);
     assert!(rdma / edm > 4.0, "RDMA/EDM = {:.2}", rdma / edm);
+}
+
+/// Unloaded closed-loop latency on a paper-scale single switch: one
+/// tenant, window of 1, pure reads (then pure writes) of Figure 6's
+/// object shapes against one remote memory node.
+fn unloaded_p50(update_fraction: f64, transport: AppTransport) -> f64 {
+    let topo = Topology::single_switch(144, Default::default());
+    let wl = YcsbWorkload {
+        update_fraction,
+        ..YcsbWorkload::b()
+    };
+    let tenants = vec![TenantSpec::saturating(0, OpMix::remote(wl), 1, 200)];
+    let app = AppConfig {
+        transport,
+        ..AppConfig::new(tenants, vec![100])
+    };
+    let r = TopoEdm::default().simulate_app(&topo, &app);
+    assert_eq!(r.ops_completed, 200);
+    r.lat.percentile(50.0) as f64
+}
+
+#[test]
+fn figure7_closed_loop_crosscheck() {
+    // The analytic Table 1 / Figure 7 numbers and the simulated closed
+    // loop must not silently diverge. They are not expected to be equal:
+    // Table 1 times a single 64 B access, while the closed loop serves
+    // Figure 6's KV shapes — a read pays the slot-header probe chained
+    // into the 1 KB value read, the 1 KB response leg on the wire, and
+    // the NIC/completion handoffs. That adds ~45% to reads (payload +
+    // second DRAM access) and ~4% to writes (100 B payload, header and
+    // value land in one burst train). Documented tolerance: reads within
+    // [1.1, 1.8]x of analytic, writes within [0.9, 1.2]x.
+    let read_ratio = unloaded_p50(0.0, AppTransport::Edm) / edm_read().total().as_ps() as f64;
+    assert!(
+        (1.1..1.8).contains(&read_ratio),
+        "simulated/analytic read ratio {read_ratio:.3} drifted"
+    );
+    let write_ratio = unloaded_p50(1.0, AppTransport::Edm) / edm_write().total().as_ps() as f64;
+    assert!(
+        (0.9..1.2).contains(&write_ratio),
+        "simulated/analytic write ratio {write_ratio:.3} drifted"
+    );
+
+    // Figure 7's ordering, reproduced end-to-end: EDM stays well ahead
+    // of Ethernet-tunneled CXL on the identical fabric (the paper's
+    // point that the advantage comes from the in-PHY transport, not the
+    // topology).
+    let cxl = AppTransport::CxlOe(CxlOeConfig::default());
+    let cxl_read = unloaded_p50(0.0, cxl) / unloaded_p50(0.0, AppTransport::Edm);
+    let cxl_write = unloaded_p50(1.0, cxl) / unloaded_p50(1.0, AppTransport::Edm);
+    assert!(cxl_read > 1.5, "CXL-oE/EDM read ratio {cxl_read:.2}");
+    assert!(cxl_write > 1.5, "CXL-oE/EDM write ratio {cxl_write:.2}");
+}
+
+#[test]
+fn figure6_closed_loop_crosscheck() {
+    // The analytic Figure 6 model is a line-rate ceiling (request per
+    // bottleneck-transfer time); the simulated closed loop adds
+    // scheduling epochs, DRAM service, and bounded per-tenant windows,
+    // so its sustained rate must sit *under* the ceiling but reach a
+    // healthy fraction of it once windows are deep (16 tenants x MLP 16
+    // against 16 memory nodes). Documented envelope: [0.3, 1.0) of the
+    // aggregate analytic ceiling (measured ~0.6).
+    let topo = Topology::leaf_spine(LeafSpine::symmetric(4, 2, 8, 4));
+    let mix = OpMix::remote(YcsbWorkload::b());
+    let tenants: Vec<_> = (0..16)
+        .map(|i| TenantSpec::saturating(i, mix, 16, 500))
+        .collect();
+    let app = AppConfig::new(tenants, (16..32).collect());
+    let r = TopoEdm::default().simulate_app(&topo, &app);
+    assert_eq!(r.ops_completed, 8_000);
+    let sim_rate = r.ops_completed as f64 / (r.makespan.as_ns_f64() / 1e9);
+    let ceiling =
+        16.0 * edm_throughput(Bandwidth::from_gbps(100), &RequestMix::ycsb_b()).requests_per_sec;
+    let fraction = sim_rate / ceiling;
+    assert!(
+        (0.3..1.0).contains(&fraction),
+        "simulated rate {sim_rate:.3e} is {fraction:.3} of the analytic ceiling {ceiling:.3e}"
+    );
 }
 
 #[test]
